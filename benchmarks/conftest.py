@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper at experiment
+scale (40-50k synthetic records), prints the same rows/series the paper
+reports, asserts the qualitative *shape* (who wins, by roughly what factor,
+where crossovers fall), and writes the rendered artefact to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.data.provinces import extended_registry
+from repro.experiments.runner import ExperimentContext, ExperimentSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def main_context():
+    """The standard 12-province, 40k-record temporal-split context."""
+    return ExperimentContext(
+        ExperimentSettings(n_samples=40_000, data_seed=7,
+                           trainer_seeds=(0, 1, 2))
+    )
+
+
+@pytest.fixture(scope="session")
+def iid_context():
+    """Same platform, random split (Table VI)."""
+    return ExperimentContext(
+        ExperimentSettings(n_samples=40_000, data_seed=7,
+                           trainer_seeds=(0, 1, 2), split="iid")
+    )
+
+
+@pytest.fixture(scope="session")
+def extended_context():
+    """26-province context for Table II / Table III (paper-scale M)."""
+    return ExperimentContext(
+        ExperimentSettings(
+            n_samples=50_000,
+            data_seed=7,
+            trainer_seeds=(0,),
+            generator_overrides={"registry": extended_registry()},
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, rendered: str) -> None:
+    """Print an artefact and persist it under benchmarks/results/."""
+    print(f"\n{rendered}\n")
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")

@@ -1,0 +1,63 @@
+"""Ablation: does mini-batch variance restore Table II's S-degradation?
+
+EXPERIMENTS.md notes that with full-batch environment losses the sampled
+meta-IRM variants sit within noise of complete meta-IRM.  The paper trains
+"in a mini-batch manner" (footnote 6) on 1.4M records, where per-batch loss
+estimates are noisy; this ablation re-runs the Table II comparison with
+mini-batch training to probe whether sampling variance then separates the
+variants, and whether LightMIRM's replay smoothing pays off.
+"""
+
+from conftest import save_and_print
+
+from repro.core.config import LightMIRMConfig, MetaIRMConfig
+from repro.core.lightmirm import LightMIRMTrainer
+from repro.core.meta_irm import MetaIRMTrainer
+from repro.eval.reports import format_table
+
+BATCH = 256
+EPOCHS = 150
+
+
+def test_ablation_minibatch_sampling(benchmark, extended_context, results_dir):
+    variants = {
+        "meta-IRM (mb)": lambda seed: MetaIRMTrainer(
+            MetaIRMConfig(seed=seed, batch_size=BATCH, n_epochs=EPOCHS)
+        ),
+        "meta-IRM(5) (mb)": lambda seed: MetaIRMTrainer(
+            MetaIRMConfig(seed=seed, batch_size=BATCH, n_epochs=EPOCHS,
+                          n_sampled_envs=5)
+        ),
+        "LightMIRM (mb)": lambda seed: LightMIRMTrainer(
+            LightMIRMConfig(seed=seed, batch_size=BATCH, n_epochs=EPOCHS)
+        ),
+    }
+
+    def run():
+        return [
+            extended_context.score_method(name, factory)
+            for name, factory in variants.items()
+        ]
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        [s.as_row() for s in scores],
+        columns=("method", "mKS", "wKS", "mAUC", "wAUC"),
+        title=f"Ablation: mini-batch (b={BATCH}) meta variants, 26 provinces",
+    )
+    save_and_print(results_dir, "ablation_minibatch", rendered)
+
+    by_name = {s.method: s for s in scores}
+    light = by_name["LightMIRM (mb)"]
+    s5 = by_name["meta-IRM(5) (mb)"]
+    complete = by_name["meta-IRM (mb)"]
+
+    # All variants must remain functional under batch noise.
+    for s in scores:
+        assert s.mean_ks > 0.5
+
+    # LightMIRM's replay smoothing keeps it competitive with complete
+    # meta-IRM under batch noise and at least on par with the noisy
+    # one-shot sampler.
+    assert light.mean_ks >= complete.mean_ks - 0.02
+    assert light.worst_ks >= s5.worst_ks - 0.02

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 10 (Guangdong share of transactions)."""
+
+from conftest import save_and_print
+
+from repro.experiments.fig10_guangdong_share import (
+    format_fig10,
+    run_fig10,
+    share_drop_ratio,
+)
+
+
+def test_fig10_guangdong_share(benchmark, main_context, results_dir):
+    shares = benchmark.pedantic(
+        lambda: run_fig10(main_context.dataset), rounds=1, iterations=1
+    )
+    rendered = format_fig10(shares)
+    save_and_print(results_dir, "fig10_guangdong_share", rendered)
+
+    # Paper shape 1: Guangdong has the highest share in the training years.
+    per_year = main_context.dataset.province_share_by_year()
+    for year in (2016, 2017, 2018, 2019):
+        assert shares[year] == max(per_year[year].values())
+
+    # Paper shape 2: the 2020 share is about half the 2016-2019 level.
+    ratio = share_drop_ratio(shares)
+    assert 0.35 < ratio < 0.7, f"2020 drop ratio {ratio:.2f}"
+
+    # Paper shape 3: the decline happens in 2020, not gradually before.
+    assert shares[2019] > 0.85 * shares[2016]

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 1 (province-wise KS of the ERM model)."""
+
+from conftest import save_and_print
+
+from repro.experiments.fig1_province_map import (
+    format_fig1,
+    relative_spread,
+    run_fig1,
+)
+
+
+def test_fig1_province_performance_map(benchmark, main_context, results_dir):
+    cells = benchmark.pedantic(
+        lambda: run_fig1(main_context), rounds=1, iterations=1
+    )
+    rendered = format_fig1(cells)
+    save_and_print(results_dir, "fig1_province_map", rendered)
+
+    # Paper shape: performance varies strongly across provinces — the paper
+    # reports a 39% relative gap; require a material spread.
+    assert relative_spread(cells) > 0.25
+
+    # The worst cells belong to underrepresented provinces, the best cells
+    # to populous coastal ones.
+    worst_three = {c.province for c in cells[-3:]}
+    assert worst_three & {"Xinjiang", "Qinghai", "Gansu", "Yunnan", "Hubei"}
+    best_three = {c.province for c in cells[:3]}
+    assert best_three & {"Guangdong", "Jiangsu", "Shandong", "Henan"}
+
+    # Volume ordering: the best provinces carry far more test data.
+    n_best = max(c.n_test for c in cells[:3])
+    n_worst = min(c.n_test for c in cells[-3:])
+    assert n_best > 3 * n_worst

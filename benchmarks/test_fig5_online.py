@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 5 / the online comparison."""
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.experiments.fig5_online import format_fig5, run_fig5
+
+
+def test_fig5_online_replay(benchmark, main_context, results_dir):
+    replay = benchmark.pedantic(
+        lambda: run_fig5(main_context), rounds=1, iterations=1
+    )
+    rendered = format_fig5(replay)
+    save_and_print(results_dir, "fig5_online", rendered)
+
+    # Paper shape: the companion model cuts the bad-debt rate by a large
+    # fraction (paper: 63%) at threshold 0.5.
+    assert replay.reduction_fraction > 0.3
+
+    # ... while refusing well under half of the applications (the paper's
+    # "only refusing a little number of loans").
+    assert replay.refusal_at_threshold < 0.5
+
+    # Curve shape: the bad-debt curve is steep at low thresholds and flat at
+    # high ones — tightening the threshold from 1.0 buys reductions quickly.
+    bad = replay.curves["bad_debt_rate"]
+    thresholds = replay.curves["thresholds"]
+    low = bad[np.argmin(np.abs(thresholds - 0.2))]
+    mid = bad[np.argmin(np.abs(thresholds - 0.5))]
+    high = bad[np.argmin(np.abs(thresholds - 0.95))]
+    assert low <= mid <= high
+
+    # FPR falls monotonically as the threshold rises.
+    fpr = replay.curves["false_positive_rate"]
+    finite = np.isfinite(fpr)
+    assert np.all(np.diff(fpr[finite]) <= 1e-9)

@@ -1,0 +1,29 @@
+"""Benchmark: the headline shapes across independent platform seeds.
+
+Backs the EXPERIMENTS.md robustness notes — close orderings flip with
+seeds, but the core qualitative claims should hold on (nearly) every
+independently-generated platform.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments.stability import format_stability, run_stability
+
+
+def test_stability_across_platform_seeds(benchmark, results_dir):
+    study = benchmark.pedantic(
+        lambda: run_stability(data_seeds=(7, 11, 23)),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_stability(study)
+    save_and_print(results_dir, "stability", rendered)
+
+    # The two load-bearing claims must hold on every seed.
+    assert study.claim_rates["light_beats_erm_wks"] == 1.0
+    assert study.claim_rates["irm_family_top3_wks"] == 1.0
+
+    # ERM bottoms the worst-province ranking on most platforms, and
+    # LightMIRM's mean holds up on most platforms.
+    assert study.claim_rates["erm_worst_wks"] >= 2 / 3
+    assert study.claim_rates["light_mean_holds"] >= 2 / 3

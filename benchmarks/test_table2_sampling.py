@@ -1,0 +1,53 @@
+"""Benchmark regenerating Table II (meta-IRM sampling variants vs LightMIRM).
+
+Runs on the extended 26-province registry so the paper's S in {20, 10, 5}
+sampling sizes apply directly.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments.table2_sampling import (
+    format_table2,
+    run_table2,
+    sampling_levels,
+)
+
+
+def test_table2_sampling_variants(benchmark, extended_context, results_dir):
+    scores = benchmark.pedantic(
+        lambda: run_table2(extended_context), rounds=1, iterations=1
+    )
+    rendered = format_table2(scores)
+    save_and_print(results_dir, "table2_sampling", rendered)
+
+    by_name = {s.method: s for s in scores}
+    assert sampling_levels(len(extended_context.train_environments)) == (
+        20, 10, 5,
+    )
+    complete = by_name["meta-IRM"]
+    s5 = by_name["meta-IRM(5)"]
+    light = by_name["LightMIRM"]
+    variants = [s for s in scores if s.method != "LightMIRM"]
+
+    # Paper shape 1 (Table II boldface): LightMIRM tops the table — at or
+    # above every meta-IRM variant on both the mean and worst KS, despite
+    # evaluating a single sampled environment per task.
+    assert light.mean_ks >= max(v.mean_ks for v in variants) - 0.005
+    assert light.worst_ks >= max(v.worst_ks for v in variants) - 0.005
+
+    # Paper shape 2: LightMIRM matches the similarly-cheap meta-IRM(5)
+    # or better on the worst-province KS (Table II: 0.4183 vs 0.3630).
+    assert light.worst_ks >= s5.worst_ks
+
+    # Paper shape 3: LightMIRM is competitive with complete meta-IRM on the
+    # mean metrics despite ~M/2 times less work per epoch (see Table III).
+    assert light.mean_ks >= complete.mean_ks - 0.01
+    assert light.mean_auc >= complete.mean_auc - 0.01
+
+    # Note: with full-batch environment losses and the unbiased (M-1)/S
+    # scaling, the sampled variants sit within noise of complete meta-IRM
+    # on our substrate — the paper's S-dependent degradation (driven by
+    # mini-batch variance on 1.4M records) does not reproduce; see
+    # EXPERIMENTS.md.  We assert they stay in a tight band.
+    spread = max(v.mean_ks for v in variants) - min(v.mean_ks for v in variants)
+    assert spread < 0.02

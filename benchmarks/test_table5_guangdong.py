@@ -1,0 +1,36 @@
+"""Benchmark regenerating Table V (Guangdong 2020 as OOD data)."""
+
+from conftest import save_and_print
+
+from repro.experiments.table5_guangdong import format_table5, run_table5
+
+
+def test_table5_guangdong_ood(benchmark, main_context, results_dir):
+    scores = benchmark.pedantic(
+        lambda: run_table5(main_context), rounds=1, iterations=1
+    )
+    rendered = format_table5(scores)
+    save_and_print(results_dir, "table5_guangdong", rendered)
+
+    by_name = {s.method: s for s in scores}
+    light = by_name["LightMIRM"]
+    meta = by_name["meta-IRM"]
+    erm = by_name["ERM"]
+    dro = by_name["Group DRO"]
+
+    # Paper shape 1: the IRM family resists the Guangdong shift — the best
+    # meta-trained head matches or beats ERM (paper: LightMIRM 0.6539 vs
+    # ERM 0.6409; the two meta variants are within noise of each other on a
+    # single synthetic seed, so we assert on their better half).
+    assert max(light.ks, meta.ks) >= erm.ks - 0.01
+    assert light.ks >= erm.ks - 0.03
+    assert light.ks > dro.ks
+
+    # Paper shape 2: every method retains strong absolute discrimination on
+    # this large coastal province (paper KS values are all > 0.63).
+    assert all(s.ks > 0.45 for s in scores)
+
+    # Paper shape 3: ERM stays competitive on AUC (paper: 0.8818, within a
+    # whisker of the best).
+    best_auc = max(s.auc for s in scores)
+    assert erm.auc > best_auc - 0.03

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Table VI (i.i.d. random split)."""
+
+from conftest import save_and_print
+
+from repro.experiments.table6_iid import format_table6, run_table6
+
+
+def test_table6_iid_split(benchmark, iid_context, results_dir):
+    scores = benchmark.pedantic(
+        lambda: run_table6(iid_context), rounds=1, iterations=1
+    )
+    rendered = format_table6(scores)
+    save_and_print(results_dir, "table6_iid", rendered)
+
+    by_name = {s.method: s for s in scores}
+    complete = by_name["meta-IRM(complete)"]
+    light = by_name["LightMIRM"]
+    sampled = next(s for s in scores if s.method.startswith("meta-IRM ("))
+
+    # Paper shape 1: without temporal drift every method scores higher than
+    # under the temporal split; metrics are in a tight band.
+    assert all(s.mean_ks > 0.5 for s in scores)
+
+    # Paper shape 2: complete meta-IRM is the strongest mean performer
+    # (paper: best mKS/mAUC), and LightMIRM lands within a whisker.
+    assert complete.mean_ks >= light.mean_ks - 0.01
+    assert light.mean_ks >= complete.mean_ks - 0.015
+
+    # Paper shape 3: LightMIRM wins the worst-province KS over the
+    # similarly-cheap sampled variant (paper: 0.5235 vs 0.5216, and above
+    # complete meta-IRM too).
+    assert light.worst_ks >= sampled.worst_ks - 0.005

@@ -1,0 +1,101 @@
+"""Explainability + drift audit (the paper's RQ5 / Section IV-B scenario).
+
+Two diagnostics a model-risk team would run before deploying:
+
+1. **Feature-role attribution** — decompose each head's weight mass over
+   the raw features reached through the GBDT leaf paths, grouped by causal
+   role.  The IRM-trained head should place visibly less mass on the
+   spurious "regional signal" features than the ERM head (the paper's RQ5
+   claim: IRM "captures invariant correlations").
+2. **PSI drift report** — quantify which features actually shifted between
+   the training years and 2020, confirming the covariate/concept drift
+   story of Section IV-B.
+
+Run:  python examples/explainability_audit.py
+"""
+
+from repro import generate_default_dataset, make_trainer, temporal_split
+from repro.eval.reports import format_table
+from repro.explain import attribution_by_role, head_feature_attribution
+from repro.monitor import concept_drift_report, drift_report
+from repro.pipeline import GBDTFeatureExtractor
+
+
+def main() -> None:
+    dataset = generate_default_dataset(n_samples=30_000, seed=7)
+    split = temporal_split(dataset)
+    extractor = GBDTFeatureExtractor().fit(split.train)
+    environments = extractor.encode_environments(split.train)
+
+    # --- 1. role attribution per training method -----------------------
+    rows = []
+    for name in ("ERM", "meta-IRM", "LightMIRM"):
+        result = make_trainer(name, seed=0).fit(environments)
+        attribution = head_feature_attribution(extractor, result.theta)
+        shares = attribution_by_role(attribution, dataset.schema)
+        row: dict[str, object] = {"method": name}
+        row.update(shares)
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            columns=("method", "invariant", "context", "spurious", "noise"),
+            title="Head weight attribution by causal feature role",
+        )
+    )
+    erm_spurious = next(r for r in rows if r["method"] == "ERM")["spurious"]
+    light_spurious = next(
+        r for r in rows if r["method"] == "LightMIRM"
+    )["spurious"]
+    print(
+        f"\nLightMIRM puts {light_spurious:.1%} of its weight on spurious "
+        f"features vs {erm_spurious:.1%} for ERM"
+    )
+
+    # --- 2. drift report ------------------------------------------------
+    report = drift_report(split.train, split.test)
+    drift_rows = [
+        {"feature": f.name, "PSI": f.psi, "reading": f.reading}
+        for f in report.worst(8)
+    ]
+    print()
+    print(
+        format_table(
+            drift_rows,
+            columns=("feature", "PSI", "reading"),
+            title="Most-drifted features, 2016-2019 vs 2020 (PSI)",
+        )
+    )
+    print(
+        f"\ndefault rate {report.baseline_default_rate:.2%} -> "
+        f"{report.monitoring_default_rate:.2%}; "
+        f"{len(report.drifted())} features above the PSI 0.1 threshold"
+    )
+
+    # --- 3. concept drift: P(y|x) changes the marginals cannot see ------
+    concept = concept_drift_report(split.train, split.test)
+    concept_rows = [
+        {
+            "feature": d.name,
+            "corr 2016-19": d.baseline_correlation,
+            "corr 2020": d.monitoring_correlation,
+            "shift": d.shift,
+        }
+        for d in concept[:8]
+    ]
+    print()
+    print(
+        format_table(
+            concept_rows,
+            columns=("feature", "corr 2016-19", "corr 2020", "shift"),
+            title="Concept drift: feature-label correlation shifts",
+        )
+    )
+    print(
+        "\nthe regional signals lose predictive strength in 2020 while the "
+        "invariant credit features hold — the drift ERM falls for"
+    )
+
+
+if __name__ == "__main__":
+    main()

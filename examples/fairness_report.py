@@ -1,0 +1,86 @@
+"""Province-wise fairness audit (the Fig 1 scenario).
+
+Reproduces the paper's motivating observation: a model trained by plain ERM
+performs dramatically worse in underrepresented provinces.  Prints a
+per-province KS breakdown for ERM and LightMIRM side by side, the relative
+spread that Fig 1 visualises as a map, and a paired-bootstrap check of
+whether LightMIRM's win on the worst province is statistically resolvable.
+
+Run:  python examples/fairness_report.py
+"""
+
+from repro import (
+    ERMTrainer,
+    LightMIRMTrainer,
+    LoanDefaultPipeline,
+    generate_default_dataset,
+    temporal_split,
+)
+from repro.eval.reports import format_table
+from repro.metrics import paired_bootstrap_difference
+from repro.pipeline import GBDTFeatureExtractor
+
+
+def main() -> None:
+    dataset = generate_default_dataset(n_samples=30_000, seed=7)
+    split = temporal_split(dataset)
+    extractor = GBDTFeatureExtractor().fit(split.train)
+
+    pipelines = {}
+    reports = {}
+    for trainer in (ERMTrainer(), LightMIRMTrainer()):
+        pipeline = LoanDefaultPipeline(trainer, extractor=extractor)
+        pipeline.fit(split.train)
+        pipelines[trainer.name] = pipeline
+        reports[trainer.name] = pipeline.evaluate(split.test)
+
+    erm = reports["ERM"]
+    light = reports["LightMIRM"]
+    rows = []
+    for name, erm_scores in sorted(
+        erm.per_environment.items(), key=lambda kv: -kv[1].ks
+    ):
+        light_scores = light.per_environment[name]
+        rows.append(
+            {
+                "province": name,
+                "n_test": erm_scores.n_samples,
+                "ERM KS": erm_scores.ks,
+                "LightMIRM KS": light_scores.ks,
+                "delta": light_scores.ks - erm_scores.ks,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            columns=("province", "n_test", "ERM KS", "LightMIRM KS", "delta"),
+            title="Province-wise KS (2020 test year)",
+        )
+    )
+    print()
+    for name, report in reports.items():
+        spread = report.ks_spread()
+        print(
+            f"{name:12s} worst province {report.worst_ks_environment} "
+            f"(wKS={report.worst_ks:.4f}); best-to-worst KS spread {spread:.4f}"
+        )
+
+    # Is LightMIRM's win on ERM's worst province statistically resolvable?
+    # Paired bootstrap on the province's shared test rows.
+    worst = erm.worst_ks_environment
+    province_slice = split.test.filter_province(worst)
+    diff = paired_bootstrap_difference(
+        province_slice.labels,
+        pipelines["LightMIRM"].predict_proba(province_slice),
+        pipelines["ERM"].predict_proba(province_slice),
+        n_resamples=500,
+    )
+    verdict = "resolvable" if diff.lower > 0 else "within sampling noise"
+    print(
+        f"\npaired bootstrap on {worst}: LightMIRM KS - ERM KS = {diff} "
+        f"-> {verdict}"
+    )
+
+
+if __name__ == "__main__":
+    main()

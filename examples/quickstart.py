@@ -1,0 +1,49 @@
+"""Quickstart: train a fair loan default predictor with LightMIRM.
+
+Generates a synthetic multi-province auto-loan platform, trains the paper's
+GBDT+LR pipeline with the LightMIRM head, and reports the four headline
+metrics (mean / worst KS and AUC over provinces) against a plain ERM head.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ERMTrainer,
+    LightMIRMTrainer,
+    LoanDefaultPipeline,
+    generate_default_dataset,
+    temporal_split,
+)
+from repro.pipeline import GBDTFeatureExtractor
+
+
+def main() -> None:
+    # 1. Data: 30k applications, 12 provinces, 2016-2020 with drift.
+    dataset = generate_default_dataset(n_samples=30_000, seed=7)
+    print(f"platform: {dataset}")
+    split = temporal_split(dataset)
+    print(
+        f"train 2016-2019: {split.train.n_samples} rows | "
+        f"test 2020: {split.test.n_samples} rows"
+    )
+
+    # 2. Shared feature extraction (GBDT leaf one-hot encoding, Fig 2).
+    extractor = GBDTFeatureExtractor().fit(split.train)
+    print(f"GBDT encoded {extractor.n_output_features} leaf indicators")
+
+    # 3. Train two heads on the same features: ERM vs LightMIRM.
+    for trainer in (ERMTrainer(), LightMIRMTrainer()):
+        pipeline = LoanDefaultPipeline(trainer, extractor=extractor)
+        pipeline.fit(split.train)
+        report = pipeline.evaluate(split.test)
+        summary = report.summary()
+        print(
+            f"{trainer.name:12s} "
+            f"mKS={summary['mKS']:.4f} wKS={summary['wKS']:.4f} "
+            f"mAUC={summary['mAUC']:.4f} wAUC={summary['wAUC']:.4f} "
+            f"(worst province: {report.worst_ks_environment})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Periodic-retrain workflow: tune, select, audit calibration, ship.
+
+The paper stresses that "loan default prediction models have to be updated
+periodically at a relatively high frequency" — which is why LightMIRM's
+training cost matters.  This example shows the full refresh loop a
+platform team would automate:
+
+1. grid-search LightMIRM's λ and MRQ length on a validation split,
+2. refit the winning configuration on all training data,
+3. audit per-province calibration (the paper's fairness notion),
+4. persist the model artifact for serving.
+
+Run:  python examples/retrain_and_tune.py
+"""
+
+import tempfile
+
+from repro import generate_default_dataset, temporal_split
+from repro.core import LightMIRMConfig, LightMIRMTrainer
+from repro.eval.reports import format_table
+from repro.metrics import calibration_gap_by_environment
+from repro.persist import load_pipeline, save_pipeline
+from repro.pipeline import GBDTFeatureExtractor, LoanDefaultPipeline
+from repro.tune import grid_search
+
+
+def main() -> None:
+    dataset = generate_default_dataset(n_samples=30_000, seed=7)
+    split = temporal_split(dataset)
+    extractor = GBDTFeatureExtractor().fit(split.train)
+    environments = extractor.encode_environments(split.train)
+
+    # --- 1. grid search on a per-province validation split --------------
+    search = grid_search(
+        lambda **kw: LightMIRMTrainer(LightMIRMConfig(**kw)),
+        grid={"lambda_penalty": [1.0, 3.0, 6.0], "queue_length": [3, 5, 7]},
+        environments=environments,
+        objective="blend",   # (mKS + wKS) / 2 — the paper's dual goal
+        blend_weight=0.5,
+    )
+    rows = [
+        {
+            "lambda": t.params["lambda_penalty"],
+            "L": t.params["queue_length"],
+            "val mKS": t.report.mean_ks,
+            "val wKS": t.report.worst_ks,
+            "train (s)": round(t.train_seconds, 2),
+        }
+        for t in search.ranked()
+    ]
+    print(
+        format_table(
+            rows,
+            columns=("lambda", "L", "val mKS", "val wKS", "train (s)"),
+            title="Grid search (ranked by blended mKS/wKS)",
+        )
+    )
+    print(f"\nselected: {dict(search.best.params)}")
+
+    # --- 2. refit the winner on the full training data ------------------
+    best_config = LightMIRMConfig(**search.best.params)
+    pipeline = LoanDefaultPipeline(
+        LightMIRMTrainer(best_config), extractor=extractor
+    )
+    pipeline.fit(split.train)
+    report = pipeline.evaluate(split.test)
+    print(f"2020 test: {report.summary()}")
+
+    # --- 3. per-province calibration audit -------------------------------
+    scores = pipeline.predict_proba(split.test)
+    labels_by_env = {
+        name: split.test.labels[split.test.provinces == name]
+        for name in split.test.province_names()
+    }
+    probs_by_env = {
+        name: scores[split.test.provinces == name]
+        for name in split.test.province_names()
+    }
+    gaps = calibration_gap_by_environment(labels_by_env, probs_by_env)
+    worst_province = max(gaps, key=gaps.get)
+    print(
+        f"calibration gaps (ECE): median "
+        f"{sorted(gaps.values())[len(gaps) // 2]:.4f}, worst "
+        f"{worst_province} at {gaps[worst_province]:.4f}"
+    )
+
+    # --- 4. ship the artifact --------------------------------------------
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        save_pipeline(pipeline, handle.name,
+                      metadata={"selected": dict(search.best.params)})
+        restored = load_pipeline(handle.name)
+        check = abs(
+            restored.predict_proba(split.test) - scores
+        ).max()
+        print(
+            f"artifact saved to {handle.name}; restored scorer matches to "
+            f"{check:.2e}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Regenerate every paper artefact outside pytest and write a report.
+
+A thin convenience wrapper over the experiment harness for users who want
+the full set of tables/figures as one text report without the benchmark
+machinery:
+
+    python scripts/run_all_experiments.py [--n-samples N] [--out report.txt]
+
+For shape assertions and timing, prefer ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.data.provinces import extended_registry
+from repro.experiments.runner import ExperimentContext, ExperimentSettings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-samples", type=int, default=40_000)
+    parser.add_argument("--data-seed", type=int, default=7)
+    parser.add_argument("--trainer-seeds", type=int, nargs="+",
+                        default=[0, 1, 2])
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args()
+
+    settings = dict(
+        n_samples=args.n_samples,
+        data_seed=args.data_seed,
+        trainer_seeds=tuple(args.trainer_seeds),
+    )
+    main_ctx = ExperimentContext(ExperimentSettings(**settings))
+    iid_ctx = ExperimentContext(ExperimentSettings(**settings, split="iid"))
+    extended_ctx = ExperimentContext(
+        ExperimentSettings(
+            n_samples=max(args.n_samples, 50_000),
+            data_seed=args.data_seed,
+            trainer_seeds=(args.trainer_seeds[0],),
+            generator_overrides={"registry": extended_registry()},
+        )
+    )
+
+    from repro.experiments import (
+        fig1_province_map,
+        fig4_vehicle_mix,
+        fig5_online,
+        fig9_mrq_length,
+        fig10_guangdong_share,
+        fig11_hubei,
+        table1_main,
+        table2_sampling,
+        table3_timing,
+        table4_gamma,
+        table5_guangdong,
+        table6_iid,
+    )
+
+    jobs = [
+        ("Fig 1", lambda: fig1_province_map.format_fig1(
+            fig1_province_map.run_fig1(main_ctx))),
+        ("Fig 4", lambda: fig4_vehicle_mix.format_fig4(
+            fig4_vehicle_mix.run_fig4(main_ctx.dataset,
+                                      years=(2016, 2018, 2020)))),
+        ("Fig 5", lambda: fig5_online.format_fig5(
+            fig5_online.run_fig5(main_ctx))),
+        ("Table I", lambda: table1_main.format_table1(
+            table1_main.run_table1(main_ctx))),
+        ("Table II", lambda: table2_sampling.format_table2(
+            table2_sampling.run_table2(extended_ctx))),
+        ("Table III + Fig 7", lambda: table3_timing.format_table3(
+            table3_timing.run_table3(extended_ctx))),
+        ("Figs 6/8", lambda: table2_sampling.format_curves(
+            table2_sampling.run_training_curves(extended_ctx, every=10))),
+        ("Fig 9", lambda: fig9_mrq_length.format_fig9(
+            fig9_mrq_length.run_fig9(main_ctx))),
+        ("Table IV", lambda: table4_gamma.format_table4(
+            table4_gamma.run_table4(main_ctx))),
+        ("Fig 10", lambda: fig10_guangdong_share.format_fig10(
+            fig10_guangdong_share.run_fig10(main_ctx.dataset))),
+        ("Table V", lambda: table5_guangdong.format_table5(
+            table5_guangdong.run_table5(main_ctx))),
+        ("Fig 11", lambda: fig11_hubei.format_fig11(
+            fig11_hubei.run_fig11(main_ctx))),
+        ("Table VI", lambda: table6_iid.format_table6(
+            table6_iid.run_table6(iid_ctx))),
+    ]
+
+    sections = []
+    for title, job in jobs:
+        start = time.perf_counter()
+        print(f"running {title} ...", file=sys.stderr)
+        rendered = job()
+        elapsed = time.perf_counter() - start
+        sections.append(f"===== {title} ({elapsed:.0f}s) =====\n{rendered}")
+
+    report = "\n\n".join(sections)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

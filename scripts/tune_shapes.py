@@ -1,0 +1,98 @@
+"""Developer tuning harness: check the Table I shape across seeds.
+
+Not part of the library or the benchmark suite; used while calibrating the
+synthetic generator and the default trainer hyper-parameters so the
+qualitative shapes of the paper's tables hold robustly.
+
+Run: python scripts/tune_shapes.py [n_samples] [data_seeds...]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import generate_default_dataset, temporal_split
+from repro.baselines.erm import ERMTrainer
+from repro.baselines.finetune import FineTuneConfig, FineTuneTrainer
+from repro.baselines.group_dro import GroupDROConfig, GroupDROTrainer
+from repro.baselines.upsampling import UpSamplingConfig, UpSamplingTrainer
+from repro.baselines.vrex import VRExConfig, VRExTrainer
+from repro.core import (
+    LightMIRMConfig,
+    LightMIRMTrainer,
+    MetaIRMConfig,
+    MetaIRMTrainer,
+)
+from repro.metrics.fairness import evaluate_environments
+from repro.pipeline import LoanDefaultPipeline
+from repro.train.base import BaseTrainConfig
+
+N_TRAINER_SEEDS = 3
+
+
+def build_methods():
+    """Method name -> factory(seed) using the candidate default configs."""
+    common = dict(n_epochs=150, learning_rate=2.0, l2=1e-3)
+    return {
+        "ERM": lambda s: ERMTrainer(BaseTrainConfig(seed=s, **common)),
+        "finetune": lambda s: FineTuneTrainer(FineTuneConfig(seed=s, **common)),
+        "upsample": lambda s: UpSamplingTrainer(UpSamplingConfig(seed=s, **common)),
+        "DRO": lambda s: GroupDROTrainer(GroupDROConfig(seed=s, **common)),
+        "V-REx": lambda s: VRExTrainer(VRExConfig(seed=s, **common)),
+        "metaIRM": lambda s: MetaIRMTrainer(MetaIRMConfig(
+            seed=s, n_epochs=80, learning_rate=0.02, inner_lr=0.1,
+            l2=1e-3, lambda_penalty=3.0)),
+        "LightMIRM": lambda s: LightMIRMTrainer(LightMIRMConfig(
+            seed=s, n_epochs=150, learning_rate=0.2, inner_lr=0.1,
+            l2=1e-3, lambda_penalty=3.0)),
+    }
+
+
+def main() -> None:
+    n_samples = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    data_seeds = [int(a) for a in sys.argv[2:]] or [7, 11, 23]
+    methods = build_methods()
+    totals = {name: np.zeros(4) for name in methods}
+
+    for dseed in data_seeds:
+        dataset = generate_default_dataset(n_samples=n_samples, seed=dseed)
+        split = temporal_split(dataset)
+        pipe = LoanDefaultPipeline(ERMTrainer(BaseTrainConfig(n_epochs=1)))
+        pipe.fit(split.train)
+        envs = pipe.encode_environments(split.train)
+        test_envs = pipe.encode_environments(split.test)
+        labels = {e.name: e.labels for e in test_envs}
+
+        print(f"=== data seed {dseed} (n={n_samples}) ===")
+        for name, factory in methods.items():
+            t0 = time.time()
+            metrics = np.zeros(4)
+            worsts = []
+            for tseed in range(N_TRAINER_SEEDS):
+                res = factory(tseed).fit(envs)
+                if hasattr(res, "predict_proba_env"):
+                    scores = {e.name: res.predict_proba_env(e.name, e.features)
+                              for e in test_envs}
+                else:
+                    scores = {e.name: res.model.predict_proba(res.theta, e.features)
+                              for e in test_envs}
+                rep = evaluate_environments(labels, scores)
+                metrics += np.array([rep.mean_ks, rep.worst_ks,
+                                     rep.mean_auc, rep.worst_auc])
+                worsts.append(rep.worst_ks_environment)
+            metrics /= N_TRAINER_SEEDS
+            totals[name] += metrics
+            print(f"  {name:12s} mKS={metrics[0]:.4f} wKS={metrics[1]:.4f} "
+                  f"mAUC={metrics[2]:.4f} wAUC={metrics[3]:.4f} "
+                  f"worst={worsts} ({time.time()-t0:.0f}s)")
+
+    print("=== mean over data seeds ===")
+    for name, vals in totals.items():
+        vals = vals / len(data_seeds)
+        print(f"  {name:12s} mKS={vals[0]:.4f} wKS={vals[1]:.4f} "
+              f"mAUC={vals[2]:.4f} wAUC={vals[3]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

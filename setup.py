@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists only so
+that legacy tooling (and older pip versions that fall back to
+``setup.py develop`` for editable installs) keeps working.
+"""
+
+from setuptools import setup
+
+setup()

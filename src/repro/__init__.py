@@ -1,0 +1,83 @@
+"""LightMIRM reproduction: trustworthy loan default prediction.
+
+Full reproduction of "LightMIRM: Light Meta-learned Invariant Risk
+Minimization for Trustworthy Loan Default Prediction" (ICDE 2023):
+a synthetic auto-loan platform, a from-scratch histogram GBDT, the GBDT+LR
+pipeline, meta-IRM (Algorithm 1), LightMIRM (Algorithm 2), five baselines,
+and the complete experiment harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import (
+        LightMIRMTrainer, LoanDefaultPipeline, generate_default_dataset,
+        temporal_split,
+    )
+
+    split = temporal_split(generate_default_dataset(n_samples=20_000))
+    pipeline = LoanDefaultPipeline(LightMIRMTrainer())
+    pipeline.fit(split.train)
+    print(pipeline.evaluate(split.test).summary())
+"""
+
+from repro.baselines import (
+    ERMTrainer,
+    FineTuneTrainer,
+    GroupDROTrainer,
+    UpSamplingTrainer,
+    VRExTrainer,
+)
+from repro.core import (
+    LightMIRMConfig,
+    LightMIRMTrainer,
+    MetaIRMConfig,
+    MetaIRMTrainer,
+    MetaLossReplayQueue,
+)
+from repro.data import (
+    GeneratorConfig,
+    LoanDataGenerator,
+    LoanDataset,
+    generate_default_dataset,
+    iid_split,
+    temporal_split,
+)
+from repro.gbdt import GBDTClassifier, GBDTParams, LeafIndexEncoder
+from repro.metrics import FairnessReport, auc_score, evaluate_environments, ks_score
+from repro.models import LogisticModel
+from repro.pipeline import LoanDefaultPipeline
+from repro.train import BaseTrainConfig, Trainer, TrainResult, make_trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ERMTrainer",
+    "FineTuneTrainer",
+    "GroupDROTrainer",
+    "UpSamplingTrainer",
+    "VRExTrainer",
+    "LightMIRMConfig",
+    "LightMIRMTrainer",
+    "MetaIRMConfig",
+    "MetaIRMTrainer",
+    "MetaLossReplayQueue",
+    "GeneratorConfig",
+    "LoanDataGenerator",
+    "LoanDataset",
+    "generate_default_dataset",
+    "iid_split",
+    "temporal_split",
+    "GBDTClassifier",
+    "GBDTParams",
+    "LeafIndexEncoder",
+    "FairnessReport",
+    "auc_score",
+    "evaluate_environments",
+    "ks_score",
+    "LogisticModel",
+    "LoanDefaultPipeline",
+    "BaseTrainConfig",
+    "Trainer",
+    "TrainResult",
+    "make_trainer",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""ERM baseline: pooled empirical risk minimisation.
+
+The standard industry approach the paper critiques: minimise the average
+loss over the aggregated data, ignoring environment structure entirely.
+Implemented as full-batch gradient descent on the pooled BCE so that the
+only difference from the IRM trainers is the objective, not the optimiser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import EnvironmentData
+from repro.models.logistic import LogisticModel
+from repro.timing import StepTimer
+from repro.train.base import (
+    BaseTrainConfig,
+    EpochCallback,
+    Trainer,
+    TrainingHistory,
+    stack_environments,
+)
+
+__all__ = ["ERMTrainer"]
+
+
+class ERMTrainer(Trainer):
+    """Pooled-loss gradient descent (the paper's ERM baseline)."""
+
+    name = "ERM"
+
+    def __init__(self, config: BaseTrainConfig | None = None):
+        super().__init__(config or BaseTrainConfig())
+
+    def _run(
+        self,
+        environments: list[EnvironmentData],
+        model: LogisticModel,
+        theta: np.ndarray,
+        history: TrainingHistory,
+        callback: EpochCallback | None,
+        timer: StepTimer,
+    ) -> np.ndarray:
+        cfg = self.config
+        with timer.step("loading_data"):
+            if cfg.batch_size is None:
+                features, labels = stack_environments(environments)
+
+        for epoch in range(cfg.n_epochs):
+            timer.begin_epoch()
+            if cfg.batch_size is not None:
+                features, labels = stack_environments(
+                    self._epoch_environments(environments)
+                )
+            with timer.step("inner_optimization"):
+                loss, grad = model.loss_and_gradient(theta, features, labels)
+            with timer.step("backward_propagation"):
+                theta = self._optimizer.step(theta, grad)
+            timer.end_epoch()
+            env_losses = {
+                env.name: model.loss(theta, env.features, env.labels)
+                for env in environments
+            }
+            self._record(history, loss, env_losses, epoch, theta, callback)
+        return theta

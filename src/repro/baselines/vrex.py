@@ -1,0 +1,97 @@
+"""V-REx baseline (Krueger et al., 2021).
+
+Risk extrapolation: minimise the mean of the per-environment risks plus a
+penalty on their variance,
+
+    J(θ) = mean_e R_e(θ) + λ_v · Var_e(R_e(θ)),
+
+which pulls the environments' risks together — the variance-based fairness
+idea the paper contrasts with IRM's bi-level formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import EnvironmentData
+from repro.models.logistic import LogisticModel
+from repro.timing import StepTimer
+from repro.train.base import (
+    BaseTrainConfig,
+    EpochCallback,
+    Trainer,
+    TrainingHistory,
+)
+
+__all__ = ["VRExConfig", "VRExTrainer"]
+
+
+@dataclass(frozen=True)
+class VRExConfig(BaseTrainConfig):
+    """V-REx hyper-parameters.
+
+    Attributes:
+        variance_weight: Penalty λ_v on the variance of environment risks.
+    """
+
+    variance_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.variance_weight < 0:
+            raise ValueError("variance_weight must be non-negative")
+
+
+class VRExTrainer(Trainer):
+    """Mean-plus-variance-of-risks minimisation."""
+
+    name = "V-REx"
+
+    def __init__(self, config: VRExConfig | None = None):
+        config = config or VRExConfig()
+        super().__init__(config)
+        self.config: VRExConfig = config
+
+    def _run(
+        self,
+        environments: list[EnvironmentData],
+        model: LogisticModel,
+        theta: np.ndarray,
+        history: TrainingHistory,
+        callback: EpochCallback | None,
+        timer: StepTimer,
+    ) -> np.ndarray:
+        cfg = self.config
+        n_envs = len(environments)
+
+        for epoch in range(cfg.n_epochs):
+            timer.begin_epoch()
+            epoch_envs = self._epoch_environments(environments)
+            losses = np.zeros(n_envs)
+            grads: list[np.ndarray] = []
+            env_losses: dict[str, float] = {}
+            with timer.step("inner_optimization"):
+                for e, env in enumerate(epoch_envs):
+                    loss_e, grad_e = model.loss_and_gradient(
+                        theta, env.features, env.labels
+                    )
+                    losses[e] = loss_e
+                    grads.append(grad_e)
+                    env_losses[env.name] = loss_e
+            with timer.step("backward_propagation"):
+                mean_loss = losses.mean()
+                # d/dθ [mean + λ_v Var] = Σ_e [1/M + 2λ_v (L_e - mean)/M] ∇L_e
+                coeffs = (
+                    1.0 / n_envs
+                    + 2.0 * cfg.variance_weight * (losses - mean_loss) / n_envs
+                )
+                grad = np.zeros_like(theta)
+                for e in range(n_envs):
+                    grad += coeffs[e] * grads[e]
+                theta = self._optimizer.step(theta, grad)
+            timer.end_epoch()
+            objective = float(mean_loss + cfg.variance_weight * losses.var())
+            self._record(history, objective, env_losses, epoch, theta, callback)
+        return theta

@@ -1,0 +1,187 @@
+"""Command-line interface for the LightMIRM reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro generate --n-samples 40000 --out platform.npz
+    python -m repro train --method LightMIRM --data platform.npz --out model.json
+    python -m repro evaluate --model model.json --data platform.npz
+    python -m repro experiment table1
+    python -m repro list
+
+``experiment`` runs one of the paper's tables/figures at a configurable
+scale and prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.dataset import LoanDataset
+from repro.data.generator import GeneratorConfig, LoanDataGenerator
+from repro.data.splits import temporal_split
+from repro.experiments.runner import ExperimentContext, ExperimentSettings
+from repro.metrics.fairness import evaluate_environments
+from repro.persist.artifacts import load_pipeline, save_pipeline
+from repro.pipeline.pipeline import LoanDefaultPipeline
+from repro.train.registry import available_trainers, make_trainer
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment id -> (runner, formatter) import paths, resolved lazily.
+EXPERIMENTS = {
+    "fig1": ("fig1_province_map", "run_fig1", "format_fig1", "context"),
+    "fig4": ("fig4_vehicle_mix", "run_fig4", "format_fig4", "dataset"),
+    "fig5": ("fig5_online", "run_fig5", "format_fig5", "context"),
+    "table1": ("table1_main", "run_table1", "format_table1", "context"),
+    "table2": ("table2_sampling", "run_table2", "format_table2", "context"),
+    "table3": ("table3_timing", "run_table3", "format_table3", "context"),
+    "fig9": ("fig9_mrq_length", "run_fig9", "format_fig9", "context"),
+    "table4": ("table4_gamma", "run_table4", "format_table4", "context"),
+    "fig10": ("fig10_guangdong_share", "run_fig10", "format_fig10", "dataset"),
+    "table5": ("table5_guangdong", "run_table5", "format_table5", "context"),
+    "fig11": ("fig11_hubei", "run_fig11", "format_fig11", "context"),
+    "table6": ("table6_iid", "run_table6", "format_table6", "context"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LightMIRM reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic platform")
+    gen.add_argument("--n-samples", type=int, default=40_000)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--total-features", type=int, default=60)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    train = sub.add_parser("train", help="train a GBDT+LR pipeline")
+    train.add_argument("--method", default="LightMIRM",
+                       help="trainer name (see `repro list`)")
+    train.add_argument("--data", required=True, help="dataset .npz path")
+    train.add_argument("--out", help="save the fitted model as JSON")
+    train.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
+    evaluate.add_argument("--model", required=True, help="model JSON path")
+    evaluate.add_argument("--data", required=True, help="dataset .npz path")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--n-samples", type=int, default=40_000)
+    experiment.add_argument("--data-seed", type=int, default=7)
+    experiment.add_argument("--trainer-seeds", type=int, nargs="+",
+                            default=[0, 1, 2])
+
+    sub.add_parser("list", help="list trainers and experiments")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        n_samples=args.n_samples,
+        seed=args.seed,
+        total_features=args.total_features,
+    )
+    dataset = LoanDataGenerator(config).generate()
+    dataset.save(args.out)
+    print(f"wrote {dataset} to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = LoanDataset.load(args.data)
+    split = temporal_split(dataset)
+    pipeline = LoanDefaultPipeline(make_trainer(args.method, seed=args.seed))
+    pipeline.fit(split.train)
+    report = pipeline.evaluate(split.test)
+    summary = report.summary()
+    print(
+        f"{args.method}: "
+        + "  ".join(f"{k}={v:.4f}" for k, v in summary.items())
+        + f"  (worst province: {report.worst_ks_environment})"
+    )
+    if args.out:
+        save_pipeline(pipeline, args.out,
+                      metadata={"method": args.method, "seed": args.seed})
+        print(f"saved model to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    scorer = load_pipeline(args.model)
+    dataset = LoanDataset.load(args.data)
+    test = temporal_split(dataset).test
+    scores = scorer.predict_proba(test)
+    labels_by_env = {
+        name: test.labels[test.provinces == name]
+        for name in test.province_names()
+    }
+    scores_by_env = {
+        name: scores[test.provinces == name]
+        for name in test.province_names()
+    }
+    report = evaluate_environments(labels_by_env, scores_by_env)
+    print(f"model: {scorer.trainer_name} (metadata: {scorer.metadata})")
+    for name, env_scores in report.per_environment.items():
+        print(f"  {name:14s} KS={env_scores.ks:.4f} AUC={env_scores.auc:.4f}")
+    summary = report.summary()
+    print("  " + "  ".join(f"{k}={v:.4f}" for k, v in summary.items()))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name, run_name, format_name, input_kind = EXPERIMENTS[args.id]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    run = getattr(module, run_name)
+    formatter = getattr(module, format_name)
+    split = "iid" if args.id == "table6" else "temporal"
+    context = ExperimentContext(
+        ExperimentSettings(
+            n_samples=args.n_samples,
+            data_seed=args.data_seed,
+            trainer_seeds=tuple(args.trainer_seeds),
+            split=split,
+        )
+    )
+    result = run(context.dataset if input_kind == "dataset" else context)
+    print(formatter(result))
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("trainers:")
+    for name in available_trainers():
+        print(f"  {name}")
+    print('  meta-IRM(S)  # sampled variant, e.g. "meta-IRM(5)"')
+    print("experiments:")
+    for key in sorted(EXPERIMENTS):
+        print(f"  {key}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "experiment": _cmd_experiment,
+    "list": _cmd_list,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

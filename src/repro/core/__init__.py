@@ -1,0 +1,22 @@
+"""The paper's contribution: meta-IRM and LightMIRM trainers."""
+
+from repro.core.config import LightMIRMConfig, MetaIRMConfig
+from repro.core.lightmirm import LightMIRMTrainer
+from repro.core.meta_grad import (
+    backprop_through_inner_step,
+    sigma_and_weights,
+    sigma_of,
+)
+from repro.core.meta_irm import MetaIRMTrainer
+from repro.core.mrq import MetaLossReplayQueue
+
+__all__ = [
+    "LightMIRMConfig",
+    "MetaIRMConfig",
+    "LightMIRMTrainer",
+    "MetaIRMTrainer",
+    "MetaLossReplayQueue",
+    "backprop_through_inner_step",
+    "sigma_and_weights",
+    "sigma_of",
+]

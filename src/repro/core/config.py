@@ -1,0 +1,73 @@
+"""Hyper-parameter dataclasses for the meta-IRM family."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.train.base import BaseTrainConfig
+
+__all__ = ["MetaIRMConfig", "LightMIRMConfig"]
+
+
+@dataclass(frozen=True)
+class MetaIRMConfig(BaseTrainConfig):
+    """Algorithm 1 hyper-parameters.
+
+    Attributes:
+        inner_lr: Inner-loop step size α (Eq. 5).
+        lambda_penalty: Weight λ of the σ (std-dev) auxiliary loss (Eq. 6).
+        n_sampled_envs: When set, approximate each meta-loss over a random
+            sample of this many other environments instead of all M-1 —
+            the meta-IRM(S) variants of Table II (S in {5, 10, 20}).
+            ``None`` runs complete meta-IRM.
+        first_order: Drop the Hessian term of the MAML chain rule (ablation;
+            the paper's algorithm is second-order).
+    """
+
+    n_epochs: int = 80
+    learning_rate: float = 0.02
+    inner_lr: float = 0.1
+    lambda_penalty: float = 3.0
+    n_sampled_envs: int | None = None
+    first_order: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inner_lr <= 0:
+            raise ValueError("inner_lr must be positive")
+        if self.lambda_penalty < 0:
+            raise ValueError("lambda_penalty must be non-negative")
+        if self.n_sampled_envs is not None and self.n_sampled_envs < 1:
+            raise ValueError("n_sampled_envs must be >= 1 when set")
+
+
+@dataclass(frozen=True)
+class LightMIRMConfig(BaseTrainConfig):
+    """Algorithm 2 hyper-parameters.
+
+    Attributes:
+        inner_lr: Inner-loop step size α.
+        lambda_penalty: Weight λ of the σ auxiliary loss.
+        queue_length: MRQ length L (paper default 5; Fig 9 sweeps 1..9).
+        gamma: MRQ decay coefficient γ (paper default 0.9; Table IV sweeps).
+        first_order: Drop the Hessian term (ablation).
+    """
+
+    n_epochs: int = 150
+    learning_rate: float = 0.2
+    inner_lr: float = 0.1
+    lambda_penalty: float = 3.0
+    queue_length: int = 5
+    gamma: float = 0.9
+    first_order: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inner_lr <= 0:
+            raise ValueError("inner_lr must be positive")
+        if self.lambda_penalty < 0:
+            raise ValueError("lambda_penalty must be non-negative")
+        if self.queue_length < 1:
+            raise ValueError("queue_length must be >= 1")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")

@@ -1,0 +1,97 @@
+"""The MAML chain rule and σ-penalty gradient shared by Algorithms 1 and 2.
+
+Both meta-IRM and LightMIRM perform the outer update
+
+    θ ← θ − β ∇_θ ( Σ_m R_meta(θ̄_m) + λ σ )           (Eq. 6)
+
+where ``θ̄_m = θ − α ∇R^m(θ)``.  Differentiating a function ``L(θ̄_m)`` of
+the adapted parameters back to ``θ`` gives the MAML chain rule
+
+    dL/dθ = (I − α H_m(θ)) · ∇_{θ̄} L(θ̄_m)
+          = ∇_{θ̄} L(θ̄_m) − α · H_m(θ) · ∇_{θ̄} L(θ̄_m)
+
+which we evaluate with one Hessian-vector product on the inner environment
+(no Hessian is materialised).  The σ penalty contributes through
+
+    ∂σ/∂R_meta(θ̄_m) = (R_meta(θ̄_m) − mean) / (M σ)
+
+so the total outer gradient is a weighted sum of per-environment chain-rule
+gradients with weights ``1 + λ · ∂σ/∂R_m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import EnvironmentData
+from repro.models.logistic import LogisticModel
+
+__all__ = [
+    "backprop_through_inner_step",
+    "sigma_and_weights",
+    "sigma_of",
+]
+
+
+def backprop_through_inner_step(
+    model: LogisticModel,
+    theta: np.ndarray,
+    inner_env: EnvironmentData,
+    outer_gradient_at_adapted: np.ndarray,
+    inner_lr: float,
+    first_order: bool = False,
+) -> np.ndarray:
+    """Apply ``(I − α H_m(θ))`` to an outer-loss gradient.
+
+    Args:
+        model: The LR model providing the HVP.
+        theta: Parameters *before* the inner step (where the Hessian of the
+            inner environment is evaluated).
+        inner_env: Environment ``m`` whose loss defined the inner step.
+        outer_gradient_at_adapted: ``∇_{θ̄} L(θ̄_m)`` — gradient of whatever
+            outer loss, evaluated at the adapted parameters.
+        inner_lr: Inner step size α.
+        first_order: If True, skip the curvature term (FOMAML ablation),
+            returning the outer gradient unchanged.
+
+    Returns:
+        ``dL/dθ`` as a new array.
+    """
+    if first_order:
+        return outer_gradient_at_adapted.copy()
+    hvp = model.hessian_vector_product(
+        theta, inner_env.features, inner_env.labels, outer_gradient_at_adapted
+    )
+    return outer_gradient_at_adapted - inner_lr * hvp
+
+
+def sigma_of(meta_losses: np.ndarray) -> float:
+    """Population standard deviation of the meta-losses (Eq. 7)."""
+    meta_losses = np.asarray(meta_losses, dtype=np.float64)
+    if meta_losses.size == 0:
+        raise ValueError("need at least one meta-loss")
+    return float(np.std(meta_losses))
+
+
+def sigma_and_weights(
+    meta_losses: np.ndarray, lambda_penalty: float
+) -> tuple[float, np.ndarray]:
+    """σ and the per-environment outer-gradient weights ``1 + λ ∂σ/∂R_m``.
+
+    When σ is (numerically) zero the penalty's subgradient is taken as zero,
+    so the weights collapse to all-ones.
+
+    Args:
+        meta_losses: Array of ``R_meta(θ̄_m)`` values, one per environment.
+        lambda_penalty: Penalty strength λ.
+
+    Returns:
+        Tuple ``(sigma, weights)`` with ``weights.shape == meta_losses.shape``.
+    """
+    meta_losses = np.asarray(meta_losses, dtype=np.float64)
+    sigma = sigma_of(meta_losses)
+    n = meta_losses.size
+    if sigma < 1e-12 or lambda_penalty == 0.0:
+        return sigma, np.ones(n)
+    dsigma = (meta_losses - meta_losses.mean()) / (n * sigma)
+    return sigma, 1.0 + lambda_penalty * dsigma

@@ -1,0 +1,97 @@
+"""Meta-loss Replaying Queue (MRQ) — Eq. 8 and 9 of the paper.
+
+LightMIRM keeps one fixed-length queue ``H_m`` per environment.  Each outer
+iteration pushes the freshly computed loss of the sampled environment
+``R^{s_m}(D_{s_m}; θ̄_m)`` into the back of the queue (older entries shift
+forward and the oldest falls off), and the approximate meta-loss is the
+decay-weighted sum
+
+    R_meta(θ̄_m) = Σ_{i=1..L} γ^{L-i} · H_m[i]            (Eq. 9)
+
+with the most recent entry weighted ``γ⁰ = 1``.  Only that newest entry is a
+function of the current parameters; the replayed history is treated as
+constant — which is exactly why LightMIRM's backward pass is O(1) per
+environment ("only the last element in the queue has gradients").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MetaLossReplayQueue"]
+
+
+class MetaLossReplayQueue:
+    """Fixed-length FIFO of recent meta-losses with decayed aggregation.
+
+    Elements are initialised to zero (Algorithm 2, line 1), so during the
+    first ``L - 1`` iterations the replayed portion under-counts — the same
+    warm-up the paper's algorithm has.
+
+    Attributes:
+        length: Queue capacity ``L``.
+        gamma: Decay coefficient ``γ`` in (0, 1]; ``γ = 1`` weights all
+            entries equally (the worst row of Table IV).
+    """
+
+    def __init__(self, length: int, gamma: float):
+        if length < 1:
+            raise ValueError("queue length must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.length = length
+        self.gamma = gamma
+        self._values = np.zeros(length)
+        self._n_pushed = 0
+
+    @property
+    def values(self) -> np.ndarray:
+        """Current queue contents, oldest first (read-only copy)."""
+        return self._values.copy()
+
+    @property
+    def n_pushed(self) -> int:
+        """Total number of pushes so far (for warm-up diagnostics)."""
+        return self._n_pushed
+
+    @property
+    def is_warm(self) -> bool:
+        """True once every slot holds a real (pushed) loss."""
+        return self._n_pushed >= self.length
+
+    def push(self, loss: float) -> None:
+        """Shift the queue forward and place ``loss`` at the back (Eq. 8)."""
+        if not np.isfinite(loss):
+            raise ValueError(f"refusing to store non-finite loss {loss}")
+        self._values[:-1] = self._values[1:]
+        self._values[-1] = loss
+        self._n_pushed += 1
+
+    def decayed_sum(self) -> float:
+        """Approximate meta-loss ``Σ γ^{L-i} H_m[i]`` (Eq. 9)."""
+        weights = self.gamma ** np.arange(self.length - 1, -1, -1, dtype=np.float64)
+        return float(weights @ self._values)
+
+    def replay_component(self) -> float:
+        """Decayed sum of the *historical* entries only (no newest entry).
+
+        Splitting Eq. 9 as ``replay + newest`` mirrors the gradient
+        structure: this part is constant w.r.t. the current parameters.
+        """
+        if self.length == 1:
+            return 0.0
+        weights = self.gamma ** np.arange(self.length - 1, 0, -1, dtype=np.float64)
+        return float(weights @ self._values[:-1])
+
+    def newest(self) -> float:
+        """The newest (gradient-carrying) entry."""
+        return float(self._values[-1])
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return (
+            f"MetaLossReplayQueue(L={self.length}, gamma={self.gamma}, "
+            f"values={np.array2string(self._values, precision=4)})"
+        )

@@ -1,0 +1,202 @@
+"""Dataset containers: loan records plus environment (province) structure."""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.data.schema import CausalRole, LoanFeatureSchema
+
+__all__ = ["LoanDataset", "EnvironmentData", "group_by_environment"]
+
+
+@dataclass(frozen=True)
+class EnvironmentData:
+    """The slice of a dataset belonging to one environment (province)."""
+
+    name: str
+    features: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"environment {self.name!r}: {self.features.shape[0]} feature rows "
+                f"vs {self.labels.shape[0]} labels"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        return self.labels.shape[0]
+
+    @property
+    def default_rate(self) -> float:
+        return float(self.labels.mean()) if self.labels.size else float("nan")
+
+
+class LoanDataset:
+    """Immutable table of loan applications with province/time annotations.
+
+    Rows carry the raw feature matrix, binary default labels, and the three
+    grouping columns the experiments slice on: province, year and half-year.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        provinces: np.ndarray,
+        years: np.ndarray,
+        halves: np.ndarray,
+        schema: LoanFeatureSchema,
+    ):
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        provinces = np.asarray(provinces)
+        years = np.asarray(years, dtype=np.int64)
+        halves = np.asarray(halves, dtype=np.int64)
+        n = features.shape[0]
+        for name, arr in (
+            ("labels", labels),
+            ("provinces", provinces),
+            ("years", years),
+            ("halves", halves),
+        ):
+            if arr.shape[0] != n:
+                raise ValueError(f"{name} has {arr.shape[0]} rows, features has {n}")
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if features.shape[1] != schema.n_features:
+            raise ValueError(
+                f"features have {features.shape[1]} columns, "
+                f"schema expects {schema.n_features}"
+            )
+        if not np.all(np.isin(halves, (1, 2))):
+            raise ValueError("halves must contain only 1 or 2")
+        self.features = features
+        self.labels = labels
+        self.provinces = provinces
+        self.years = years
+        self.halves = halves
+        self.schema = schema
+        for arr in (self.features, self.labels, self.provinces, self.years,
+                    self.halves):
+            arr.setflags(write=False)
+
+    @property
+    def n_samples(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def default_rate(self) -> float:
+        return float(self.labels.mean()) if self.n_samples else float("nan")
+
+    def province_names(self) -> list[str]:
+        """Distinct provinces present, sorted."""
+        return sorted(np.unique(self.provinces).tolist())
+
+    def select(self, mask: np.ndarray) -> "LoanDataset":
+        """Row-subset the dataset with a boolean mask or index array."""
+        return LoanDataset(
+            features=self.features[mask],
+            labels=self.labels[mask],
+            provinces=self.provinces[mask],
+            years=self.years[mask],
+            halves=self.halves[mask],
+            schema=self.schema,
+        )
+
+    def filter_years(self, years: list[int] | tuple[int, ...]) -> "LoanDataset":
+        """Rows whose year is in ``years``."""
+        return self.select(np.isin(self.years, years))
+
+    def filter_province(self, province: str) -> "LoanDataset":
+        """Rows from one province."""
+        return self.select(self.provinces == province)
+
+    def filter_half(self, half: int) -> "LoanDataset":
+        """Rows from one half-year (1 = Jan-Jun, 2 = Jul-Dec)."""
+        return self.select(self.halves == half)
+
+    def environments(self) -> list[EnvironmentData]:
+        """Split into per-province environments, sorted by name."""
+        return [
+            EnvironmentData(name, self.features[self.provinces == name],
+                            self.labels[self.provinces == name])
+            for name in self.province_names()
+        ]
+
+    def labels_by_environment(self) -> dict[str, np.ndarray]:
+        """Mapping province -> label vector (for metric aggregation)."""
+        return {e.name: e.labels for e in self.environments()}
+
+    def province_share_by_year(self) -> dict[int, dict[str, float]]:
+        """Year -> {province -> share of that year's volume} (Fig 10 data)."""
+        shares: dict[int, dict[str, float]] = {}
+        for year in sorted(np.unique(self.years).tolist()):
+            year_mask = self.years == year
+            total = int(year_mask.sum())
+            year_provinces = self.provinces[year_mask]
+            shares[year] = {
+                name: float(np.sum(year_provinces == name)) / total
+                for name in self.province_names()
+            }
+        return shares
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Persist the dataset (and enough schema info to restore it) as NPZ."""
+        n_spurious = len(self.schema.columns_with_role(CausalRole.SPURIOUS))
+        n_noise = len(self.schema.columns_with_role(CausalRole.NOISE))
+        np.savez_compressed(
+            pathlib.Path(path),
+            features=self.features,
+            labels=self.labels,
+            provinces=self.provinces.astype(str),
+            years=self.years,
+            halves=self.halves,
+            schema_spec=np.array([n_spurious, n_noise], dtype=np.int64),
+        )
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "LoanDataset":
+        """Restore a dataset written by :meth:`save`."""
+        with np.load(pathlib.Path(path), allow_pickle=False) as archive:
+            n_spurious, n_noise = archive["schema_spec"].tolist()
+            schema = LoanFeatureSchema(n_spurious=n_spurious, n_noise=n_noise)
+            return cls(
+                features=archive["features"],
+                labels=archive["labels"],
+                provinces=archive["provinces"].astype(object),
+                years=archive["years"],
+                halves=archive["halves"],
+                schema=schema,
+            )
+
+    def __iter__(self) -> Iterator[EnvironmentData]:
+        return iter(self.environments())
+
+    def __repr__(self) -> str:
+        return (
+            f"LoanDataset(n={self.n_samples}, d={self.n_features}, "
+            f"provinces={len(self.province_names())}, "
+            f"default_rate={self.default_rate:.3f})"
+        )
+
+
+def group_by_environment(
+    features: np.ndarray, labels: np.ndarray, groups: np.ndarray
+) -> Mapping[str, EnvironmentData]:
+    """Group arbitrary (features, labels) rows by a group key array."""
+    groups = np.asarray(groups)
+    result: dict[str, EnvironmentData] = {}
+    for name in sorted(np.unique(groups).tolist()):
+        mask = groups == name
+        result[str(name)] = EnvironmentData(str(name), features[mask], labels[mask])
+    return result

@@ -1,0 +1,226 @@
+"""Province registry: the environments of the LightMIRM experiments.
+
+Each province is a subpopulation ("environment" in IRM terms) with its own
+
+* volume weight and a per-year trajectory (Guangdong's share halves in 2020,
+  Fig 10),
+* economic index shifting the base default rate,
+* spurious-signal polarity/strength (the anti-causal correlation that makes
+  ERM unfair, Fig 1),
+* vehicle-type mix tilt (the Fig 4 drift interacts with this), and
+* COVID exposure (Hubei's 2020-H1 concept shift, Fig 11).
+
+The default registry models a recognisable cross-section of the provinces
+named in the paper, from the dominant Guangdong down to underrepresented
+Xinjiang.  Weights are relative, not probabilities; the generator normalises
+them per year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ProvinceProfile",
+    "ProvinceRegistry",
+    "default_registry",
+    "extended_registry",
+]
+
+YEARS = (2016, 2017, 2018, 2019, 2020)
+
+
+@dataclass(frozen=True)
+class ProvinceProfile:
+    """Static description of one province (environment).
+
+    Attributes:
+        name: Province name, unique in the registry.
+        base_weight: Relative sampling weight (volume of applications).
+        weight_by_year: Optional per-year multiplier on ``base_weight``
+            (e.g. Guangdong's collapse in 2020).
+        economic_index: Standardised economic level; shifts the default-rate
+            intercept (lower economy -> slightly higher base default rate).
+        spurious_polarity: Sign/strength multiplier of the spurious signal in
+            this province.  Populous provinces carry a strong positive
+            polarity a pooled ERM fit exploits; in the underrepresented
+            provinces the polarity fades to ~0 (mildly negative in Xinjiang),
+            so the pooled model's spurious reliance is pure noise — or
+            misleading — exactly where data is scarce.
+        truck_tilt: Additive tilt toward trailer-truck purchases (trade hubs).
+        used_car_tilt: Additive tilt toward used cars (less developed areas).
+        covid_exposure: Strength of the 2020-H1 concept shift (Hubei ~ 1).
+        noise_scale: Multiplier on the irreducible label noise.  Data quality
+            degrades in the underrepresented provinces (sparser bureau
+            coverage, informal incomes), so their Bayes error is higher —
+            the reason even a perfectly fair model scores a lower KS there,
+            and the trap worst-group-loss methods (GroupDRO) fall into:
+            they spend capacity on risk no model can explain.
+    """
+
+    name: str
+    base_weight: float
+    economic_index: float
+    spurious_polarity: float
+    truck_tilt: float = 0.0
+    used_car_tilt: float = 0.0
+    covid_exposure: float = 0.0
+    noise_scale: float = 1.0
+    weight_by_year: dict[int, float] = field(default_factory=dict)
+
+    def weight_for_year(self, year: int) -> float:
+        """Sampling weight of this province in a given year."""
+        return self.base_weight * self.weight_by_year.get(year, 1.0)
+
+
+class ProvinceRegistry:
+    """Ordered, name-indexed collection of province profiles."""
+
+    def __init__(self, profiles: list[ProvinceProfile]):
+        if not profiles:
+            raise ValueError("registry needs at least one province")
+        names = [p.name for p in profiles]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate province names in registry")
+        self._profiles = tuple(profiles)
+        self._by_name = {p.name: p for p in profiles}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self):
+        return iter(self._profiles)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self._profiles)
+
+    def get(self, name: str) -> ProvinceProfile:
+        """Look up a province by name; raises ``KeyError`` if unknown."""
+        return self._by_name[name]
+
+    def weights_for_year(self, year: int) -> list[float]:
+        """Relative sampling weights of all provinces in a year."""
+        return [p.weight_for_year(year) for p in self._profiles]
+
+    def subset(self, names: list[str]) -> "ProvinceRegistry":
+        """Registry restricted to the given provinces, preserving order."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise KeyError(f"unknown provinces: {missing}")
+        keep = set(names)
+        return ProvinceRegistry([p for p in self._profiles if p.name in keep])
+
+
+def default_registry() -> ProvinceRegistry:
+    """The standard 12-province environment set used by all experiments.
+
+    Sizes span two orders of magnitude so the minimax-fairness phenomenon of
+    Fig 1 appears: Guangdong dominates, Xinjiang/Qinghai are underrepresented.
+    Spurious polarity decays from 1.0 in the populous coastal provinces to
+    near-zero (mildly negative in Xinjiang) in the small western ones: a
+    pooled ERM fit leans on the strong majority signal, which is mostly
+    noise — or misleading — exactly in the underrepresented provinces.
+    """
+    guangdong_trajectory = {2016: 1.0, 2017: 1.05, 2018: 1.1, 2019: 1.05, 2020: 0.5}
+    return ProvinceRegistry(
+        [
+            ProvinceProfile(
+                "Guangdong", base_weight=24.0, economic_index=1.2,
+                spurious_polarity=1.0, truck_tilt=0.10,
+                weight_by_year=guangdong_trajectory,
+            ),
+            ProvinceProfile(
+                "Jiangsu", base_weight=15.0, economic_index=1.0,
+                spurious_polarity=1.0, truck_tilt=0.06,
+            ),
+            ProvinceProfile(
+                "Shandong", base_weight=13.0, economic_index=0.6,
+                spurious_polarity=0.9, truck_tilt=0.08,
+            ),
+            ProvinceProfile(
+                "Henan", base_weight=11.0, economic_index=0.1,
+                spurious_polarity=0.9, used_car_tilt=0.05,
+            ),
+            ProvinceProfile(
+                "Sichuan", base_weight=9.0, economic_index=0.0,
+                spurious_polarity=0.8, used_car_tilt=0.04,
+            ),
+            ProvinceProfile(
+                "Hubei", base_weight=8.0, economic_index=0.2,
+                spurious_polarity=0.8, covid_exposure=1.0,
+            ),
+            ProvinceProfile(
+                "Anhui", base_weight=7.0, economic_index=-0.1,
+                spurious_polarity=0.7, used_car_tilt=0.03,
+            ),
+            ProvinceProfile(
+                "Heilongjiang", base_weight=4.0, economic_index=-0.4,
+                spurious_polarity=0.5, used_car_tilt=0.06, noise_scale=1.3,
+            ),
+            ProvinceProfile(
+                "Yunnan", base_weight=3.0, economic_index=-0.6,
+                spurious_polarity=0.35, used_car_tilt=0.08, noise_scale=1.5,
+            ),
+            ProvinceProfile(
+                "Gansu", base_weight=2.4, economic_index=-0.8,
+                spurious_polarity=0.1, used_car_tilt=0.10, noise_scale=1.6,
+            ),
+            ProvinceProfile(
+                "Qinghai", base_weight=1.8, economic_index=-0.9,
+                spurious_polarity=0.0, used_car_tilt=0.11, noise_scale=1.7,
+            ),
+            ProvinceProfile(
+                "Xinjiang", base_weight=1.6, economic_index=-1.0,
+                spurious_polarity=-0.1, truck_tilt=0.04, used_car_tilt=0.09,
+                noise_scale=1.7,
+            ),
+        ]
+    )
+
+
+#: Additional provinces for the extended (paper-scale environment count)
+#: registry: (name, base_weight, economic_index, spurious_polarity,
+#: truck_tilt, used_car_tilt, noise_scale).
+_EXTENDED_PROFILES: tuple[tuple[str, float, float, float, float, float, float], ...] = (
+    ("Zhejiang", 14.0, 1.1, 1.0, 0.07, 0.00, 1.0),
+    ("Hebei", 10.0, 0.3, 0.9, 0.05, 0.03, 1.0),
+    ("Hunan", 9.0, 0.2, 0.85, 0.03, 0.04, 1.0),
+    ("Fujian", 8.0, 0.7, 0.9, 0.05, 0.01, 1.0),
+    ("Shaanxi", 6.0, 0.0, 0.75, 0.02, 0.04, 1.1),
+    ("Liaoning", 6.0, -0.1, 0.7, 0.04, 0.05, 1.1),
+    ("Jiangxi", 5.0, -0.2, 0.7, 0.02, 0.05, 1.1),
+    ("Guangxi", 5.0, -0.3, 0.6, 0.03, 0.06, 1.2),
+    ("Chongqing", 5.0, 0.3, 0.8, 0.03, 0.03, 1.0),
+    ("Shanxi", 4.0, -0.3, 0.6, 0.06, 0.05, 1.2),
+    ("Jilin", 3.0, -0.4, 0.5, 0.03, 0.06, 1.3),
+    ("Guizhou", 2.5, -0.7, 0.3, 0.02, 0.09, 1.5),
+    ("Neimenggu", 2.0, -0.5, 0.25, 0.07, 0.06, 1.5),
+    ("Ningxia", 1.5, -0.8, 0.1, 0.03, 0.10, 1.7),
+)
+
+
+def extended_registry() -> ProvinceRegistry:
+    """A 26-province registry matching the paper's environment count.
+
+    Table II samples S in {5, 10, 20} provinces out of the full set, which
+    only makes sense when M is well above 20 — the platform operates in
+    most Chinese provinces.  This registry extends :func:`default_registry`
+    with 14 more provinces on the same economic/polarity/noise gradients.
+    """
+    extra = [
+        ProvinceProfile(
+            name,
+            base_weight=weight,
+            economic_index=econ,
+            spurious_polarity=polarity,
+            truck_tilt=truck,
+            used_car_tilt=used,
+            noise_scale=noise,
+        )
+        for name, weight, econ, polarity, truck, used, noise in _EXTENDED_PROFILES
+    ]
+    return ProvinceRegistry(list(default_registry()) + extra)

@@ -1,0 +1,118 @@
+"""Temporal drift processes: vehicle-mix drift, spurious decay, COVID shock.
+
+Section IV-B of the paper documents three kinds of drift in the platform data
+that our generator must reproduce:
+
+* **Vehicle-mix drift (Fig 4):** the distribution of purchased vehicle types
+  changes year over year (trailer trucks grow with trade, used cars shrink
+  as the platform moves upmarket).
+* **Covariate shift (Fig 10):** province volume shares change over time —
+  handled by :class:`~repro.data.provinces.ProvinceProfile.weight_by_year`.
+* **Concept shift (Fig 11 and Section IV-B):** P(y|x) itself changes in 2020.
+  COVID raises base default rates where exposure is high (Hubei H1), and the
+  spurious regional correlations weaken because the underlying business
+  patterns break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.provinces import ProvinceProfile
+from repro.data.schema import VEHICLE_TYPES
+
+__all__ = [
+    "vehicle_mix",
+    "covid_default_shift",
+    "spurious_strength",
+    "BASE_VEHICLE_MIX",
+]
+
+#: Platform-wide vehicle mix in the first observed year (2016), in
+#: VEHICLE_TYPES order: new_sedan, new_suv, new_mpv, used_car, trailer_truck.
+BASE_VEHICLE_MIX = np.array([0.38, 0.17, 0.08, 0.27, 0.10])
+
+#: Per-year drift added to the base mix; the platform shifts from used cars
+#: toward SUVs and trucks (Fig 4 shows mixes differ clearly by year).
+_MIX_DRIFT_PER_YEAR = np.array([-0.015, 0.018, 0.004, -0.022, 0.015])
+
+FIRST_YEAR = 2016
+
+
+def vehicle_mix(profile: ProvinceProfile, year: int) -> np.ndarray:
+    """Vehicle-type probabilities for one province in one year.
+
+    Combines the platform-wide yearly drift with the province's structural
+    tilts (trade hubs buy more trucks; less developed areas more used cars).
+
+    Args:
+        profile: Province profile supplying the tilts.
+        year: Calendar year (>= 2016).
+
+    Returns:
+        Probability vector over :data:`~repro.data.schema.VEHICLE_TYPES`.
+    """
+    years_elapsed = max(0, year - FIRST_YEAR)
+    mix = BASE_VEHICLE_MIX + years_elapsed * _MIX_DRIFT_PER_YEAR
+    # Province tilts move mass into trucks / used cars from new sedans.
+    mix = mix.copy()
+    mix[VEHICLE_TYPES.index("trailer_truck")] += profile.truck_tilt
+    mix[VEHICLE_TYPES.index("used_car")] += profile.used_car_tilt
+    mix[VEHICLE_TYPES.index("new_sedan")] -= profile.truck_tilt + profile.used_car_tilt
+    mix = np.clip(mix, 0.01, None)
+    return mix / mix.sum()
+
+
+def covid_default_shift(profile: ProvinceProfile, year: int, half: int) -> float:
+    """Additive logit shift on the default rate from the COVID shock.
+
+    The shock hits in the first half of 2020 proportionally to the province's
+    exposure and rolls back in the second half (the paper: Hubei "got hit by
+    the epidemic [in H1] and started to get on track in the second half").
+
+    Args:
+        profile: Province profile (supplies ``covid_exposure``).
+        year: Calendar year.
+        half: 1 for January-June, 2 for July-December.
+
+    Returns:
+        Logit-scale shift (0 outside 2020 or for unexposed provinces).
+    """
+    if year != 2020 or profile.covid_exposure == 0.0:
+        return 0.0
+    if half == 1:
+        return 1.2 * profile.covid_exposure
+    return 0.15 * profile.covid_exposure
+
+
+def spurious_strength(profile: ProvinceProfile, year: int, half: int,
+                      base_strength: float) -> float:
+    """Effective strength of the spurious (anti-causal) signal.
+
+    In the training years the spurious correlation is strong; in 2020 the
+    business patterns that produced it weaken (concept shift), and in
+    COVID-hit provinces it breaks almost entirely during H1.  A model that
+    leaned on the signal (ERM) therefore degrades on the 2020 test year.
+
+    Args:
+        profile: Province profile (polarity and COVID exposure).
+        year: Calendar year.
+        half: Half-year, 1 or 2.
+        base_strength: Platform-wide signal strength in training years.
+
+    Returns:
+        Signed effective strength for this (province, year, half).
+    """
+    strength = base_strength * profile.spurious_polarity
+    if year >= 2020:
+        strength *= 0.7
+        # Business-shift break: where the platform's operations contracted
+        # (the paper: Guangdong's volume halves "because of the shift in
+        # focus of Chery FS's operations"), the regional business patterns
+        # behind the spurious signal break along with the volume.
+        trajectory = profile.weight_by_year.get(2020, 1.0)
+        if trajectory < 1.0:
+            strength *= trajectory
+        if half == 1 and profile.covid_exposure > 0.0:
+            strength *= 1.0 - 0.9 * min(profile.covid_exposure, 1.0)
+    return strength

@@ -1,0 +1,78 @@
+"""Train/test splits used in the paper's evaluation.
+
+Two protocols appear in Section IV:
+
+* **Temporal split** (main protocol): train on 2016-2019, test on 2020.
+  This is where covariate and concept shift bite (Section IV-B).
+* **i.i.d. split** (Table VI): random split ignoring time, which isolates
+  fairness across provinces from temporal drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import LoanDataset
+
+__all__ = ["TrainTestSplit", "temporal_split", "iid_split", "validation_split"]
+
+TRAIN_YEARS = (2016, 2017, 2018, 2019)
+TEST_YEAR = 2020
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """A train/test pair of datasets."""
+
+    train: LoanDataset
+    test: LoanDataset
+
+    def __post_init__(self) -> None:
+        if self.train.n_samples == 0 or self.test.n_samples == 0:
+            raise ValueError("both split halves must be non-empty")
+
+
+def temporal_split(dataset: LoanDataset) -> TrainTestSplit:
+    """The paper's main protocol: 2016-2019 train, 2020 test."""
+    return TrainTestSplit(
+        train=dataset.filter_years(TRAIN_YEARS),
+        test=dataset.filter_years((TEST_YEAR,)),
+    )
+
+
+def iid_split(
+    dataset: LoanDataset, test_fraction: float = 0.25, seed: int = 0
+) -> TrainTestSplit:
+    """Random split ignoring time (Table VI's i.i.d. setting).
+
+    Args:
+        dataset: Full dataset.
+        test_fraction: Fraction of rows held out for testing.
+        seed: RNG seed for the permutation.
+
+    Returns:
+        A :class:`TrainTestSplit` with disjoint random halves.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.n_samples)
+    n_test = max(1, int(round(dataset.n_samples * test_fraction)))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return TrainTestSplit(
+        train=dataset.select(train_idx), test=dataset.select(test_idx)
+    )
+
+
+def validation_split(
+    dataset: LoanDataset, validation_fraction: float = 0.2, seed: int = 0
+) -> TrainTestSplit:
+    """Random split of a training set into fit/validation parts.
+
+    Stratifies nothing beyond the row permutation; used for GBDT early
+    stopping, which only needs an unbiased holdout.
+    """
+    return iid_split(dataset, test_fraction=validation_fraction, seed=seed)

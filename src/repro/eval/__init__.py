@@ -1,0 +1,24 @@
+"""Evaluation: tracking callbacks, online replay, report rendering."""
+
+from repro.eval.online import OnlineReplayResult, replay_online_test
+from repro.eval.policy import (
+    OperatingPoint,
+    threshold_for_bad_debt,
+    threshold_for_fpr_cap,
+    threshold_for_refusal_budget,
+)
+from repro.eval.reports import format_series, format_table, highlight_best
+from repro.eval.tracking import KSTrackingCallback
+
+__all__ = [
+    "OnlineReplayResult",
+    "replay_online_test",
+    "OperatingPoint",
+    "threshold_for_bad_debt",
+    "threshold_for_fpr_cap",
+    "threshold_for_refusal_budget",
+    "format_series",
+    "format_table",
+    "highlight_best",
+    "KSTrackingCallback",
+]

@@ -1,0 +1,131 @@
+"""Operating-threshold policies for the companion model.
+
+Fig 5's discussion ends with "the domain experts could use their operation
+knowledge to find a trade-off between the two indicators".  This module
+turns that into code: given a scored validation stream, pick the decision
+threshold that meets a business constraint — a target residual bad-debt
+rate, a refusal budget, or a cap on good customers refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.calibration import threshold_sweep
+
+__all__ = [
+    "OperatingPoint",
+    "threshold_for_bad_debt",
+    "threshold_for_refusal_budget",
+    "threshold_for_fpr_cap",
+]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A chosen threshold and the rates realised at it."""
+
+    threshold: float
+    bad_debt_rate: float
+    refusal_rate: float
+    false_positive_rate: float
+
+    def describe(self) -> str:
+        return (
+            f"threshold {self.threshold:.3f}: bad debt "
+            f"{self.bad_debt_rate:.2%}, refusing {self.refusal_rate:.1%} "
+            f"of applications ({self.false_positive_rate:.1%} of good "
+            f"customers)"
+        )
+
+
+def _sweep(labels: np.ndarray, scores: np.ndarray,
+           n_grid: int) -> dict[str, np.ndarray]:
+    thresholds = np.linspace(0.0, 1.0, n_grid)
+    return threshold_sweep(labels, scores, thresholds)
+
+
+def _point(curves: dict[str, np.ndarray], index: int) -> OperatingPoint:
+    return OperatingPoint(
+        threshold=float(curves["thresholds"][index]),
+        bad_debt_rate=float(curves["bad_debt_rate"][index]),
+        refusal_rate=float(curves["refusal_rate"][index]),
+        false_positive_rate=float(curves["false_positive_rate"][index]),
+    )
+
+
+def threshold_for_bad_debt(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    target_bad_debt_rate: float,
+    n_grid: int = 501,
+) -> OperatingPoint:
+    """Loosest threshold whose residual bad-debt rate meets the target.
+
+    "Loosest" = the highest threshold (fewest refusals) still satisfying
+    the constraint; bad debt is monotone non-decreasing in the threshold,
+    so this is the business-optimal feasible point.
+
+    Raises:
+        ValueError: If no threshold on the grid meets the target.
+    """
+    if not 0.0 <= target_bad_debt_rate <= 1.0:
+        raise ValueError("target_bad_debt_rate must be in [0, 1]")
+    curves = _sweep(labels, scores, n_grid)
+    feasible = np.flatnonzero(
+        curves["bad_debt_rate"] <= target_bad_debt_rate
+    )
+    if feasible.size == 0:
+        raise ValueError(
+            f"no threshold achieves bad-debt rate <= {target_bad_debt_rate:.2%}"
+        )
+    return _point(curves, int(feasible[-1]))
+
+
+def threshold_for_refusal_budget(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    max_refusal_rate: float,
+    n_grid: int = 501,
+) -> OperatingPoint:
+    """Tightest threshold that refuses at most the budgeted share.
+
+    Refusal rate is monotone non-increasing in the threshold; the tightest
+    feasible threshold (lowest) minimises bad debt within the budget.
+    """
+    if not 0.0 <= max_refusal_rate <= 1.0:
+        raise ValueError("max_refusal_rate must be in [0, 1]")
+    curves = _sweep(labels, scores, n_grid)
+    feasible = np.flatnonzero(curves["refusal_rate"] <= max_refusal_rate)
+    if feasible.size == 0:
+        raise ValueError(
+            f"no threshold refuses <= {max_refusal_rate:.1%} of applications"
+        )
+    return _point(curves, int(feasible[0]))
+
+
+def threshold_for_fpr_cap(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    max_false_positive_rate: float,
+    n_grid: int = 501,
+) -> OperatingPoint:
+    """Tightest threshold refusing at most the capped share of good customers.
+
+    This is the customer-experience constraint: among non-defaulting
+    applicants, at most ``max_false_positive_rate`` may be refused.
+    """
+    if not 0.0 <= max_false_positive_rate <= 1.0:
+        raise ValueError("max_false_positive_rate must be in [0, 1]")
+    curves = _sweep(labels, scores, n_grid)
+    fpr = curves["false_positive_rate"]
+    feasible = np.flatnonzero(
+        np.nan_to_num(fpr, nan=1.0) <= max_false_positive_rate
+    )
+    if feasible.size == 0:
+        raise ValueError(
+            f"no threshold keeps FPR <= {max_false_positive_rate:.1%}"
+        )
+    return _point(curves, int(feasible[0]))

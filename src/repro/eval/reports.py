@@ -1,0 +1,85 @@
+"""Plain-text table and curve rendering for the experiment harness.
+
+Every benchmark prints the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "highlight_best"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render rows of dicts as an aligned text table.
+
+    Args:
+        rows: One mapping per table row.
+        columns: Column order; missing cells render as ``-``.
+        title: Optional heading line.
+        float_format: Format applied to float cells.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        if cell is None:
+            return "-"
+        return str(cell)
+
+    rendered = [[render(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render one figure series as ``x -> y`` lines (a text 'plot')."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: {float_format.format(float(y))}")
+    return "\n".join(lines)
+
+
+def highlight_best(
+    rows: Sequence[Mapping[str, object]],
+    metric: str,
+    maximize: bool = True,
+) -> str:
+    """Name of the row (by its 'method' key) with the best metric value."""
+    if not rows:
+        raise ValueError("no rows")
+    scored = [r for r in rows if isinstance(r.get(metric), (int, float))]
+    if not scored:
+        raise ValueError(f"no row has a numeric {metric!r}")
+    best = max(scored, key=lambda r: r[metric]) if maximize else min(
+        scored, key=lambda r: r[metric]
+    )
+    return str(best.get("method", "<unnamed>"))

@@ -1,0 +1,70 @@
+"""Per-epoch test-metric tracking (the training curves of Figs 6 and 8)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import EnvironmentData
+from repro.metrics.fairness import evaluate_environments, scorable_environments
+from repro.models.logistic import LogisticModel
+
+__all__ = ["KSTrackingCallback"]
+
+
+class KSTrackingCallback:
+    """Epoch callback computing the test KS of the current parameters.
+
+    Instances are passed as the ``callback`` argument of
+    :meth:`repro.train.base.Trainer.fit`; each epoch's metric lands in
+    ``history.tracked`` and in :attr:`curve`.
+
+    Args:
+        model: The LR model being trained (provides ``predict_proba``).
+        test_environments: Encoded test environments to score.
+        statistic: "mean" for mKS (Fig 6/8 plots the test KS evolution) or
+            "worst" for wKS.
+        every: Compute only every N epochs to bound tracking overhead.
+    """
+
+    def __init__(
+        self,
+        model: LogisticModel,
+        test_environments: Sequence[EnvironmentData],
+        statistic: str = "mean",
+        every: int = 1,
+    ):
+        if statistic not in ("mean", "worst"):
+            raise ValueError("statistic must be 'mean' or 'worst'")
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.model = model
+        self.statistic = statistic
+        self.every = every
+        labels = {env.name: env.labels for env in test_environments}
+        usable = set(scorable_environments(labels))
+        self.environments = [e for e in test_environments if e.name in usable]
+        if not self.environments:
+            raise ValueError("no test environment has both classes present")
+        #: (epoch, ks) pairs accumulated during training.
+        self.curve: list[tuple[int, float]] = []
+
+    def __call__(self, epoch: int, theta: np.ndarray) -> float | None:
+        if epoch % self.every:
+            return None
+        labels_by_env = {}
+        scores_by_env = {}
+        for env in self.environments:
+            labels_by_env[env.name] = env.labels
+            scores_by_env[env.name] = self.model.predict_proba(theta, env.features)
+        report = evaluate_environments(labels_by_env, scores_by_env)
+        value = report.mean_ks if self.statistic == "mean" else report.worst_ks
+        self.curve.append((epoch, value))
+        return value
+
+    def best(self) -> tuple[int, float]:
+        """(epoch, ks) of the best tracked epoch."""
+        if not self.curve:
+            raise RuntimeError("no epochs tracked yet")
+        return max(self.curve, key=lambda pair: pair[1])

@@ -1,0 +1,45 @@
+"""Figure 10 — the ratio of Guangdong transactions to the total, 2016-2020.
+
+The paper uses Guangdong's volume collapse in 2020 (its share halves) as the
+covariate-shift case study; Table V then treats Guangdong-2020 as OOD data.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import LoanDataset
+from repro.eval.reports import format_series
+
+__all__ = ["run_fig10", "format_fig10", "share_drop_ratio"]
+
+
+def run_fig10(
+    dataset: LoanDataset, province: str = "Guangdong"
+) -> dict[int, float]:
+    """Per-year share of the given province in total volume."""
+    shares = dataset.province_share_by_year()
+    out = {}
+    for year in sorted(shares):
+        if province not in shares[year]:
+            raise KeyError(f"{province!r} absent in year {year}")
+        out[year] = shares[year][province]
+    return out
+
+
+def share_drop_ratio(shares: dict[int, float]) -> float:
+    """2020 share relative to the 2016-2019 mean (paper: about one half)."""
+    pre = [v for y, v in shares.items() if y < 2020]
+    if not pre or 2020 not in shares:
+        raise ValueError("need 2016-2019 and 2020 shares")
+    return shares[2020] / (sum(pre) / len(pre))
+
+
+def format_fig10(shares: dict[int, float]) -> str:
+    """Render the share series plus the drop ratio."""
+    series = format_series(
+        "Fig 10: Guangdong share of transactions",
+        xs=sorted(shares),
+        ys=[shares[y] for y in sorted(shares)],
+        x_label="year",
+        y_label="share",
+    )
+    return f"{series}\n\n2020 / (2016-19 mean) = {share_drop_ratio(shares):.2f}"

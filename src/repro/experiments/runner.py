@@ -1,0 +1,187 @@
+"""Shared infrastructure for the per-table/figure experiment modules.
+
+Every experiment needs the same scaffolding: generate the synthetic platform
+data, make the temporal (or i.i.d.) split, fit the shared GBDT feature
+extractor once, and train/evaluate LR heads against the encoded
+environments.  :class:`ExperimentContext` caches those stages so a benchmark
+that regenerates several paper artefacts does the expensive work once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.finetune import FineTunedTrainResult
+from repro.data.dataset import EnvironmentData, LoanDataset
+from repro.data.generator import GeneratorConfig, LoanDataGenerator
+from repro.data.splits import TrainTestSplit, iid_split, temporal_split
+from repro.metrics.fairness import FairnessReport, evaluate_environments
+from repro.pipeline.extractor import GBDTFeatureExtractor
+from repro.timing import StepTimer
+from repro.train.base import EpochCallback, Trainer, TrainResult
+
+__all__ = ["ExperimentSettings", "ExperimentContext", "MethodScores"]
+
+#: A factory mapping a trainer seed to a fresh Trainer instance.
+TrainerFactory = Callable[[int], Trainer]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all experiments.
+
+    Attributes:
+        n_samples: Synthetic platform size.  The 40k default keeps the whole
+            benchmark suite in minutes while preserving every qualitative
+            shape; raise toward ``GeneratorConfig.paper_scale()`` to match
+            the paper's data volume.
+        data_seed: Seed of the synthetic platform.
+        trainer_seeds: Training is repeated for each seed and metrics are
+            averaged, absorbing sampling noise in the stochastic trainers.
+        split: "temporal" (paper's main protocol) or "iid" (Table VI).
+        generator_overrides: Extra :class:`GeneratorConfig` fields, e.g.
+            ``{"registry": extended_registry()}`` for Table II/III.
+    """
+
+    n_samples: int = 40_000
+    data_seed: int = 7
+    trainer_seeds: tuple[int, ...] = (0, 1, 2)
+    split: str = "temporal"
+    generator_overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.split not in ("temporal", "iid"):
+            raise ValueError("split must be 'temporal' or 'iid'")
+        if not self.trainer_seeds:
+            raise ValueError("need at least one trainer seed")
+
+
+@dataclass(frozen=True)
+class MethodScores:
+    """Seed-averaged evaluation of one method."""
+
+    method: str
+    mean_ks: float
+    worst_ks: float
+    mean_auc: float
+    worst_auc: float
+    worst_environment: str
+
+    def as_row(self) -> dict[str, object]:
+        """Row dict in the papers' column naming."""
+        return {
+            "method": self.method,
+            "mKS": self.mean_ks,
+            "wKS": self.worst_ks,
+            "mAUC": self.mean_auc,
+            "wAUC": self.worst_auc,
+        }
+
+
+class ExperimentContext:
+    """Caches data generation, splitting and GBDT encoding for experiments."""
+
+    def __init__(self, settings: ExperimentSettings | None = None):
+        self.settings = settings or ExperimentSettings()
+
+    @cached_property
+    def generator_config(self) -> GeneratorConfig:
+        return replace(
+            GeneratorConfig(
+                n_samples=self.settings.n_samples, seed=self.settings.data_seed
+            ),
+            **self.settings.generator_overrides,
+        )
+
+    @cached_property
+    def dataset(self) -> LoanDataset:
+        return LoanDataGenerator(self.generator_config).generate()
+
+    @cached_property
+    def split(self) -> TrainTestSplit:
+        if self.settings.split == "temporal":
+            return temporal_split(self.dataset)
+        return iid_split(self.dataset, seed=self.settings.data_seed)
+
+    @cached_property
+    def extractor(self) -> GBDTFeatureExtractor:
+        return GBDTFeatureExtractor().fit(self.split.train)
+
+    @cached_property
+    def train_environments(self) -> list[EnvironmentData]:
+        return self.extractor.encode_environments(self.split.train)
+
+    @cached_property
+    def test_environments(self) -> list[EnvironmentData]:
+        return self.extractor.encode_environments(self.split.test)
+
+    # ------------------------------------------------------------- training
+
+    def fit_trainer(
+        self,
+        trainer: Trainer,
+        callback: EpochCallback | None = None,
+        timer: StepTimer | None = None,
+    ) -> TrainResult:
+        """Train one LR head on the encoded training environments."""
+        return trainer.fit(self.train_environments, callback=callback,
+                           timer=timer)
+
+    def evaluate_result(
+        self,
+        result: TrainResult,
+        test_environments: Sequence[EnvironmentData] | None = None,
+    ) -> FairnessReport:
+        """Per-province report of a trained head on the test environments."""
+        environments = list(test_environments or self.test_environments)
+        labels = {e.name: e.labels for e in environments}
+        if isinstance(result, FineTunedTrainResult):
+            scores = {
+                e.name: result.predict_proba_env(e.name, e.features)
+                for e in environments
+            }
+        else:
+            scores = {
+                e.name: result.model.predict_proba(result.theta, e.features)
+                for e in environments
+            }
+        return evaluate_environments(labels, scores)
+
+    def score_method(
+        self, method: str, factory: TrainerFactory
+    ) -> MethodScores:
+        """Train over all trainer seeds and average the four headline metrics."""
+        reports = [
+            self.evaluate_result(self.fit_trainer(factory(seed)))
+            for seed in self.settings.trainer_seeds
+        ]
+        worst_envs = [r.worst_ks_environment for r in reports]
+        modal_worst = max(set(worst_envs), key=worst_envs.count)
+        return MethodScores(
+            method=method,
+            mean_ks=float(np.mean([r.mean_ks for r in reports])),
+            worst_ks=float(np.mean([r.worst_ks for r in reports])),
+            mean_auc=float(np.mean([r.mean_auc for r in reports])),
+            worst_auc=float(np.mean([r.worst_auc for r in reports])),
+            worst_environment=modal_worst,
+        )
+
+    def scores_by_environment(self, result: TrainResult,
+                              dataset: LoanDataset) -> dict[str, np.ndarray]:
+        """Model scores grouped by province for an arbitrary dataset slice."""
+        encoded = self.extractor.transform(dataset)
+        if isinstance(result, FineTunedTrainResult):
+            out = {}
+            for name in dataset.province_names():
+                rows = encoded[np.flatnonzero(dataset.provinces == name)]
+                out[name] = result.predict_proba_env(name, rows)
+            return out
+        scores = result.predict_proba(encoded)
+        return {
+            name: scores[dataset.provinces == name]
+            for name in dataset.province_names()
+        }

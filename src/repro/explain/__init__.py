@@ -1,0 +1,15 @@
+"""Explainability: raw-feature attribution of the GBDT+LR head."""
+
+from repro.explain.attribution import (
+    attribution_by_role,
+    head_feature_attribution,
+    leaf_path_features,
+    spurious_reliance,
+)
+
+__all__ = [
+    "attribution_by_role",
+    "head_feature_attribution",
+    "leaf_path_features",
+    "spurious_reliance",
+]

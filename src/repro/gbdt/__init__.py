@@ -1,0 +1,19 @@
+"""From-scratch histogram GBDT (LightGBM substitute) and leaf encoder."""
+
+from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.boosting import GBDTClassifier, GBDTParams
+from repro.gbdt.histogram import NodeHistogram, build_histogram
+from repro.gbdt.leaf_encoder import LeafIndexEncoder
+from repro.gbdt.tree import DecisionTree, SplitInfo, TreeParams
+
+__all__ = [
+    "QuantileBinner",
+    "GBDTClassifier",
+    "GBDTParams",
+    "NodeHistogram",
+    "build_histogram",
+    "LeafIndexEncoder",
+    "DecisionTree",
+    "SplitInfo",
+    "TreeParams",
+]

@@ -1,0 +1,77 @@
+"""Leaf-index one-hot encoding: the GBDT half of "GBDT+LR".
+
+Following He et al. (2014) and Section III-C of the paper, each fitted tree
+is treated as a non-linear transformation producing one categorical cross-
+feature per instance — the index of the leaf the instance falls into.  The
+categorical values are one-hot encoded per tree and concatenated into one
+sparse multi-hot vector (exactly one active indicator per tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.gbdt.boosting import GBDTClassifier
+
+__all__ = ["LeafIndexEncoder"]
+
+
+class LeafIndexEncoder:
+    """One-hot encoder over the leaf indices of a fitted GBDT.
+
+    The encoder's output dimension is ``sum_t n_leaves(tree_t)``; column
+    blocks follow tree order.  Rows are CSR-sparse with exactly one non-zero
+    per tree, which the LR head exploits for fast products.
+    """
+
+    def __init__(self, model: GBDTClassifier):
+        if not model.is_fitted:
+            raise ValueError("encoder requires a fitted GBDTClassifier")
+        self.model = model
+        leaves = model.leaves_per_tree()
+        self._offsets = np.concatenate(([0], np.cumsum(leaves)))
+        self.n_output_features: int = int(self._offsets[-1])
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.model.trees_)
+
+    def transform(self, features: np.ndarray) -> sparse.csr_matrix:
+        """Encode raw features into the sparse multi-hot design matrix.
+
+        Args:
+            features: Raw ``(n, d)`` matrix in the GBDT's input space.
+
+        Returns:
+            CSR matrix of shape ``(n, n_output_features)`` with exactly
+            ``n_trees`` ones per row.
+        """
+        leaf_matrix = self.model.predict_leaves(features)
+        return self.encode_leaves(leaf_matrix)
+
+    def encode_leaves(self, leaf_matrix: np.ndarray) -> sparse.csr_matrix:
+        """Encode a precomputed ``(n, n_trees)`` leaf-index matrix."""
+        leaf_matrix = np.asarray(leaf_matrix, dtype=np.int64)
+        if leaf_matrix.ndim != 2 or leaf_matrix.shape[1] != self.n_trees:
+            raise ValueError(
+                f"expected (n, {self.n_trees}) leaf matrix, got {leaf_matrix.shape}"
+            )
+        per_tree_leaves = np.diff(self._offsets)
+        if np.any(leaf_matrix < 0) or np.any(leaf_matrix >= per_tree_leaves[None, :]):
+            raise ValueError("leaf index out of range for its tree")
+        n = leaf_matrix.shape[0]
+        # Column index of each active indicator: tree offset + leaf index.
+        cols = (leaf_matrix + self._offsets[:-1][None, :]).ravel()
+        rows = np.repeat(np.arange(n), self.n_trees)
+        data = np.ones(cols.size)
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(n, self.n_output_features)
+        )
+
+    def column_origin(self, column: int) -> tuple[int, int]:
+        """Map an output column back to ``(tree_index, leaf_index)``."""
+        if not 0 <= column < self.n_output_features:
+            raise IndexError(f"column {column} out of range")
+        tree = int(np.searchsorted(self._offsets, column, side="right")) - 1
+        return tree, int(column - self._offsets[tree])

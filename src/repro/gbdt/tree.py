@@ -1,0 +1,337 @@
+"""A single regression tree grown leaf-wise (best-first), LightGBM style.
+
+Each boosting round fits one :class:`DecisionTree` to the current gradient /
+hessian statistics.  Unlike level-wise (XGBoost-classic) growth, leaf-wise
+growth repeatedly splits the leaf with the globally largest gain until the
+leaf budget is exhausted — the strategy LightGBM popularised and the one the
+paper's feature extractor relies on (each tree's leaves become the categories
+of one cross-feature).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gbdt.histogram import NodeHistogram, build_histogram
+
+__all__ = ["TreeParams", "DecisionTree", "SplitInfo"]
+
+
+@dataclass(frozen=True)
+class TreeParams:
+    """Growth hyper-parameters of one tree.
+
+    Attributes:
+        max_leaves: Leaf budget (LightGBM's ``num_leaves``).
+        max_depth: Depth cap; -1 disables the cap.
+        min_child_samples: Minimum samples a child must keep.
+        min_child_hessian: Minimum hessian mass a child must keep.
+        reg_lambda: L2 regularisation on leaf values.
+        min_split_gain: Minimum gain for a split to be accepted.
+    """
+
+    max_leaves: int = 31
+    max_depth: int = -1
+    min_child_samples: int = 20
+    min_child_hessian: float = 1e-3
+    reg_lambda: float = 1.0
+    min_split_gain: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.max_leaves < 2:
+            raise ValueError("max_leaves must be >= 2")
+        if self.min_child_samples < 1:
+            raise ValueError("min_child_samples must be >= 1")
+        if self.reg_lambda < 0:
+            raise ValueError("reg_lambda must be non-negative")
+
+
+@dataclass(frozen=True)
+class SplitInfo:
+    """Best split found for a node (or None when no valid split exists)."""
+
+    feature: int
+    bin_threshold: int  # go left when bin <= threshold
+    gain: float
+    left_grad: float
+    left_hess: float
+    left_count: int
+
+
+@dataclass
+class _Node:
+    """Mutable tree node used during growth and flattened for prediction.
+
+    ``sample_indices`` and ``histogram`` are growth-time state; they are
+    dropped after fitting and absent on deserialised trees.
+    """
+
+    node_id: int
+    depth: int
+    sample_indices: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    histogram: NodeHistogram | None = None
+    feature: int = -1
+    bin_threshold: int = -1
+    left: int = -1
+    right: int = -1
+    leaf_index: int = -1  # dense index among leaves; -1 for internal nodes
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left == -1
+
+
+class DecisionTree:
+    """Histogram-based regression tree over pre-binned features.
+
+    The tree is fit on second-order statistics (gradients and hessians of an
+    arbitrary twice-differentiable loss), so the same class serves logloss
+    boosting here and could serve any GBDT objective.
+    """
+
+    def __init__(self, params: TreeParams | None = None):
+        self.params = params or TreeParams()
+        self._nodes: list[_Node] = []
+        self._n_leaves = 0
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves after fitting."""
+        return self._n_leaves
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def fit(
+        self,
+        binned: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        max_bins: int,
+        sample_indices: np.ndarray | None = None,
+    ) -> "DecisionTree":
+        """Grow the tree on (possibly subsampled) training rows.
+
+        Args:
+            binned: ``(n, d)`` uint8 bin indices for all training rows.
+            gradients: Per-row first-order loss derivatives.
+            hessians: Per-row second-order loss derivatives.
+            max_bins: Histogram width.
+            sample_indices: Optional row subset (bagging).
+
+        Returns:
+            self.
+        """
+        if sample_indices is None:
+            sample_indices = np.arange(binned.shape[0])
+        if sample_indices.size == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self._nodes = []
+        self._n_leaves = 0
+        self._max_bins = max_bins
+
+        root_hist = build_histogram(binned, gradients, hessians,
+                                    sample_indices, max_bins)
+        root = _Node(node_id=0, depth=0, sample_indices=sample_indices,
+                     histogram=root_hist)
+        self._nodes.append(root)
+
+        # Max-heap of candidate splits keyed by gain; the tiebreaker keeps
+        # heap ordering deterministic when gains tie.
+        heap: list[tuple[float, int, int, SplitInfo]] = []
+        tiebreak = itertools.count()
+
+        def push_candidate(node: _Node) -> None:
+            split = self._best_split(node)
+            if split is not None:
+                heapq.heappush(heap, (-split.gain, next(tiebreak),
+                                      node.node_id, split))
+
+        push_candidate(root)
+        n_leaves = 1
+        while heap and n_leaves < self.params.max_leaves:
+            _, __, node_id, split = heapq.heappop(heap)
+            node = self._nodes[node_id]
+            left, right = self._apply_split(node, split, binned, gradients,
+                                            hessians)
+            n_leaves += 1
+            push_candidate(left)
+            push_candidate(right)
+
+        self._finalize_leaves()
+        return self
+
+    def _best_split(self, node: _Node) -> SplitInfo | None:
+        """Scan every feature's histogram for the highest-gain valid split."""
+        params = self.params
+        if params.max_depth >= 0 and node.depth >= params.max_depth:
+            return None
+        hist = node.histogram
+        total_grad = hist.total_grad
+        total_hess = hist.total_hess
+        total_count = hist.total_count
+        if total_count < 2 * params.min_child_samples:
+            return None
+        parent_score = total_grad**2 / (total_hess + params.reg_lambda)
+
+        best: SplitInfo | None = None
+        # Prefix sums over bins: splitting after bin b sends bins <= b left.
+        left_grad = np.cumsum(hist.grad, axis=1)
+        left_hess = np.cumsum(hist.hess, axis=1)
+        left_count = np.cumsum(hist.count, axis=1)
+        for f in range(hist.grad.shape[0]):
+            lg = left_grad[f, :-1]
+            lh = left_hess[f, :-1]
+            lc = left_count[f, :-1]
+            rg = total_grad - lg
+            rh = total_hess - lh
+            rc = total_count - lc
+            valid = (
+                (lc >= params.min_child_samples)
+                & (rc >= params.min_child_samples)
+                & (lh >= params.min_child_hessian)
+                & (rh >= params.min_child_hessian)
+            )
+            if not np.any(valid):
+                continue
+            gains = np.full(lg.shape, -np.inf)
+            gains[valid] = (
+                lg[valid] ** 2 / (lh[valid] + params.reg_lambda)
+                + rg[valid] ** 2 / (rh[valid] + params.reg_lambda)
+                - parent_score
+            )
+            b = int(np.argmax(gains))
+            if gains[b] <= params.min_split_gain:
+                continue
+            if best is None or gains[b] > best.gain:
+                best = SplitInfo(
+                    feature=f,
+                    bin_threshold=b,
+                    gain=float(gains[b]),
+                    left_grad=float(lg[b]),
+                    left_hess=float(lh[b]),
+                    left_count=int(lc[b]),
+                )
+        return best
+
+    def _apply_split(
+        self,
+        node: _Node,
+        split: SplitInfo,
+        binned: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+    ) -> tuple[_Node, _Node]:
+        """Materialise a split: partition rows, build child histograms."""
+        rows = node.sample_indices
+        goes_left = binned[rows, split.feature] <= split.bin_threshold
+        left_rows = rows[goes_left]
+        right_rows = rows[~goes_left]
+
+        # Histogram subtraction trick: build the smaller side, derive the other.
+        if left_rows.size <= right_rows.size:
+            left_hist = build_histogram(binned, gradients, hessians,
+                                        left_rows, self._max_bins)
+            right_hist = node.histogram.subtract(left_hist)
+        else:
+            right_hist = build_histogram(binned, gradients, hessians,
+                                         right_rows, self._max_bins)
+            left_hist = node.histogram.subtract(right_hist)
+
+        left = _Node(node_id=len(self._nodes), depth=node.depth + 1,
+                     sample_indices=left_rows, histogram=left_hist)
+        self._nodes.append(left)
+        right = _Node(node_id=len(self._nodes), depth=node.depth + 1,
+                      sample_indices=right_rows, histogram=right_hist)
+        self._nodes.append(right)
+
+        node.feature = split.feature
+        node.bin_threshold = split.bin_threshold
+        node.left = left.node_id
+        node.right = right.node_id
+        node.sample_indices = np.empty(0, dtype=np.int64)  # free memory
+        return left, right
+
+    def _finalize_leaves(self) -> None:
+        """Assign dense leaf indices and Newton-step leaf values."""
+        leaf_counter = 0
+        for node in self._nodes:
+            if node.is_leaf:
+                node.leaf_index = leaf_counter
+                leaf_counter += 1
+                hist = node.histogram
+                node.value = -hist.total_grad / (
+                    hist.total_hess + self.params.reg_lambda
+                )
+                node.sample_indices = np.empty(0, dtype=np.int64)
+        self._n_leaves = leaf_counter
+
+    def predict_leaf(self, binned: np.ndarray) -> np.ndarray:
+        """Route rows to leaves; returns the dense leaf index per row.
+
+        Args:
+            binned: ``(n, d)`` bin-index matrix from the same binner.
+
+        Returns:
+            ``(n,)`` int array of leaf indices in ``[0, n_leaves)``.
+        """
+        if not self._nodes:
+            raise RuntimeError("tree is not fitted")
+        n = binned.shape[0]
+        current = np.zeros(n, dtype=np.int64)
+        # Children always have larger ids than their parent, so a single
+        # in-order pass routes every row to its leaf.
+        for node in self._nodes:
+            if node.is_leaf:
+                continue
+            here = current == node.node_id
+            if not np.any(here):
+                continue
+            goes_left = binned[here, node.feature] <= node.bin_threshold
+            dest = np.where(goes_left, node.left, node.right)
+            current[here] = dest
+        leaf_index_of_node = np.array(
+            [node.leaf_index for node in self._nodes], dtype=np.int64
+        )
+        return leaf_index_of_node[current]
+
+    def predict_value(self, binned: np.ndarray) -> np.ndarray:
+        """Raw leaf values (pre-shrinkage contribution of this tree)."""
+        leaf_values = np.array(
+            [node.value for node in self._nodes if node.is_leaf]
+        )
+        return leaf_values[self.predict_leaf(binned)]
+
+    def feature_importance(self, n_features: int) -> np.ndarray:
+        """Total split gain attributed to each feature.
+
+        Requires growth-time histograms, so it is unavailable on trees
+        restored from serialised form.
+        """
+        if any(n.histogram is None for n in self._nodes):
+            raise RuntimeError(
+                "feature importance requires growth-time histograms "
+                "(unavailable on deserialised trees)"
+            )
+        importance = np.zeros(n_features)
+        for node in self._nodes:
+            if not node.is_leaf:
+                left = self._nodes[node.left].histogram
+                right = self._nodes[node.right].histogram
+                parent = node.histogram
+                lam = self.params.reg_lambda
+                gain = (
+                    left.total_grad**2 / (left.total_hess + lam)
+                    + right.total_grad**2 / (right.total_hess + lam)
+                    - parent.total_grad**2 / (parent.total_hess + lam)
+                )
+                importance[node.feature] += max(gain, 0.0)
+        return importance

@@ -1,0 +1,162 @@
+"""Per-environment fairness aggregation: mKS / wKS / mAUC / wAUC.
+
+The paper's central evaluation protocol (Section IV-A2) scores a model
+separately in every environment (province) and reports:
+
+* the *mean* KS and AUC over environments — overall performance, and
+* the *worst* (minimum) KS and AUC — minimax fairness.
+
+This module implements that protocol along with a structured report type
+used throughout the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.metrics.auc import auc_score
+from repro.metrics.ks import ks_score
+
+__all__ = [
+    "EnvironmentScores",
+    "FairnessReport",
+    "evaluate_environments",
+    "scorable_environments",
+]
+
+#: An environment needs at least this many samples of each class for KS/AUC
+#: to be estimable with any stability; smaller environments are skipped with
+#: a record of the skip in the report.
+MIN_CLASS_COUNT = 2
+
+
+@dataclass(frozen=True)
+class EnvironmentScores:
+    """KS and AUC for a single environment."""
+
+    environment: str
+    ks: float
+    auc: float
+    n_samples: int
+    n_positive: int
+
+    @property
+    def default_rate(self) -> float:
+        """Fraction of positive (defaulted) samples in the environment."""
+        return self.n_positive / self.n_samples if self.n_samples else float("nan")
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Aggregated per-environment evaluation of one model.
+
+    Attributes:
+        per_environment: Mapping of environment name to its scores.
+        skipped: Environments excluded because a class was (nearly) absent.
+    """
+
+    per_environment: Mapping[str, EnvironmentScores]
+    skipped: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.per_environment:
+            raise ValueError("FairnessReport requires at least one scored environment")
+
+    @property
+    def mean_ks(self) -> float:
+        """mKS: the mean KS statistic over environments."""
+        return float(np.mean([s.ks for s in self.per_environment.values()]))
+
+    @property
+    def worst_ks(self) -> float:
+        """wKS: the minimum KS statistic over environments (minimax fairness)."""
+        return float(np.min([s.ks for s in self.per_environment.values()]))
+
+    @property
+    def mean_auc(self) -> float:
+        """mAUC: the mean AUC over environments."""
+        return float(np.mean([s.auc for s in self.per_environment.values()]))
+
+    @property
+    def worst_auc(self) -> float:
+        """wAUC: the minimum AUC over environments."""
+        return float(np.min([s.auc for s in self.per_environment.values()]))
+
+    @property
+    def worst_ks_environment(self) -> str:
+        """Name of the environment attaining the worst KS."""
+        return min(self.per_environment.values(), key=lambda s: s.ks).environment
+
+    def ks_spread(self) -> float:
+        """Max-minus-min KS across environments (the Fig 1 disparity)."""
+        values = [s.ks for s in self.per_environment.values()]
+        return float(np.max(values) - np.min(values))
+
+    def summary(self) -> dict[str, float]:
+        """Return the four headline metrics as a plain dict."""
+        return {
+            "mKS": self.mean_ks,
+            "wKS": self.worst_ks,
+            "mAUC": self.mean_auc,
+            "wAUC": self.worst_auc,
+        }
+
+
+def scorable_environments(
+    labels_by_env: Mapping[str, np.ndarray],
+    min_class_count: int = MIN_CLASS_COUNT,
+) -> list[str]:
+    """Return environments with enough samples of each class to score."""
+    usable = []
+    for name, labels in labels_by_env.items():
+        labels = np.asarray(labels)
+        n_pos = int(labels.sum())
+        n_neg = labels.size - n_pos
+        if n_pos >= min_class_count and n_neg >= min_class_count:
+            usable.append(name)
+    return usable
+
+
+def evaluate_environments(
+    labels_by_env: Mapping[str, np.ndarray],
+    scores_by_env: Mapping[str, np.ndarray],
+    min_class_count: int = MIN_CLASS_COUNT,
+) -> FairnessReport:
+    """Score a model in every environment and aggregate into a report.
+
+    Args:
+        labels_by_env: Environment name -> binary labels.
+        scores_by_env: Environment name -> predicted scores; must cover the
+            same environments as ``labels_by_env``.
+        min_class_count: Minimum per-class count for an environment to be
+            scored; smaller environments are listed in ``report.skipped``.
+
+    Returns:
+        A :class:`FairnessReport` over all scorable environments.
+
+    Raises:
+        ValueError: If the key sets differ or nothing is scorable.
+    """
+    if set(labels_by_env) != set(scores_by_env):
+        missing = set(labels_by_env) ^ set(scores_by_env)
+        raise ValueError(f"labels and scores disagree on environments: {missing}")
+
+    usable = set(scorable_environments(labels_by_env, min_class_count))
+    skipped = tuple(sorted(set(labels_by_env) - usable))
+    per_env: dict[str, EnvironmentScores] = {}
+    for name in sorted(usable):
+        labels = np.asarray(labels_by_env[name], dtype=np.float64)
+        scores = np.asarray(scores_by_env[name], dtype=np.float64)
+        per_env[name] = EnvironmentScores(
+            environment=name,
+            ks=ks_score(labels, scores),
+            auc=auc_score(labels, scores),
+            n_samples=labels.size,
+            n_positive=int(labels.sum()),
+        )
+    if not per_env:
+        raise ValueError("no environment had enough samples of both classes")
+    return FairnessReport(per_environment=per_env, skipped=skipped)

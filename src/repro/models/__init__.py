@@ -1,0 +1,5 @@
+"""Prediction models: the logistic-regression head of GBDT+LR."""
+
+from repro.models.logistic import LogisticModel, binary_cross_entropy, sigmoid
+
+__all__ = ["LogisticModel", "binary_cross_entropy", "sigmoid"]

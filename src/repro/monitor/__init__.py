@@ -1,0 +1,19 @@
+"""Drift monitoring: PSI-based stability reports."""
+
+from repro.monitor.drift import (
+    ConceptDrift,
+    DriftReport,
+    FeatureDrift,
+    concept_drift_report,
+    drift_report,
+    population_stability_index,
+)
+
+__all__ = [
+    "ConceptDrift",
+    "DriftReport",
+    "FeatureDrift",
+    "concept_drift_report",
+    "drift_report",
+    "population_stability_index",
+]

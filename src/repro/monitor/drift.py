@@ -1,0 +1,214 @@
+"""Distribution-drift monitoring: PSI and per-feature drift reports.
+
+Section IV-B of the paper diagnoses covariate shift (province mixes,
+Fig 10) and concept shift (COVID, spurious decay) between the 2016-2019
+training years and the 2020 test year.  The standard industry instrument
+for the covariate part is the Population Stability Index:
+
+    PSI = Σ_b (p_b − q_b) · ln(p_b / q_b)
+
+over a binning of each feature, with the usual reading: < 0.1 stable,
+0.1-0.25 moderate shift, > 0.25 major shift.  This module computes PSI per
+feature and label-shift summaries so the drift story of the paper can be
+verified quantitatively on any dataset pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import LoanDataset
+
+__all__ = [
+    "population_stability_index",
+    "FeatureDrift",
+    "DriftReport",
+    "drift_report",
+    "ConceptDrift",
+    "concept_drift_report",
+]
+
+#: Conventional PSI reading thresholds.
+PSI_STABLE = 0.1
+PSI_MAJOR = 0.25
+
+
+def population_stability_index(
+    expected: np.ndarray,
+    actual: np.ndarray,
+    n_bins: int = 10,
+    epsilon: float = 1e-4,
+) -> float:
+    """PSI between a baseline sample and a monitoring sample.
+
+    Bins are deciles of the *expected* (baseline) sample; empty cells are
+    floored at ``epsilon`` so the index stays finite.
+
+    Args:
+        expected: Baseline values (e.g. a feature on the training years).
+        actual: Monitoring values (e.g. the same feature on the test year).
+        n_bins: Number of quantile bins.
+        epsilon: Floor for cell probabilities.
+
+    Returns:
+        Non-negative PSI value.
+    """
+    expected = np.asarray(expected, dtype=np.float64).ravel()
+    actual = np.asarray(actual, dtype=np.float64).ravel()
+    if expected.size == 0 or actual.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    edges = np.unique(np.quantile(expected, quantiles))
+    expected_counts = np.bincount(
+        np.searchsorted(edges, expected, side="left"),
+        minlength=edges.size + 1,
+    )
+    actual_counts = np.bincount(
+        np.searchsorted(edges, actual, side="left"),
+        minlength=edges.size + 1,
+    )
+    p = np.maximum(expected_counts / expected.size, epsilon)
+    q = np.maximum(actual_counts / actual.size, epsilon)
+    return float(np.sum((p - q) * np.log(p / q)))
+
+
+@dataclass(frozen=True)
+class FeatureDrift:
+    """PSI of one feature between the baseline and monitoring windows."""
+
+    name: str
+    psi: float
+
+    @property
+    def reading(self) -> str:
+        """Conventional interpretation of the PSI value."""
+        if self.psi < PSI_STABLE:
+            return "stable"
+        if self.psi < PSI_MAJOR:
+            return "moderate shift"
+        return "major shift"
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Per-feature drift between two datasets, plus label drift."""
+
+    features: tuple[FeatureDrift, ...]
+    label_psi: float
+    baseline_default_rate: float
+    monitoring_default_rate: float
+
+    def worst(self, k: int = 5) -> list[FeatureDrift]:
+        """The k most-drifted features."""
+        return sorted(self.features, key=lambda f: -f.psi)[:k]
+
+    def drifted(self, threshold: float = PSI_STABLE) -> list[FeatureDrift]:
+        """Features whose PSI exceeds the threshold."""
+        return [f for f in self.features if f.psi >= threshold]
+
+    def max_psi(self) -> float:
+        return max((f.psi for f in self.features), default=0.0)
+
+
+def drift_report(
+    baseline: LoanDataset,
+    monitoring: LoanDataset,
+    n_bins: int = 10,
+) -> DriftReport:
+    """PSI report between two dataset windows (e.g. 2016-19 vs 2020).
+
+    Args:
+        baseline: Reference window (training years).
+        monitoring: Window under observation (test year).
+        n_bins: Quantile bins per feature.
+
+    Returns:
+        A :class:`DriftReport` covering every schema feature and the label.
+    """
+    if baseline.schema.names != monitoring.schema.names:
+        raise ValueError("datasets disagree on the feature schema")
+    drifts = []
+    for column, name in enumerate(baseline.schema.names):
+        psi = population_stability_index(
+            baseline.features[:, column],
+            monitoring.features[:, column],
+            n_bins=n_bins,
+        )
+        drifts.append(FeatureDrift(name=name, psi=psi))
+    label_psi = population_stability_index(
+        baseline.labels, monitoring.labels, n_bins=2
+    )
+    return DriftReport(
+        features=tuple(drifts),
+        label_psi=label_psi,
+        baseline_default_rate=baseline.default_rate,
+        monitoring_default_rate=monitoring.default_rate,
+    )
+
+
+@dataclass(frozen=True)
+class ConceptDrift:
+    """Shift in a feature's relationship with the label between windows.
+
+    PSI only sees marginal (covariate) drift; the paper's dominant 2020
+    shift is *concept* drift — P(y|x) changes while the marginals barely
+    move.  The cheapest industrial probe for that is the change in each
+    feature's point-biserial correlation with the default label.
+    """
+
+    name: str
+    baseline_correlation: float
+    monitoring_correlation: float
+
+    @property
+    def shift(self) -> float:
+        """Absolute change in the feature-label correlation."""
+        return abs(self.monitoring_correlation - self.baseline_correlation)
+
+
+def _label_correlations(dataset: LoanDataset) -> np.ndarray:
+    """Per-feature correlation with the label (0 for constant columns)."""
+    features = dataset.features
+    labels = dataset.labels
+    centered_y = labels - labels.mean()
+    y_norm = np.sqrt((centered_y**2).sum())
+    centered_x = features - features.mean(axis=0)
+    x_norms = np.sqrt((centered_x**2).sum(axis=0))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        correlations = (centered_x.T @ centered_y) / (x_norms * y_norm)
+    return np.nan_to_num(correlations)
+
+
+def concept_drift_report(
+    baseline: LoanDataset, monitoring: LoanDataset
+) -> list[ConceptDrift]:
+    """Feature-label correlation shifts between two windows.
+
+    Args:
+        baseline: Reference window (training years).
+        monitoring: Window under observation (test year).
+
+    Returns:
+        One :class:`ConceptDrift` per feature, sorted by descending shift.
+        On the synthetic platform, the spurious regional signals top the
+        list in 2020 (their anti-causal strength decays) while the
+        invariant credit features stay put — the exact structure Section
+        IV-B describes.
+    """
+    if baseline.schema.names != monitoring.schema.names:
+        raise ValueError("datasets disagree on the feature schema")
+    base_corr = _label_correlations(baseline)
+    mon_corr = _label_correlations(monitoring)
+    drifts = [
+        ConceptDrift(
+            name=name,
+            baseline_correlation=float(base_corr[i]),
+            monitoring_correlation=float(mon_corr[i]),
+        )
+        for i, name in enumerate(baseline.schema.names)
+    ]
+    return sorted(drifts, key=lambda d: -d.shift)

@@ -1,0 +1,23 @@
+"""Model persistence: JSON codecs and full-pipeline artifacts."""
+
+from repro.persist.artifacts import ScoringModel, load_pipeline, save_pipeline
+from repro.persist.codec import (
+    binner_from_dict,
+    binner_to_dict,
+    gbdt_from_dict,
+    gbdt_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+__all__ = [
+    "ScoringModel",
+    "load_pipeline",
+    "save_pipeline",
+    "binner_from_dict",
+    "binner_to_dict",
+    "gbdt_from_dict",
+    "gbdt_to_dict",
+    "tree_from_dict",
+    "tree_to_dict",
+]

@@ -1,0 +1,98 @@
+"""Save/load the full GBDT+LR scoring model as one JSON artifact.
+
+The deployed object is the composition (GBDT -> leaf one-hot -> LR head);
+this module persists all three stages plus metadata, and restores a
+:class:`ScoringModel` whose ``predict_proba`` matches the training pipeline
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import LoanDataset
+from repro.gbdt.leaf_encoder import LeafIndexEncoder
+from repro.models.logistic import LogisticModel
+from repro.persist.codec import _FORMAT_VERSION, gbdt_from_dict, gbdt_to_dict
+from repro.pipeline.pipeline import LoanDefaultPipeline
+
+__all__ = ["ScoringModel", "save_pipeline", "load_pipeline"]
+
+
+@dataclass(frozen=True)
+class ScoringModel:
+    """A restored GBDT+LR scorer with its training metadata."""
+
+    encoder: LeafIndexEncoder
+    model: LogisticModel
+    theta: np.ndarray
+    trainer_name: str
+    metadata: dict
+
+    def predict_proba(self, features: np.ndarray | LoanDataset) -> np.ndarray:
+        """Default probabilities for raw feature rows (or a dataset)."""
+        if isinstance(features, LoanDataset):
+            features = features.features
+        encoded = self.encoder.transform(np.asarray(features))
+        return self.model.predict_proba(self.theta, encoded)
+
+
+def save_pipeline(
+    pipeline: LoanDefaultPipeline,
+    path: str | pathlib.Path,
+    metadata: dict | None = None,
+) -> None:
+    """Persist a fitted pipeline to a JSON file.
+
+    Args:
+        pipeline: A fitted :class:`LoanDefaultPipeline`.
+        path: Destination file.
+        metadata: Optional free-form JSON-compatible run metadata.
+
+    Raises:
+        RuntimeError: If the pipeline is not fitted.
+        ValueError: If the head carries per-environment parameters (the
+            fine-tuning baseline), which this artifact format does not hold.
+    """
+    if not pipeline.is_fitted:
+        raise RuntimeError("cannot save an unfitted pipeline")
+    result = pipeline.result_
+    if hasattr(result, "env_thetas") and getattr(result, "env_thetas"):
+        raise ValueError(
+            "per-environment fine-tuned heads are not supported by the "
+            "single-parameter artifact format"
+        )
+    payload = {
+        "version": _FORMAT_VERSION,
+        "trainer_name": result.trainer_name,
+        "gbdt": gbdt_to_dict(pipeline.extractor.model_),
+        "theta": result.theta.tolist(),
+        "l2": result.model.l2,
+        "metadata": metadata or {},
+    }
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload))
+
+
+def load_pipeline(path: str | pathlib.Path) -> ScoringModel:
+    """Restore a :class:`ScoringModel` from a saved artifact."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported artifact version {payload.get('version')!r}"
+        )
+    gbdt = gbdt_from_dict(payload["gbdt"])
+    encoder = LeafIndexEncoder(gbdt)
+    theta = np.asarray(payload["theta"], dtype=np.float64)
+    model = LogisticModel(theta.size, l2=payload["l2"])
+    return ScoringModel(
+        encoder=encoder,
+        model=model,
+        theta=theta,
+        trainer_name=payload["trainer_name"],
+        metadata=payload["metadata"],
+    )

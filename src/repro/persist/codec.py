@@ -1,0 +1,160 @@
+"""JSON-compatible codecs for every persistable model component.
+
+The production system retrains the loan model periodically and serves it
+elsewhere, so models must round-trip through a storage format.  Everything
+here encodes to plain JSON types (dicts, lists, floats) and restores objects
+that predict *bit-identically* to the originals.  Growth-time state
+(histograms, sample indices) is intentionally dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.boosting import GBDTClassifier, GBDTParams
+from repro.gbdt.tree import DecisionTree, TreeParams, _Node
+
+__all__ = [
+    "binner_to_dict",
+    "binner_from_dict",
+    "tree_to_dict",
+    "tree_from_dict",
+    "gbdt_to_dict",
+    "gbdt_from_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+def binner_to_dict(binner: QuantileBinner) -> dict:
+    """Encode a fitted quantile binner."""
+    if not binner.is_fitted:
+        raise ValueError("cannot serialise an unfitted binner")
+    return {
+        "version": _FORMAT_VERSION,
+        "max_bins": binner.max_bins,
+        "bin_edges": [edges.tolist() for edges in binner.bin_edges_],
+    }
+
+
+def binner_from_dict(payload: dict) -> QuantileBinner:
+    """Restore a quantile binner."""
+    _check_version(payload)
+    binner = QuantileBinner(max_bins=payload["max_bins"])
+    binner.bin_edges_ = [
+        np.asarray(edges, dtype=np.float64) for edges in payload["bin_edges"]
+    ]
+    return binner
+
+
+def tree_to_dict(tree: DecisionTree) -> dict:
+    """Encode a fitted decision tree (prediction structure only)."""
+    if tree.n_nodes == 0:
+        raise ValueError("cannot serialise an unfitted tree")
+    params = tree.params
+    return {
+        "version": _FORMAT_VERSION,
+        "params": {
+            "max_leaves": params.max_leaves,
+            "max_depth": params.max_depth,
+            "min_child_samples": params.min_child_samples,
+            "min_child_hessian": params.min_child_hessian,
+            "reg_lambda": params.reg_lambda,
+            "min_split_gain": params.min_split_gain,
+        },
+        "nodes": [
+            {
+                "node_id": node.node_id,
+                "depth": node.depth,
+                "feature": node.feature,
+                "bin_threshold": node.bin_threshold,
+                "left": node.left,
+                "right": node.right,
+                "leaf_index": node.leaf_index,
+                "value": node.value,
+            }
+            for node in tree._nodes
+        ],
+        "n_leaves": tree.n_leaves,
+    }
+
+
+def tree_from_dict(payload: dict) -> DecisionTree:
+    """Restore a decision tree that predicts identically to the original."""
+    _check_version(payload)
+    tree = DecisionTree(TreeParams(**payload["params"]))
+    tree._nodes = [
+        _Node(
+            node_id=node["node_id"],
+            depth=node["depth"],
+            feature=node["feature"],
+            bin_threshold=node["bin_threshold"],
+            left=node["left"],
+            right=node["right"],
+            leaf_index=node["leaf_index"],
+            value=node["value"],
+        )
+        for node in payload["nodes"]
+    ]
+    tree._n_leaves = payload["n_leaves"]
+    return tree
+
+
+def gbdt_to_dict(model: GBDTClassifier) -> dict:
+    """Encode a fitted boosted ensemble."""
+    if not model.is_fitted:
+        raise ValueError("cannot serialise an unfitted GBDT")
+    params = model.params
+    return {
+        "version": _FORMAT_VERSION,
+        "params": {
+            "n_trees": params.n_trees,
+            "learning_rate": params.learning_rate,
+            "max_bins": params.max_bins,
+            "subsample": params.subsample,
+            "colsample": params.colsample,
+            "early_stopping_rounds": params.early_stopping_rounds,
+            "seed": params.seed,
+        },
+        "binner": binner_to_dict(model.binner),
+        "base_score": model.base_score_,
+        "trees": [tree_to_dict(tree) for tree in model.trees_],
+        "tree_feature_subsets": [
+            subset.tolist() for subset in model.tree_feature_subsets_
+        ],
+    }
+
+
+def gbdt_from_dict(payload: dict) -> GBDTClassifier:
+    """Restore a boosted ensemble (prediction and leaf encoding work)."""
+    _check_version(payload)
+    params = payload["params"]
+    model = GBDTClassifier(
+        GBDTParams(
+            n_trees=params["n_trees"],
+            learning_rate=params["learning_rate"],
+            max_bins=params["max_bins"],
+            subsample=params["subsample"],
+            colsample=params["colsample"],
+            early_stopping_rounds=params["early_stopping_rounds"],
+            seed=params["seed"],
+        )
+    )
+    model.binner = binner_from_dict(payload["binner"])
+    model.base_score_ = payload["base_score"]
+    model.trees_ = [tree_from_dict(tree) for tree in payload["trees"]]
+    model.tree_feature_subsets_ = [
+        np.asarray(subset, dtype=np.int64)
+        for subset in payload["tree_feature_subsets"]
+    ]
+    return model
+
+
+def _check_version(payload: dict) -> None:
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported serialisation version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )

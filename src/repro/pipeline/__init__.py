@@ -1,0 +1,6 @@
+"""End-to-end GBDT+LR pipeline and the shared feature-extraction stage."""
+
+from repro.pipeline.extractor import GBDTFeatureExtractor, default_gbdt_params
+from repro.pipeline.pipeline import LoanDefaultPipeline
+
+__all__ = ["GBDTFeatureExtractor", "default_gbdt_params", "LoanDefaultPipeline"]

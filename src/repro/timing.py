@@ -1,0 +1,111 @@
+"""Step-level wall-clock instrumentation for Table III / Fig 7.
+
+The paper profiles five operation steps of each training algorithm (loading
+data, transforming the format, inner optimization, calculating the
+meta-losses, backward propagation) and reports per-step and whole-epoch
+times.  :class:`StepTimer` is threaded through every trainer so the same
+steps can be measured on our substrate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["StepTimer", "StepStats", "STEP_NAMES"]
+
+#: Canonical step names, in Table III row order.
+STEP_NAMES = (
+    "loading_data",
+    "transforming_format",
+    "inner_optimization",
+    "calculating_meta_losses",
+    "backward_propagation",
+)
+
+
+@dataclass
+class StepStats:
+    """Accumulated wall time and invocation count of one step."""
+
+    total_seconds: float = 0.0
+    count: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class StepTimer:
+    """Accumulates per-step wall-clock time across a training run.
+
+    Usage inside a trainer::
+
+        with timer.step("inner_optimization"):
+            ...
+
+    A disabled timer (``enabled=False``) keeps the same interface with
+    near-zero overhead, so trainers always call it unconditionally.
+    """
+
+    enabled: bool = True
+    stats: dict[str, StepStats] = field(default_factory=dict)
+    _epoch_start: float | None = None
+    epoch_seconds: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def step(self, name: str):
+        """Time one occurrence of a named step."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            entry = self.stats.setdefault(name, StepStats())
+            entry.total_seconds += elapsed
+            entry.count += 1
+
+    def begin_epoch(self) -> None:
+        """Mark the start of an epoch (for whole-epoch timing)."""
+        if self.enabled:
+            self._epoch_start = time.perf_counter()
+
+    def end_epoch(self) -> None:
+        """Mark the end of an epoch."""
+        if self.enabled and self._epoch_start is not None:
+            self.epoch_seconds.append(time.perf_counter() - self._epoch_start)
+            self._epoch_start = None
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        if not self.epoch_seconds:
+            return 0.0
+        return sum(self.epoch_seconds) / len(self.epoch_seconds)
+
+    def mean_step_seconds(self, name: str) -> float:
+        """Mean seconds per invocation of a step (0 if never hit)."""
+        entry = self.stats.get(name)
+        return entry.mean_seconds if entry else 0.0
+
+    def total_step_seconds(self, name: str) -> float:
+        """Total seconds spent in a step."""
+        entry = self.stats.get(name)
+        return entry.total_seconds if entry else 0.0
+
+    def proportions(self) -> dict[str, float]:
+        """Fraction of total instrumented time per step (Fig 7 data)."""
+        total = sum(s.total_seconds for s in self.stats.values())
+        if total == 0:
+            return {name: 0.0 for name in self.stats}
+        return {
+            name: entry.total_seconds / total for name, entry in self.stats.items()
+        }
+
+    def as_table_row(self) -> dict[str, float]:
+        """Mean per-step seconds keyed by the canonical Table III names."""
+        return {name: self.mean_step_seconds(name) for name in STEP_NAMES}

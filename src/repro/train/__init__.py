@@ -1,0 +1,22 @@
+"""Training infrastructure shared by all methods."""
+
+from repro.train.base import (
+    BaseTrainConfig,
+    EpochCallback,
+    Trainer,
+    TrainingHistory,
+    TrainResult,
+    stack_environments,
+)
+from repro.train.registry import available_trainers, make_trainer
+
+__all__ = [
+    "BaseTrainConfig",
+    "EpochCallback",
+    "Trainer",
+    "TrainingHistory",
+    "TrainResult",
+    "stack_environments",
+    "available_trainers",
+    "make_trainer",
+]

@@ -1,0 +1,238 @@
+"""Trainer abstraction shared by every learning algorithm in the repo.
+
+All methods in the paper's comparison (ERM, fine-tuning, up-sampling,
+GroupDRO, V-REx, meta-IRM, LightMIRM) train the same LR head over the same
+per-environment data; they differ only in how the parameter update is
+computed.  The :class:`Trainer` ABC fixes the shared protocol: consume a
+list of environments, run ``n_epochs`` full-batch outer iterations, record a
+:class:`TrainingHistory`, and return a :class:`TrainResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.dataset import EnvironmentData
+from repro.models.logistic import LogisticModel
+from repro.timing import StepTimer
+
+__all__ = [
+    "BaseTrainConfig",
+    "TrainingHistory",
+    "TrainResult",
+    "Trainer",
+    "EpochCallback",
+    "stack_environments",
+]
+
+#: Called after every epoch with (epoch_index, theta); the return value, if
+#: not None, is stored in ``history.tracked`` — the Figs 6/8 curve hook.
+EpochCallback = Callable[[int, np.ndarray], float | None]
+
+
+@dataclass(frozen=True)
+class BaseTrainConfig:
+    """Hyper-parameters common to every trainer.
+
+    Attributes:
+        n_epochs: Number of outer iterations (full passes).
+        learning_rate: Step size of the (outer) gradient update.
+        l2: L2 regularisation on the LR parameters.
+        seed: RNG seed (parameter init and any sampling).
+        init_scale: Std of the random normal parameter initialisation.
+        batch_size: When set, each epoch draws a fresh random batch of this
+            many rows per environment instead of using the full environment
+            (the paper trains "in a mini-batch manner", footnote 6).
+            ``None`` keeps full-batch training.
+        optimizer: Outer-loop update rule: "sgd" (the paper's plain step,
+            default), "momentum" or "adam".
+    """
+
+    n_epochs: int = 150
+    learning_rate: float = 2.0
+    l2: float = 1e-3
+    seed: int = 0
+    init_scale: float = 0.01
+    batch_size: int | None = None
+    optimizer: str = "sgd"
+
+    def __post_init__(self) -> None:
+        if self.n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1 when set")
+        if self.optimizer not in ("sgd", "momentum", "adam"):
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; "
+                "choose sgd, momentum or adam"
+            )
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records captured during training."""
+
+    objective: list[float] = field(default_factory=list)
+    env_losses: list[dict[str, float]] = field(default_factory=list)
+    tracked: list[float] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.objective)
+
+    def final_objective(self) -> float:
+        if not self.objective:
+            raise RuntimeError("no epochs recorded")
+        return self.objective[-1]
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """Outcome of one training run."""
+
+    trainer_name: str
+    theta: np.ndarray
+    model: LogisticModel
+    history: TrainingHistory
+    timer: StepTimer
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Score new rows with the trained parameters."""
+        return self.model.predict_proba(self.theta, features)
+
+
+class Trainer(abc.ABC):
+    """Base class: environment-aware trainer of the LR head."""
+
+    #: Registry/display name; subclasses override.
+    name: str = "base"
+
+    def __init__(self, config: BaseTrainConfig):
+        self.config = config
+
+    def fit(
+        self,
+        environments: Sequence[EnvironmentData],
+        callback: EpochCallback | None = None,
+        timer: StepTimer | None = None,
+    ) -> TrainResult:
+        """Train on the given environments.
+
+        Args:
+            environments: Non-empty list of per-province data slices; all
+                must share the feature dimension.
+            callback: Optional per-epoch hook (e.g. test-KS tracking).
+            timer: Optional step timer; a disabled one is used when omitted.
+
+        Returns:
+            A :class:`TrainResult` with final parameters and history.
+        """
+        environments = list(environments)
+        if not environments:
+            raise ValueError("need at least one environment")
+        dims = {env.features.shape[1] for env in environments}
+        if len(dims) != 1:
+            raise ValueError(f"environments disagree on feature dim: {dims}")
+        for env in environments:
+            if env.n_samples == 0:
+                raise ValueError(f"environment {env.name!r} is empty")
+        n_features = dims.pop()
+        model = LogisticModel(n_features, l2=self.config.l2)
+        theta = model.init_params(seed=self.config.seed,
+                                  scale=self.config.init_scale)
+        timer = timer or StepTimer(enabled=False)
+        history = TrainingHistory()
+        # Dedicated stream for mini-batch draws, decoupled from any
+        # algorithm-internal sampling so batch_size=None reproduces the
+        # full-batch trajectories exactly.
+        self._batch_rng = np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, 0x6B617463])
+        )
+        from repro.train.optimizers import make_optimizer
+
+        self._optimizer = make_optimizer(
+            self.config.optimizer, self.config.learning_rate
+        )
+
+        theta = self._run(environments, model, theta, history, callback, timer)
+        return TrainResult(
+            trainer_name=self.name,
+            theta=theta,
+            model=model,
+            history=history,
+            timer=timer,
+        )
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        environments: list[EnvironmentData],
+        model: LogisticModel,
+        theta: np.ndarray,
+        history: TrainingHistory,
+        callback: EpochCallback | None,
+        timer: StepTimer,
+    ) -> np.ndarray:
+        """Algorithm-specific training loop; returns final parameters."""
+
+    def _epoch_environments(
+        self, environments: list[EnvironmentData]
+    ) -> list[EnvironmentData]:
+        """Per-epoch environment views: mini-batches when configured.
+
+        With ``batch_size`` unset this returns the input list unchanged
+        (zero overhead); otherwise each environment contributes a fresh
+        uniform sample of at most ``batch_size`` rows.
+        """
+        batch_size = self.config.batch_size
+        if batch_size is None:
+            return environments
+        views = []
+        for env in environments:
+            if env.n_samples <= batch_size:
+                views.append(env)
+                continue
+            rows = self._batch_rng.choice(
+                env.n_samples, size=batch_size, replace=False
+            )
+            views.append(
+                EnvironmentData(env.name, env.features[rows], env.labels[rows])
+            )
+        return views
+
+    @staticmethod
+    def _record(
+        history: TrainingHistory,
+        objective: float,
+        env_losses: dict[str, float],
+        epoch: int,
+        theta: np.ndarray,
+        callback: EpochCallback | None,
+    ) -> None:
+        """Append one epoch's records and fire the callback."""
+        history.objective.append(objective)
+        history.env_losses.append(env_losses)
+        if callback is not None:
+            tracked = callback(epoch, theta)
+            if tracked is not None:
+                history.tracked.append(tracked)
+
+
+def stack_environments(
+    environments: Sequence[EnvironmentData],
+) -> tuple[np.ndarray | sparse.csr_matrix, np.ndarray]:
+    """Concatenate environments into one pooled (features, labels) pair."""
+    feature_blocks = [env.features for env in environments]
+    labels = np.concatenate([env.labels for env in environments])
+    if any(sparse.issparse(block) for block in feature_blocks):
+        return sparse.vstack(feature_blocks, format="csr"), labels
+    return np.vstack(feature_blocks), labels

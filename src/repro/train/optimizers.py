@@ -1,0 +1,118 @@
+"""First-order optimizers for the outer training loop.
+
+The paper's algorithms are written with plain gradient steps
+(``θ ← θ − β·g``), which stays the default so the reproduced trajectories
+match Algorithm 1/2 exactly.  Momentum and Adam are provided for users who
+deploy the library on their own data, where adaptive steps usually converge
+in far fewer epochs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Momentum", "Adam", "make_optimizer"]
+
+
+class Optimizer(abc.ABC):
+    """Stateful parameter updater: ``theta_new = step(theta, grad)``."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    @abc.abstractmethod
+    def step(self, theta: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return updated parameters (does not mutate the inputs)."""
+
+
+class SGD(Optimizer):
+    """Plain gradient descent — the paper's update rule."""
+
+    def step(self, theta: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        return theta - self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """Heavy-ball momentum: ``v ← μ·v + g``, ``θ ← θ − β·v``."""
+
+    def __init__(self, learning_rate: float, momentum: float = 0.9):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: np.ndarray | None = None
+
+    def step(self, theta: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self._velocity is None:
+            self._velocity = np.zeros_like(theta)
+        self._velocity = self.momentum * self._velocity + grad
+        return theta - self.learning_rate * self._velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, theta: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self._m is None:
+            self._m = np.zeros_like(theta)
+            self._v = np.zeros_like(theta)
+        self._t += 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grad**2
+        m_hat = self._m / (1 - self.beta1**self._t)
+        v_hat = self._v / (1 - self.beta2**self._t)
+        return theta - self.learning_rate * m_hat / (np.sqrt(v_hat)
+                                                     + self.epsilon)
+
+
+@dataclass(frozen=True)
+class _Spec:
+    factory: type[Optimizer]
+    description: str
+
+
+_OPTIMIZERS: dict[str, _Spec] = {
+    "sgd": _Spec(SGD, "plain gradient descent (the paper's update)"),
+    "momentum": _Spec(Momentum, "heavy-ball momentum"),
+    "adam": _Spec(Adam, "Adam with bias correction"),
+}
+
+
+def make_optimizer(name: str, learning_rate: float, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name.
+
+    Args:
+        name: One of ``"sgd"``, ``"momentum"``, ``"adam"``.
+        learning_rate: Step size.
+        **kwargs: Extra optimizer-specific options.
+
+    Returns:
+        A fresh optimizer instance (state is not shared between calls).
+    """
+    if name not in _OPTIMIZERS:
+        raise KeyError(
+            f"unknown optimizer {name!r}; known: {sorted(_OPTIMIZERS)}"
+        )
+    return _OPTIMIZERS[name].factory(learning_rate, **kwargs)

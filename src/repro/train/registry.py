@@ -1,0 +1,81 @@
+"""Name -> trainer factory registry used by the experiment harness.
+
+Imports of the concrete trainers happen inside the factory functions: the
+trainers themselves import :mod:`repro.train.base`, so importing them at
+module scope would make ``repro.train`` circular.
+"""
+
+from __future__ import annotations
+
+from repro.train.base import Trainer
+
+__all__ = ["make_trainer", "available_trainers"]
+
+_TRAINER_NAMES = (
+    "ERM",
+    "ERM + fine-tuning",
+    "Up Sampling",
+    "Group DRO",
+    "V-REx",
+    "IRMv1",
+    "meta-IRM",
+    "LightMIRM",
+)
+
+
+def available_trainers() -> list[str]:
+    """Names accepted by :func:`make_trainer`, in Table I order."""
+    return list(_TRAINER_NAMES)
+
+
+def make_trainer(name: str, **config_overrides) -> Trainer:
+    """Instantiate a trainer by its paper name.
+
+    Args:
+        name: One of :func:`available_trainers`, or ``"meta-IRM(S)"`` with an
+            integer S for the sampled variants of Table II.
+        **config_overrides: Forwarded to the trainer's config dataclass.
+
+    Returns:
+        A ready-to-fit :class:`~repro.train.base.Trainer`.
+
+    Raises:
+        KeyError: For unknown names.
+    """
+    from repro.baselines.erm import ERMTrainer
+    from repro.baselines.finetune import FineTuneConfig, FineTuneTrainer
+    from repro.baselines.group_dro import GroupDROConfig, GroupDROTrainer
+    from repro.baselines.irmv1 import IRMv1Config, IRMv1Trainer
+    from repro.baselines.upsampling import UpSamplingConfig, UpSamplingTrainer
+    from repro.baselines.vrex import VRExConfig, VRExTrainer
+    from repro.core.config import LightMIRMConfig, MetaIRMConfig
+    from repro.core.lightmirm import LightMIRMTrainer
+    from repro.core.meta_irm import MetaIRMTrainer
+    from repro.train.base import BaseTrainConfig
+
+    if name.startswith("meta-IRM(") and name.endswith(")"):
+        n_sampled = int(name[len("meta-IRM("):-1])
+        return MetaIRMTrainer(
+            MetaIRMConfig(n_sampled_envs=n_sampled, **config_overrides)
+        )
+    factories = {
+        "ERM": lambda: ERMTrainer(BaseTrainConfig(**config_overrides)),
+        "ERM + fine-tuning": lambda: FineTuneTrainer(
+            FineTuneConfig(**config_overrides)
+        ),
+        "Up Sampling": lambda: UpSamplingTrainer(
+            UpSamplingConfig(**config_overrides)
+        ),
+        "Group DRO": lambda: GroupDROTrainer(GroupDROConfig(**config_overrides)),
+        "V-REx": lambda: VRExTrainer(VRExConfig(**config_overrides)),
+        "IRMv1": lambda: IRMv1Trainer(IRMv1Config(**config_overrides)),
+        "meta-IRM": lambda: MetaIRMTrainer(MetaIRMConfig(**config_overrides)),
+        "LightMIRM": lambda: LightMIRMTrainer(
+            LightMIRMConfig(**config_overrides)
+        ),
+    }
+    if name not in factories:
+        raise KeyError(
+            f"unknown trainer {name!r}; known: {available_trainers()}"
+        )
+    return factories[name]()

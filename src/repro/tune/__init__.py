@@ -1,0 +1,15 @@
+"""Hyper-parameter search utilities."""
+
+from repro.tune.search import (
+    GridSearchResult,
+    TrialResult,
+    grid_search,
+    split_environments,
+)
+
+__all__ = [
+    "GridSearchResult",
+    "TrialResult",
+    "grid_search",
+    "split_environments",
+]

@@ -1,0 +1,173 @@
+"""Hyper-parameter search over trainer configurations.
+
+The production model "has to be updated periodically at a relatively high
+frequency", which in practice means an automated retrain-and-select loop.
+This module provides the selection half: a grid search over any trainer's
+config space, scored on a held-out validation slice with the paper's
+fairness-aware metrics, so e.g. λ and the MRQ length can be re-tuned on
+every refresh.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import EnvironmentData
+from repro.metrics.fairness import FairnessReport, evaluate_environments
+from repro.train.base import Trainer
+
+__all__ = ["TrialResult", "GridSearchResult", "grid_search", "split_environments"]
+
+#: Builds a trainer from one point of the grid.
+TrainerBuilder = Callable[..., Trainer]
+
+#: Metric used to rank trials: one of the FairnessReport summary keys, or a
+#: weighted blend via `objective="blend"`.
+SUPPORTED_OBJECTIVES = ("mKS", "wKS", "mAUC", "wAUC", "blend")
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One grid point's configuration and validation scores."""
+
+    params: Mapping[str, object]
+    report: FairnessReport
+    train_seconds: float
+
+    def objective_value(self, objective: str, blend_weight: float) -> float:
+        if objective == "blend":
+            return (
+                (1 - blend_weight) * self.report.mean_ks
+                + blend_weight * self.report.worst_ks
+            )
+        return self.report.summary()[objective]
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """All trials plus the selected best."""
+
+    trials: tuple[TrialResult, ...]
+    objective: str
+    blend_weight: float
+    best: TrialResult = field(hash=False, default=None)  # type: ignore[assignment]
+
+    def ranked(self) -> list[TrialResult]:
+        """Trials sorted best-first by the search objective."""
+        return sorted(
+            self.trials,
+            key=lambda t: -t.objective_value(self.objective,
+                                             self.blend_weight),
+        )
+
+
+def split_environments(
+    environments: Sequence[EnvironmentData],
+    validation_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[list[EnvironmentData], list[EnvironmentData]]:
+    """Row-split every environment into (fit, validation) parts.
+
+    Stratifies by environment (each province contributes to both sides) so
+    the validation fairness report covers the same provinces as training.
+    """
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    fit_parts, valid_parts = [], []
+    for env in environments:
+        order = rng.permutation(env.n_samples)
+        n_valid = max(1, int(round(validation_fraction * env.n_samples)))
+        if n_valid >= env.n_samples:
+            raise ValueError(
+                f"environment {env.name!r} too small to split "
+                f"({env.n_samples} rows)"
+            )
+        valid_rows = order[:n_valid]
+        fit_rows = order[n_valid:]
+        fit_parts.append(
+            EnvironmentData(env.name, env.features[fit_rows],
+                            env.labels[fit_rows])
+        )
+        valid_parts.append(
+            EnvironmentData(env.name, env.features[valid_rows],
+                            env.labels[valid_rows])
+        )
+    return fit_parts, valid_parts
+
+
+def grid_search(
+    builder: TrainerBuilder,
+    grid: Mapping[str, Sequence[object]],
+    environments: Sequence[EnvironmentData],
+    objective: str = "blend",
+    blend_weight: float = 0.5,
+    validation_fraction: float = 0.25,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Exhaustive search over a config grid with fairness-aware selection.
+
+    Args:
+        builder: Called with one keyword per grid axis (plus nothing else);
+            must return an unfitted :class:`Trainer`.  Typically a lambda
+            around a config dataclass, e.g.
+            ``lambda **kw: LightMIRMTrainer(LightMIRMConfig(**kw))``.
+        grid: Axis name -> candidate values.  The Cartesian product is
+            evaluated.
+        environments: Training environments; split per-province into fit
+            and validation parts.
+        objective: Ranking metric: "mKS", "wKS", "mAUC", "wAUC", or
+            "blend" ((1-w)·mKS + w·wKS — the paper's dual goal).
+        blend_weight: Worst-province weight of the blend objective.
+        validation_fraction: Share of each environment held out.
+        seed: Seed of the validation split.
+
+    Returns:
+        A :class:`GridSearchResult`; ``result.best.params`` holds the
+        selected configuration.
+    """
+    if objective not in SUPPORTED_OBJECTIVES:
+        raise ValueError(
+            f"objective must be one of {SUPPORTED_OBJECTIVES}, got {objective!r}"
+        )
+    if not grid:
+        raise ValueError("empty grid")
+    if not 0.0 <= blend_weight <= 1.0:
+        raise ValueError("blend_weight must be in [0, 1]")
+
+    fit_envs, valid_envs = split_environments(
+        environments, validation_fraction=validation_fraction, seed=seed
+    )
+    valid_labels = {e.name: e.labels for e in valid_envs}
+
+    axes = list(grid)
+    trials: list[TrialResult] = []
+    for values in itertools.product(*(grid[a] for a in axes)):
+        params = dict(zip(axes, values))
+        trainer = builder(**params)
+        start = time.perf_counter()
+        result = trainer.fit(fit_envs)
+        elapsed = time.perf_counter() - start
+        scores = {
+            e.name: result.model.predict_proba(result.theta, e.features)
+            for e in valid_envs
+        }
+        report = evaluate_environments(valid_labels, scores)
+        trials.append(
+            TrialResult(params=params, report=report, train_seconds=elapsed)
+        )
+
+    best = max(
+        trials, key=lambda t: t.objective_value(objective, blend_weight)
+    )
+    return GridSearchResult(
+        trials=tuple(trials),
+        objective=objective,
+        blend_weight=blend_weight,
+        best=best,
+    )

@@ -1,0 +1,57 @@
+"""Shared fixtures: small synthetic datasets and encoded environments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import EnvironmentData
+from repro.data.generator import GeneratorConfig, LoanDataGenerator
+from repro.data.splits import temporal_split
+from repro.pipeline.extractor import GBDTFeatureExtractor
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 4k-row, 40-feature dataset shared (read-only) by many tests."""
+    return LoanDataGenerator(GeneratorConfig.small(seed=3)).generate()
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset):
+    return temporal_split(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def fitted_extractor(small_split):
+    return GBDTFeatureExtractor().fit(small_split.train)
+
+
+@pytest.fixture(scope="session")
+def train_envs(fitted_extractor, small_split):
+    return fitted_extractor.encode_environments(small_split.train)
+
+
+@pytest.fixture(scope="session")
+def test_envs(fitted_extractor, small_split):
+    return fitted_extractor.encode_environments(small_split.test)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def tiny_envs(rng):
+    """Three tiny dense environments with a learnable signal."""
+    envs = []
+    for name, shift in (("A", 0.0), ("B", 0.5), ("C", -0.5)):
+        n = 120
+        x = rng.standard_normal((n, 5))
+        logit = 1.5 * x[:, 0] - x[:, 1] + shift
+        y = (rng.random(n) < 1 / (1 + np.exp(-logit))).astype(float)
+        # Guarantee both classes so KS/AUC are defined.
+        y[0], y[1] = 0.0, 1.0
+        envs.append(EnvironmentData(name, x, y))
+    return envs

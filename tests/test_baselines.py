@@ -1,0 +1,188 @@
+"""Unit tests for the five baseline trainers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.erm import ERMTrainer
+from repro.baselines.finetune import (
+    FineTuneConfig,
+    FineTunedTrainResult,
+    FineTuneTrainer,
+)
+from repro.baselines.group_dro import GroupDROConfig, GroupDROTrainer
+from repro.baselines.upsampling import UpSamplingConfig, UpSamplingTrainer
+from repro.baselines.vrex import VRExConfig, VRExTrainer
+from repro.train.base import BaseTrainConfig
+
+
+def _cfg(cls=BaseTrainConfig, **kw):
+    defaults = dict(n_epochs=40, learning_rate=0.5, seed=0)
+    defaults.update(kw)
+    return cls(**defaults)
+
+
+class TestERM:
+    def test_loss_decreases(self, tiny_envs):
+        result = ERMTrainer(_cfg()).fit(tiny_envs)
+        assert result.history.objective[-1] < result.history.objective[0]
+
+    def test_learns_signal(self, tiny_envs):
+        result = ERMTrainer(_cfg(n_epochs=150, learning_rate=1.0)).fit(tiny_envs)
+        assert result.theta[0] > 0.5
+        assert result.theta[1] < -0.2
+
+    def test_pooled_objective_equals_weighted_env_losses(self, tiny_envs):
+        """ERM's pooled loss is the size-weighted mean of env losses."""
+        result = ERMTrainer(_cfg(n_epochs=1)).fit(tiny_envs)
+        model = result.model
+        theta = result.theta
+        sizes = np.array([e.n_samples for e in tiny_envs], dtype=float)
+        env_losses = np.array([
+            model.loss(theta, e.features, e.labels) for e in tiny_envs
+        ])
+        from repro.train.base import stack_environments
+        x, y = stack_environments(tiny_envs)
+        pooled = model.loss(theta, x, y)
+        # L2 appears once in the pooled loss but once per env too, so
+        # compare the data terms with l2 = 0 contributions removed.
+        l2_term = 0.5 * model.l2 * float(theta @ theta)
+        weighted = float(sizes @ (env_losses - l2_term)) / sizes.sum()
+        assert pooled - l2_term == pytest.approx(weighted)
+
+
+class TestFineTune:
+    def test_returns_env_thetas(self, tiny_envs):
+        result = FineTuneTrainer(_cfg(FineTuneConfig)).fit(tiny_envs)
+        assert isinstance(result, FineTunedTrainResult)
+        assert set(result.env_thetas) == {"A", "B", "C"}
+
+    def test_env_theta_differs_from_base(self, tiny_envs):
+        result = FineTuneTrainer(_cfg(FineTuneConfig)).fit(tiny_envs)
+        for name in ("A", "B", "C"):
+            assert not np.allclose(result.env_thetas[name], result.theta)
+
+    def test_unseen_env_falls_back_to_base(self, tiny_envs):
+        result = FineTuneTrainer(_cfg(FineTuneConfig)).fit(tiny_envs)
+        np.testing.assert_array_equal(
+            result.theta_for_environment("unseen"), result.theta
+        )
+
+    def test_finetune_reduces_env_loss(self, tiny_envs):
+        result = FineTuneTrainer(
+            _cfg(FineTuneConfig, finetune_epochs=30, finetune_lr=0.5)
+        ).fit(tiny_envs)
+        env = tiny_envs[1]  # env B has a +0.5 intercept shift
+        base_loss = result.model.loss(result.theta, env.features, env.labels)
+        tuned_loss = result.model.loss(
+            result.env_thetas["B"], env.features, env.labels
+        )
+        assert tuned_loss < base_loss
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(finetune_epochs=0)
+        with pytest.raises(ValueError):
+            FineTuneConfig(finetune_lr=0)
+
+
+class TestUpSampling:
+    def test_power_one_matches_erm_updates(self, tiny_envs):
+        up = UpSamplingTrainer(
+            _cfg(UpSamplingConfig, power=1.0)
+        ).fit(tiny_envs)
+        erm = ERMTrainer(_cfg()).fit(tiny_envs)
+        np.testing.assert_allclose(up.theta, erm.theta, atol=1e-8)
+
+    def test_power_zero_weights_envs_equally(self, tiny_envs):
+        result = UpSamplingTrainer(
+            _cfg(UpSamplingConfig, power=0.0, n_epochs=1)
+        ).fit(tiny_envs)
+        model = result.model
+        # Recompute the expected first update by hand.
+        theta0 = model.init_params(seed=0, scale=0.01)
+        grads = [
+            model.gradient(theta0, e.features, e.labels) for e in tiny_envs
+        ]
+        expected = theta0 - 0.5 * sum(grads) / len(grads)
+        np.testing.assert_allclose(result.theta, expected, atol=1e-10)
+
+    def test_positive_weight_shifts_scores_up(self, tiny_envs):
+        plain = UpSamplingTrainer(
+            _cfg(UpSamplingConfig, n_epochs=60)
+        ).fit(tiny_envs)
+        weighted = UpSamplingTrainer(
+            _cfg(UpSamplingConfig, n_epochs=60, positive_weight=4.0)
+        ).fit(tiny_envs)
+        x = tiny_envs[0].features
+        assert weighted.predict_proba(x).mean() > plain.predict_proba(x).mean()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            UpSamplingConfig(power=2.0)
+        with pytest.raises(ValueError):
+            UpSamplingConfig(positive_weight=0.0)
+
+
+class TestGroupDRO:
+    def test_group_weights_sum_to_one(self, tiny_envs):
+        trainer = GroupDROTrainer(_cfg(GroupDROConfig))
+        trainer.fit(tiny_envs)
+        assert trainer.group_weights_.sum() == pytest.approx(1.0)
+        assert np.all(trainer.group_weights_ > 0)
+
+    def test_weights_concentrate_on_hard_env(self, rng):
+        """An environment with pure-noise labels keeps a high loss, so DRO
+        must up-weight it."""
+        from repro.data.dataset import EnvironmentData
+
+        easy_x = rng.standard_normal((150, 4))
+        easy_logit = 3.0 * easy_x[:, 0]
+        easy_y = (rng.random(150) < 1 / (1 + np.exp(-easy_logit))).astype(float)
+        easy_y[:2] = [0, 1]
+        hard_x = rng.standard_normal((150, 4))
+        hard_y = rng.integers(0, 2, 150).astype(float)
+        envs = [
+            EnvironmentData("easy", easy_x, easy_y),
+            EnvironmentData("hard", hard_x, hard_y),
+        ]
+        trainer = GroupDROTrainer(
+            _cfg(GroupDROConfig, n_epochs=100, group_lr=0.5)
+        )
+        trainer.fit(envs)
+        assert trainer.group_weights_[1] > 0.6
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            GroupDROConfig(group_lr=0)
+
+
+class TestVREx:
+    def test_zero_variance_weight_is_equal_weighted_erm(self, tiny_envs):
+        vrex = VRExTrainer(
+            _cfg(VRExConfig, variance_weight=0.0)
+        ).fit(tiny_envs)
+        up = UpSamplingTrainer(
+            _cfg(UpSamplingConfig, power=0.0)
+        ).fit(tiny_envs)
+        np.testing.assert_allclose(vrex.theta, up.theta, atol=1e-8)
+
+    def test_variance_penalty_narrows_loss_spread(self, tiny_envs):
+        plain = VRExTrainer(
+            _cfg(VRExConfig, variance_weight=0.0, n_epochs=150)
+        ).fit(tiny_envs)
+        strong = VRExTrainer(
+            _cfg(VRExConfig, variance_weight=50.0, n_epochs=150)
+        ).fit(tiny_envs)
+
+        def loss_spread(result):
+            losses = [
+                result.model.loss(result.theta, e.features, e.labels)
+                for e in tiny_envs
+            ]
+            return np.var(losses)
+
+        assert loss_spread(strong) <= loss_spread(plain) + 1e-9
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            VRExConfig(variance_weight=-1)

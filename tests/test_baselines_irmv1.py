@@ -1,0 +1,110 @@
+"""Unit tests for the IRMv1 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.irmv1 import (
+    IRMv1Config,
+    IRMv1Trainer,
+    dummy_gradient_and_penalty_grad,
+)
+from repro.data.dataset import EnvironmentData
+from repro.models.logistic import LogisticModel, sigmoid
+
+
+def _env(rng, n=80, d=5, coef_scale=1.0):
+    x = rng.standard_normal((n, d))
+    logit = coef_scale * (1.5 * x[:, 0] - x[:, 1])
+    y = (rng.random(n) < sigmoid(logit)).astype(float)
+    y[:2] = [0, 1]
+    return EnvironmentData("e", x, y)
+
+
+class TestDummyGradient:
+    def test_matches_finite_difference(self, rng):
+        """D_e must equal d/dw R(w*theta) at w = 1 by finite differences."""
+        env = _env(rng)
+        model = LogisticModel(5, l2=0.0)
+        theta = 0.4 * rng.standard_normal(5)
+        dummy, _ = dummy_gradient_and_penalty_grad(model, theta, env)
+
+        def risk_at_w(w):
+            return model.loss(w * theta, env.features, env.labels)
+
+        eps = 1e-6
+        fd = (risk_at_w(1 + eps) - risk_at_w(1 - eps)) / (2 * eps)
+        assert dummy == pytest.approx(fd, abs=1e-6)
+
+    def test_penalty_gradient_matches_finite_difference(self, rng):
+        env = _env(rng)
+        model = LogisticModel(5, l2=0.0)
+        theta = 0.4 * rng.standard_normal(5)
+        _, penalty_grad = dummy_gradient_and_penalty_grad(model, theta, env)
+
+        def penalty(t):
+            d, _ = dummy_gradient_and_penalty_grad(model, t, env)
+            return d**2
+
+        eps = 1e-6
+        fd = np.zeros_like(theta)
+        for i in range(theta.size):
+            up, down = theta.copy(), theta.copy()
+            up[i] += eps
+            down[i] -= eps
+            fd[i] = (penalty(up) - penalty(down)) / (2 * eps)
+        np.testing.assert_allclose(penalty_grad, fd, atol=1e-5)
+
+
+class TestTraining:
+    def test_learns_signal(self, tiny_envs):
+        result = IRMv1Trainer(
+            IRMv1Config(n_epochs=150, learning_rate=1.0, penalty_weight=1.0)
+        ).fit(tiny_envs)
+        assert result.theta[0] > 0.3
+        assert result.theta[1] < -0.1
+
+    def test_objective_decreases(self, tiny_envs):
+        result = IRMv1Trainer(
+            IRMv1Config(n_epochs=60, learning_rate=0.5)
+        ).fit(tiny_envs)
+        assert result.history.objective[-1] < result.history.objective[0]
+
+    def test_zero_penalty_is_equal_weighted_erm(self, tiny_envs):
+        from repro.baselines.upsampling import UpSamplingConfig, UpSamplingTrainer
+
+        irm = IRMv1Trainer(
+            IRMv1Config(n_epochs=40, learning_rate=0.5, penalty_weight=0.0)
+        ).fit(tiny_envs)
+        up = UpSamplingTrainer(
+            UpSamplingConfig(n_epochs=40, learning_rate=0.5, power=0.0)
+        ).fit(tiny_envs)
+        np.testing.assert_allclose(irm.theta, up.theta, atol=1e-8)
+
+    def test_penalty_weight_constrains_invariance_violation(self, tiny_envs):
+        """A heavily-penalised run must end with a smaller invariance
+        violation than an unpenalised run of the same budget."""
+
+        def final_penalty(weight):
+            result = IRMv1Trainer(
+                IRMv1Config(n_epochs=120, learning_rate=0.5,
+                            penalty_weight=weight)
+            ).fit(tiny_envs)
+            return sum(
+                dummy_gradient_and_penalty_grad(
+                    result.model, result.theta, e
+                )[0] ** 2
+                for e in tiny_envs
+            )
+
+        assert final_penalty(20.0) < final_penalty(0.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            IRMv1Config(penalty_weight=-1)
+
+    def test_registry_integration(self):
+        from repro.train.registry import make_trainer
+
+        trainer = make_trainer("IRMv1", penalty_weight=5.0, n_epochs=2)
+        assert isinstance(trainer, IRMv1Trainer)
+        assert trainer.config.penalty_weight == 5.0

@@ -1,0 +1,100 @@
+"""End-to-end tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.data.dataset import LoanDataset
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    """A small platform saved to disk once for all CLI tests."""
+    path = tmp_path_factory.mktemp("cli") / "platform.npz"
+    code = main([
+        "generate", "--n-samples", "5000", "--seed", "3",
+        "--total-features", "40", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_every_experiment_id_parseable(self):
+        parser = build_parser()
+        for key in EXPERIMENTS:
+            args = parser.parse_args(["experiment", key])
+            assert args.id == key
+
+
+class TestGenerate:
+    def test_round_trip(self, dataset_file):
+        dataset = LoanDataset.load(dataset_file)
+        assert dataset.n_samples == 5000
+        assert dataset.n_features == 40
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        for out in (a, b):
+            main(["generate", "--n-samples", "1000", "--seed", "9",
+                  "--total-features", "40", "--out", str(out)])
+        da, db = LoanDataset.load(a), LoanDataset.load(b)
+        np.testing.assert_array_equal(da.features, db.features)
+
+
+class TestTrainEvaluate:
+    def test_train_prints_metrics(self, dataset_file, capsys):
+        code = main(["train", "--method", "ERM", "--data", str(dataset_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mKS=" in out
+        assert "worst province" in out
+
+    def test_train_save_then_evaluate(self, dataset_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        code = main([
+            "train", "--method", "LightMIRM", "--data", str(dataset_file),
+            "--out", str(model_path),
+        ])
+        assert code == 0
+        assert model_path.exists()
+        code = main(["evaluate", "--model", str(model_path),
+                     "--data", str(dataset_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LightMIRM" in out
+        assert "KS=" in out
+
+
+class TestExperimentAndList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "LightMIRM" in out
+        assert "table1" in out
+
+    def test_fig10_experiment_runs(self, capsys):
+        code = main([
+            "experiment", "fig10", "--n-samples", "4000",
+            "--trainer-seeds", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 10" in out
+
+    def test_fig4_experiment_runs(self, capsys):
+        code = main([
+            "experiment", "fig4", "--n-samples", "4000",
+            "--trainer-seeds", "0",
+        ])
+        assert code == 0
+        assert "Fig 4" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Unit tests for the MAML chain rule and sigma-penalty gradients.
+
+These verify the analytic meta-gradient against finite differences of the
+*composed* objective — the strongest possible check that our closed-form
+second-order machinery matches what autograd would compute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.meta_grad import (
+    backprop_through_inner_step,
+    sigma_and_weights,
+    sigma_of,
+)
+from repro.data.dataset import EnvironmentData
+from repro.models.logistic import LogisticModel, sigmoid
+
+
+def _env(rng, name, n=60, d=5):
+    x = rng.standard_normal((n, d))
+    y = (rng.random(n) < sigmoid(x @ rng.standard_normal(d))).astype(float)
+    return EnvironmentData(name, x, y)
+
+
+@pytest.fixture()
+def setup(rng):
+    d = 5
+    model = LogisticModel(d, l2=0.01)
+    inner = _env(rng, "inner")
+    outer = _env(rng, "outer")
+    theta = 0.3 * rng.standard_normal(d)
+    return model, inner, outer, theta
+
+
+class TestChainRule:
+    def test_matches_finite_difference_of_composition(self, setup):
+        """d/dtheta [ R_outer(theta - a * grad R_inner(theta)) ]."""
+        model, inner, outer, theta = setup
+        alpha = 0.2
+
+        def composed(t):
+            adapted = t - alpha * model.gradient(t, inner.features,
+                                                 inner.labels)
+            return model.loss(adapted, outer.features, outer.labels)
+
+        adapted = theta - alpha * model.gradient(theta, inner.features,
+                                                 inner.labels)
+        outer_grad = model.gradient(adapted, outer.features, outer.labels)
+        analytic = backprop_through_inner_step(
+            model, theta, inner, outer_grad, alpha
+        )
+
+        eps = 1e-6
+        fd = np.zeros_like(theta)
+        for i in range(theta.size):
+            up, down = theta.copy(), theta.copy()
+            up[i] += eps
+            down[i] -= eps
+            fd[i] = (composed(up) - composed(down)) / (2 * eps)
+        np.testing.assert_allclose(analytic, fd, atol=1e-5)
+
+    def test_first_order_drops_curvature(self, setup):
+        model, inner, outer, theta = setup
+        adapted = theta - 0.2 * model.gradient(theta, inner.features,
+                                               inner.labels)
+        outer_grad = model.gradient(adapted, outer.features, outer.labels)
+        fo = backprop_through_inner_step(
+            model, theta, inner, outer_grad, 0.2, first_order=True
+        )
+        np.testing.assert_array_equal(fo, outer_grad)
+        so = backprop_through_inner_step(
+            model, theta, inner, outer_grad, 0.2, first_order=False
+        )
+        assert not np.allclose(fo, so)
+
+    def test_zero_inner_lr_is_identity(self, setup):
+        model, inner, outer, theta = setup
+        outer_grad = model.gradient(theta, outer.features, outer.labels)
+        out = backprop_through_inner_step(
+            model, theta, inner, outer_grad, inner_lr=1e-12
+        )
+        np.testing.assert_allclose(out, outer_grad, atol=1e-10)
+
+
+class TestSigma:
+    def test_sigma_is_population_std(self):
+        losses = np.array([1.0, 2.0, 3.0, 4.0])
+        assert sigma_of(losses) == pytest.approx(np.std(losses))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sigma_of(np.array([]))
+
+    def test_weights_formula(self):
+        losses = np.array([1.0, 3.0])
+        lam = 2.0
+        sigma, weights = sigma_and_weights(losses, lam)
+        # dsigma/dR_m = (R_m - mean) / (M sigma)
+        expected = 1.0 + lam * (losses - 2.0) / (2 * sigma)
+        np.testing.assert_allclose(weights, expected)
+
+    def test_equal_losses_unit_weights(self):
+        sigma, weights = sigma_and_weights(np.array([2.0, 2.0, 2.0]), 5.0)
+        assert sigma == pytest.approx(0.0)
+        np.testing.assert_array_equal(weights, 1.0)
+
+    def test_zero_lambda_unit_weights(self):
+        _, weights = sigma_and_weights(np.array([1.0, 5.0]), 0.0)
+        np.testing.assert_array_equal(weights, 1.0)
+
+    def test_weights_gradient_check(self):
+        """sum_m w_m * dR_m == d/dR [ sum R + lambda * sigma ]."""
+        rng = np.random.default_rng(0)
+        losses = rng.random(6) + 0.5
+        lam = 1.7
+
+        def objective(ls):
+            return ls.sum() + lam * np.std(ls)
+
+        _, weights = sigma_and_weights(losses, lam)
+        eps = 1e-7
+        for m in range(losses.size):
+            up, down = losses.copy(), losses.copy()
+            up[m] += eps
+            down[m] -= eps
+            fd = (objective(up) - objective(down)) / (2 * eps)
+            assert weights[m] == pytest.approx(fd, abs=1e-5)

@@ -1,0 +1,106 @@
+"""Unit tests for the meta-IRM trainer (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MetaIRMConfig
+from repro.core.meta_irm import MetaIRMTrainer
+from repro.models.logistic import LogisticModel
+
+
+def _fit(envs, **kw):
+    defaults = dict(n_epochs=30, learning_rate=0.05, inner_lr=0.1, seed=0)
+    defaults.update(kw)
+    return MetaIRMTrainer(MetaIRMConfig(**defaults)).fit(envs)
+
+
+class TestTraining:
+    def test_objective_decreases(self, tiny_envs):
+        result = _fit(tiny_envs, n_epochs=60)
+        objective = result.history.objective
+        assert objective[-1] < objective[0]
+
+    def test_learns_the_signal(self, tiny_envs):
+        result = _fit(tiny_envs, n_epochs=100, learning_rate=0.1)
+        # x0 has coefficient +1.5, x1 has -1.0 in every environment.
+        assert result.theta[0] > 0.3
+        assert result.theta[1] < -0.1
+
+    def test_deterministic_given_seed(self, tiny_envs):
+        a = _fit(tiny_envs, seed=3)
+        b = _fit(tiny_envs, seed=3)
+        np.testing.assert_array_equal(a.theta, b.theta)
+
+    def test_history_lengths(self, tiny_envs):
+        result = _fit(tiny_envs, n_epochs=12)
+        assert result.history.n_epochs == 12
+        assert len(result.history.env_losses) == 12
+        assert set(result.history.env_losses[0]) == {"A", "B", "C"}
+
+    def test_callback_invoked_every_epoch(self, tiny_envs):
+        calls = []
+
+        def callback(epoch, theta):
+            calls.append(epoch)
+            return float(epoch)
+
+        result = MetaIRMTrainer(
+            MetaIRMConfig(n_epochs=7, learning_rate=0.05)
+        ).fit(tiny_envs, callback=callback)
+        assert calls == list(range(7))
+        assert result.history.tracked == [float(e) for e in range(7)]
+
+
+class TestSampledVariants:
+    def test_sampled_meta_loss_is_unbiased_estimate(self, tiny_envs):
+        """With the (M-1)/S scaling, the sampled objective estimates the
+        complete objective: same order of magnitude on the first epoch."""
+        complete = _fit(tiny_envs, n_epochs=1)
+        sampled = _fit(tiny_envs, n_epochs=1, n_sampled_envs=1)
+        full = complete.history.objective[0]
+        estimate = sampled.history.objective[0]
+        assert 0.5 * full < estimate < 2.0 * full
+
+    def test_sample_size_capped_at_m_minus_one(self, tiny_envs):
+        # Requesting more environments than exist degrades to complete.
+        big_s = _fit(tiny_envs, n_epochs=5, n_sampled_envs=10, seed=1)
+        complete = _fit(tiny_envs, n_epochs=5, seed=1)
+        np.testing.assert_allclose(big_s.theta, complete.theta)
+
+    def test_name_reflects_sampling(self):
+        assert MetaIRMTrainer(MetaIRMConfig()).name == "meta-IRM"
+        assert MetaIRMTrainer(
+            MetaIRMConfig(n_sampled_envs=5)
+        ).name == "meta-IRM(5)"
+
+
+class TestFirstOrder:
+    def test_first_order_differs_from_second_order(self, tiny_envs):
+        fo = _fit(tiny_envs, first_order=True, n_epochs=20)
+        so = _fit(tiny_envs, first_order=False, n_epochs=20)
+        assert not np.allclose(fo.theta, so.theta)
+
+
+class TestValidation:
+    def test_empty_envs_rejected(self):
+        with pytest.raises(ValueError):
+            MetaIRMTrainer(MetaIRMConfig()).fit([])
+
+    def test_result_predicts(self, tiny_envs):
+        result = _fit(tiny_envs, n_epochs=5)
+        probs = result.predict_proba(tiny_envs[0].features)
+        assert probs.shape == (tiny_envs[0].n_samples,)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MetaIRMConfig(inner_lr=0)
+        with pytest.raises(ValueError):
+            MetaIRMConfig(lambda_penalty=-1)
+        with pytest.raises(ValueError):
+            MetaIRMConfig(n_sampled_envs=0)
+
+    def test_model_dimension_matches(self, tiny_envs):
+        result = _fit(tiny_envs, n_epochs=2)
+        assert isinstance(result.model, LogisticModel)
+        assert result.theta.shape == (tiny_envs[0].features.shape[1],)

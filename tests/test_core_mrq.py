@@ -1,0 +1,122 @@
+"""Unit + property tests for the Meta-loss Replay Queue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mrq import MetaLossReplayQueue
+
+
+class TestPush:
+    def test_initialised_with_zeros(self):
+        q = MetaLossReplayQueue(length=4, gamma=0.9)
+        np.testing.assert_array_equal(q.values, np.zeros(4))
+        assert not q.is_warm
+
+    def test_fifo_shift(self):
+        q = MetaLossReplayQueue(length=3, gamma=0.9)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            q.push(v)
+        np.testing.assert_array_equal(q.values, [2.0, 3.0, 4.0])
+
+    def test_newest_is_last(self):
+        q = MetaLossReplayQueue(length=3, gamma=0.9)
+        q.push(7.0)
+        assert q.newest() == 7.0
+
+    def test_warm_after_length_pushes(self):
+        q = MetaLossReplayQueue(length=3, gamma=0.9)
+        for i in range(3):
+            assert q.is_warm == (i >= 3)
+            q.push(float(i))
+        assert q.is_warm
+        assert q.n_pushed == 3
+
+    def test_non_finite_rejected(self):
+        q = MetaLossReplayQueue(length=2, gamma=0.9)
+        with pytest.raises(ValueError):
+            q.push(float("nan"))
+        with pytest.raises(ValueError):
+            q.push(float("inf"))
+
+
+class TestDecayedSum:
+    def test_matches_equation_nine(self):
+        """R_meta = sum_i gamma^(L-i) H[i] with H[L] the newest."""
+        gamma = 0.8
+        q = MetaLossReplayQueue(length=3, gamma=gamma)
+        q.push(1.0)
+        q.push(2.0)
+        q.push(3.0)
+        expected = gamma**2 * 1.0 + gamma**1 * 2.0 + gamma**0 * 3.0
+        assert q.decayed_sum() == pytest.approx(expected)
+
+    def test_newest_entry_has_unit_weight(self):
+        q = MetaLossReplayQueue(length=5, gamma=0.5)
+        q.push(10.0)
+        # All other entries are zero, so the sum is exactly the newest.
+        assert q.decayed_sum() == pytest.approx(10.0)
+
+    def test_split_replay_plus_newest(self):
+        q = MetaLossReplayQueue(length=4, gamma=0.7)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            q.push(v)
+        assert q.decayed_sum() == pytest.approx(
+            q.replay_component() + q.newest()
+        )
+
+    def test_length_one_has_no_replay(self):
+        q = MetaLossReplayQueue(length=1, gamma=0.9)
+        q.push(5.0)
+        assert q.replay_component() == 0.0
+        assert q.decayed_sum() == pytest.approx(5.0)
+
+    def test_gamma_one_is_plain_sum(self):
+        q = MetaLossReplayQueue(length=3, gamma=1.0)
+        for v in (1.0, 2.0, 3.0):
+            q.push(v)
+        assert q.decayed_sum() == pytest.approx(6.0)
+
+
+class TestValidation:
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            MetaLossReplayQueue(length=0, gamma=0.9)
+
+    def test_bad_gamma(self):
+        with pytest.raises(ValueError):
+            MetaLossReplayQueue(length=2, gamma=0.0)
+        with pytest.raises(ValueError):
+            MetaLossReplayQueue(length=2, gamma=1.5)
+
+    def test_len_and_repr(self):
+        q = MetaLossReplayQueue(length=4, gamma=0.9)
+        assert len(q) == 4
+        assert "MetaLossReplayQueue" in repr(q)
+
+
+class TestQueueProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30),
+        st.integers(1, 8),
+        st.floats(0.1, 1.0),
+    )
+    def test_decayed_sum_bounds(self, losses, length, gamma):
+        """0 <= decayed sum <= max(loss) * sum of weights."""
+        q = MetaLossReplayQueue(length=length, gamma=gamma)
+        for v in losses:
+            q.push(v)
+        weight_total = sum(gamma**k for k in range(length))
+        assert 0.0 <= q.decayed_sum() <= max(losses) * weight_total + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1,
+                    max_size=30), st.integers(1, 8))
+    def test_queue_holds_last_l_values(self, losses, length):
+        q = MetaLossReplayQueue(length=length, gamma=0.9)
+        for v in losses:
+            q.push(v)
+        expected = ([0.0] * length + losses)[-length:]
+        np.testing.assert_allclose(q.values, expected)

@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic platform generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    GeneratorConfig,
+    LoanDataGenerator,
+    generate_default_dataset,
+)
+from repro.data.provinces import default_registry
+from repro.data.schema import CausalRole
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = LoanDataGenerator(GeneratorConfig.small(seed=5)).generate()
+        b = LoanDataGenerator(GeneratorConfig.small(seed=5)).generate()
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.provinces, b.provinces)
+
+    def test_different_seed_different_data(self):
+        a = LoanDataGenerator(GeneratorConfig.small(seed=5)).generate()
+        b = LoanDataGenerator(GeneratorConfig.small(seed=6)).generate()
+        assert not np.array_equal(a.labels, b.labels)
+
+
+class TestShape:
+    def test_dimensions(self, small_dataset):
+        assert small_dataset.n_samples == 4000
+        assert small_dataset.n_features == 40
+
+    def test_all_years_and_halves_present(self, small_dataset):
+        assert set(np.unique(small_dataset.years)) == {2016, 2017, 2018,
+                                                       2019, 2020}
+        assert set(np.unique(small_dataset.halves)) == {1, 2}
+
+    def test_all_provinces_present(self, small_dataset):
+        assert set(small_dataset.province_names()) == set(
+            default_registry().names
+        )
+
+    def test_features_finite(self, small_dataset):
+        assert np.all(np.isfinite(small_dataset.features))
+
+    def test_labels_binary(self, small_dataset):
+        assert set(np.unique(small_dataset.labels)) <= {0.0, 1.0}
+
+
+class TestStatisticalStructure:
+    @pytest.fixture(scope="class")
+    def big(self):
+        return generate_default_dataset(n_samples=30_000, seed=42)
+
+    def test_default_rate_plausible(self, big):
+        assert 0.08 < big.default_rate < 0.25
+
+    def test_volume_ordering_matches_weights(self, big):
+        counts = {
+            name: int(np.sum(big.provinces == name))
+            for name in big.province_names()
+        }
+        assert counts["Guangdong"] > counts["Xinjiang"] * 5
+
+    def test_vehicle_one_hot_exactly_one(self, big):
+        cols = big.schema.vehicle_indicator_columns()
+        sums = big.features[:, cols].sum(axis=1)
+        np.testing.assert_array_equal(sums, 1.0)
+
+    def test_invariant_features_predict_label_everywhere(self, big):
+        """The invariant block correlates with the label in every province
+        with the same sign (the invariance IRM should exploit)."""
+        col = big.schema.column("debt_to_income")
+        for name in ("Guangdong", "Xinjiang", "Qinghai"):
+            mask = big.provinces == name
+            corr = np.corrcoef(big.features[mask, col], big.labels[mask])[0, 1]
+            assert corr > 0.02, f"{name}: {corr}"
+
+    def test_spurious_polarity_flips_across_provinces(self, big):
+        """The spurious block correlates positively with the label in
+        Guangdong and non-positively in Xinjiang (training years)."""
+        train_mask = big.years < 2020
+        col = big.schema.columns_with_role(CausalRole.SPURIOUS)[0]
+        gd = train_mask & (big.provinces == "Guangdong")
+        xj = train_mask & (big.provinces == "Xinjiang")
+        corr_gd = np.corrcoef(big.features[gd, col], big.labels[gd])[0, 1]
+        corr_xj = np.corrcoef(big.features[xj, col], big.labels[xj])[0, 1]
+        assert corr_gd > 0.15
+        assert corr_xj < 0.02
+
+    def test_noise_features_uninformative(self, big):
+        cols = big.schema.columns_with_role(CausalRole.NOISE)
+        if not cols:
+            pytest.skip("no noise columns in this config")
+        corr = np.corrcoef(big.features[:, cols[0]], big.labels)[0, 1]
+        assert abs(corr) < 0.03
+
+    def test_guangdong_share_halves_in_2020(self, big):
+        shares = big.province_share_by_year()
+        pre = np.mean([shares[y]["Guangdong"] for y in (2016, 2017, 2018, 2019)])
+        assert shares[2020]["Guangdong"] < 0.65 * pre
+
+    def test_hubei_h1_default_spike(self, big):
+        hubei = big.filter_province("Hubei")
+        h1_2020 = hubei.select((hubei.years == 2020) & (hubei.halves == 1))
+        h2_2020 = hubei.select((hubei.years == 2020) & (hubei.halves == 2))
+        pre = hubei.filter_years((2016, 2017, 2018, 2019))
+        assert h1_2020.default_rate > 1.5 * pre.default_rate
+        assert h2_2020.default_rate < 1.4 * pre.default_rate
+
+
+class TestConfig:
+    def test_paper_scale_dimensions(self):
+        cfg = GeneratorConfig.paper_scale()
+        assert cfg.n_samples == 1_400_000
+        assert cfg.total_features == 210
+
+    def test_custom_registry(self):
+        registry = default_registry().subset(["Guangdong", "Hubei"])
+        cfg = GeneratorConfig(n_samples=500, registry=registry)
+        data = LoanDataGenerator(cfg).generate()
+        assert set(data.province_names()) == {"Guangdong", "Hubei"}

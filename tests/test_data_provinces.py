@@ -1,0 +1,88 @@
+"""Unit tests for the province registries."""
+
+import pytest
+
+from repro.data.provinces import (
+    ProvinceProfile,
+    ProvinceRegistry,
+    default_registry,
+    extended_registry,
+)
+
+
+class TestDefaultRegistry:
+    def test_twelve_provinces(self):
+        assert len(default_registry()) == 12
+
+    def test_guangdong_dominates_and_collapses(self):
+        registry = default_registry()
+        guangdong = registry.get("Guangdong")
+        assert guangdong.base_weight == max(p.base_weight for p in registry)
+        assert guangdong.weight_for_year(2020) < 0.6 * guangdong.weight_for_year(2019)
+
+    def test_xinjiang_underrepresented(self):
+        registry = default_registry()
+        xinjiang = registry.get("Xinjiang")
+        assert xinjiang.base_weight == min(p.base_weight for p in registry)
+        assert xinjiang.spurious_polarity < 0
+
+    def test_hubei_covid_exposure(self):
+        assert default_registry().get("Hubei").covid_exposure == 1.0
+        others = [p for p in default_registry() if p.name != "Hubei"]
+        assert all(p.covid_exposure == 0.0 for p in others)
+
+    def test_noise_grows_as_weight_shrinks(self):
+        """Underrepresented provinces have worse data quality."""
+        registry = default_registry()
+        small = [p for p in registry if p.base_weight < 3]
+        large = [p for p in registry if p.base_weight > 10]
+        assert min(p.noise_scale for p in small) > max(
+            p.noise_scale for p in large
+        )
+
+    def test_weights_for_year_aligned(self):
+        registry = default_registry()
+        weights = registry.weights_for_year(2018)
+        assert len(weights) == len(registry)
+        assert all(w > 0 for w in weights)
+
+
+class TestExtendedRegistry:
+    def test_has_more_than_twenty_provinces(self):
+        assert len(extended_registry()) == 26
+
+    def test_contains_default_provinces(self):
+        names = set(extended_registry().names)
+        assert set(default_registry().names) <= names
+
+    def test_no_duplicates(self):
+        names = extended_registry().names
+        assert len(set(names)) == len(names)
+
+
+class TestRegistryOps:
+    def test_subset_preserves_order(self):
+        registry = default_registry()
+        sub = registry.subset(["Hubei", "Guangdong"])
+        assert sub.names == ("Guangdong", "Hubei")
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_registry().subset(["Atlantis"])
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_registry().get("Atlantis")
+
+    def test_contains(self):
+        assert "Hubei" in default_registry()
+        assert "Atlantis" not in default_registry()
+
+    def test_empty_registry_raises(self):
+        with pytest.raises(ValueError):
+            ProvinceRegistry([])
+
+    def test_duplicate_names_raise(self):
+        p = ProvinceProfile("X", 1.0, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            ProvinceRegistry([p, p])

@@ -1,0 +1,69 @@
+"""Unit tests for the feature schema."""
+
+import pytest
+
+from repro.data.schema import (
+    VEHICLE_TYPES,
+    CausalRole,
+    FeatureBlock,
+    LoanFeatureSchema,
+    build_schema,
+)
+
+
+class TestBuildSchema:
+    def test_total_width_honoured(self):
+        schema = build_schema(total_features=60, n_spurious=8)
+        assert schema.n_features == 60
+
+    def test_paper_width(self):
+        schema = build_schema(total_features=210, n_spurious=16)
+        assert schema.n_features == 210
+
+    def test_names_unique(self):
+        schema = build_schema(60, 8)
+        assert len(set(schema.names)) == schema.n_features
+
+    def test_too_small_width_raises(self):
+        with pytest.raises(ValueError):
+            build_schema(total_features=10, n_spurious=8)
+
+    def test_role_partition_covers_all_columns(self):
+        schema = build_schema(60, 8)
+        counted = sum(
+            len(schema.columns_with_role(role)) for role in CausalRole
+        )
+        assert counted == schema.n_features
+
+    def test_spurious_count(self):
+        schema = build_schema(60, n_spurious=8)
+        assert len(schema.columns_with_role(CausalRole.SPURIOUS)) == 8
+
+
+class TestSchemaAccessors:
+    def test_column_lookup(self):
+        schema = build_schema(60, 8)
+        idx = schema.column("debt_to_income")
+        assert schema.specs[idx].name == "debt_to_income"
+        assert schema.specs[idx].role is CausalRole.INVARIANT
+
+    def test_unknown_column_raises(self):
+        schema = build_schema(60, 8)
+        with pytest.raises(KeyError):
+            schema.column("nonexistent")
+
+    def test_vehicle_indicator_columns_order(self):
+        schema = build_schema(60, 8)
+        cols = schema.vehicle_indicator_columns()
+        assert len(cols) == len(VEHICLE_TYPES)
+        for col, vehicle in zip(cols, VEHICLE_TYPES):
+            spec = schema.specs[col]
+            assert spec.name == f"vehicle_is_{vehicle}"
+            assert spec.is_categorical_indicator
+            assert spec.block is FeatureBlock.VEHICLE
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            LoanFeatureSchema(n_spurious=0, n_noise=3)
+        with pytest.raises(ValueError):
+            LoanFeatureSchema(n_spurious=2, n_noise=-1)

@@ -1,0 +1,82 @@
+"""Unit tests for the temporal drift processes."""
+
+import numpy as np
+import pytest
+
+from repro.data.provinces import default_registry
+from repro.data.shifts import (
+    covid_default_shift,
+    spurious_strength,
+    vehicle_mix,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestVehicleMix:
+    def test_valid_distribution(self, registry):
+        for province in registry:
+            for year in (2016, 2018, 2020):
+                mix = vehicle_mix(province, year)
+                assert mix.shape == (5,)
+                assert np.all(mix > 0)
+                assert mix.sum() == pytest.approx(1.0)
+
+    def test_mix_drifts_over_years(self, registry):
+        guangdong = registry.get("Guangdong")
+        mix_2016 = vehicle_mix(guangdong, 2016)
+        mix_2020 = vehicle_mix(guangdong, 2020)
+        assert np.abs(mix_2016 - mix_2020).sum() > 0.05
+
+    def test_truck_tilt_raises_truck_share(self, registry):
+        hub = registry.get("Guangdong")       # truck_tilt 0.10
+        quiet = registry.get("Qinghai")       # truck_tilt 0
+        assert vehicle_mix(hub, 2018)[4] > vehicle_mix(quiet, 2018)[4]
+
+    def test_used_car_tilt_raises_used_share(self, registry):
+        rural = registry.get("Qinghai")
+        coastal = registry.get("Jiangsu")
+        assert vehicle_mix(rural, 2018)[3] > vehicle_mix(coastal, 2018)[3]
+
+
+class TestCovidShift:
+    def test_zero_outside_2020(self, registry):
+        hubei = registry.get("Hubei")
+        for year in (2016, 2019):
+            assert covid_default_shift(hubei, year, 1) == 0.0
+
+    def test_zero_for_unexposed(self, registry):
+        assert covid_default_shift(registry.get("Jiangsu"), 2020, 1) == 0.0
+
+    def test_h1_shock_much_larger_than_h2(self, registry):
+        hubei = registry.get("Hubei")
+        h1 = covid_default_shift(hubei, 2020, 1)
+        h2 = covid_default_shift(hubei, 2020, 2)
+        assert h1 > 4 * h2 > 0
+
+
+class TestSpuriousStrength:
+    def test_training_years_full_strength(self, registry):
+        jiangsu = registry.get("Jiangsu")
+        assert spurious_strength(jiangsu, 2018, 1, 0.7) == pytest.approx(
+            0.7 * jiangsu.spurious_polarity
+        )
+
+    def test_2020_decay(self, registry):
+        jiangsu = registry.get("Jiangsu")
+        before = abs(spurious_strength(jiangsu, 2019, 1, 0.7))
+        after = abs(spurious_strength(jiangsu, 2020, 1, 0.7))
+        assert after < before
+
+    def test_covid_breaks_signal_in_h1(self, registry):
+        hubei = registry.get("Hubei")
+        h1 = abs(spurious_strength(hubei, 2020, 1, 0.7))
+        h2 = abs(spurious_strength(hubei, 2020, 2, 0.7))
+        assert h1 < 0.2 * h2
+
+    def test_polarity_sign_carries(self, registry):
+        xinjiang = registry.get("Xinjiang")
+        assert spurious_strength(xinjiang, 2018, 1, 0.7) < 0

@@ -1,0 +1,61 @@
+"""Unit tests for the split protocols."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import iid_split, temporal_split, validation_split
+
+
+class TestTemporalSplit:
+    def test_years_partitioned(self, small_dataset):
+        split = temporal_split(small_dataset)
+        assert set(np.unique(split.train.years)) == {2016, 2017, 2018, 2019}
+        assert set(np.unique(split.test.years)) == {2020}
+
+    def test_no_row_loss(self, small_dataset):
+        split = temporal_split(small_dataset)
+        assert split.train.n_samples + split.test.n_samples == (
+            small_dataset.n_samples
+        )
+
+
+class TestIidSplit:
+    def test_fraction_respected(self, small_dataset):
+        split = iid_split(small_dataset, test_fraction=0.25, seed=0)
+        assert split.test.n_samples == pytest.approx(
+            0.25 * small_dataset.n_samples, abs=1
+        )
+
+    def test_disjoint_and_complete(self, small_dataset):
+        split = iid_split(small_dataset, test_fraction=0.3, seed=1)
+        assert split.train.n_samples + split.test.n_samples == (
+            small_dataset.n_samples
+        )
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = iid_split(small_dataset, seed=5)
+        b = iid_split(small_dataset, seed=5)
+        np.testing.assert_array_equal(a.test.labels, b.test.labels)
+
+    def test_different_seed_differs(self, small_dataset):
+        a = iid_split(small_dataset, seed=5)
+        b = iid_split(small_dataset, seed=6)
+        assert not np.array_equal(a.test.labels, b.test.labels)
+
+    def test_mixes_years(self, small_dataset):
+        split = iid_split(small_dataset, seed=0)
+        assert len(np.unique(split.test.years)) > 1
+
+    def test_invalid_fraction_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            iid_split(small_dataset, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            iid_split(small_dataset, test_fraction=1.0)
+
+
+class TestValidationSplit:
+    def test_default_fraction(self, small_dataset):
+        split = validation_split(small_dataset, validation_fraction=0.2)
+        assert split.test.n_samples == pytest.approx(
+            0.2 * small_dataset.n_samples, abs=1
+        )

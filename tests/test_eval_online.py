@@ -1,0 +1,56 @@
+"""Unit tests for the online replay simulator (Fig 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.online import replay_online_test
+
+
+class TestReplay:
+    def test_baseline_is_stream_default_rate(self, rng):
+        y = rng.integers(0, 2, 1000).astype(float)
+        s = rng.random(1000)
+        replay = replay_online_test(y, s)
+        assert replay.baseline_bad_debt_rate == pytest.approx(y.mean())
+
+    def test_good_model_reduces_bad_debt(self, rng):
+        y = rng.integers(0, 2, 2000).astype(float)
+        # Scores strongly correlated with defaults.
+        s = np.clip(0.8 * y + 0.2 * rng.random(2000), 0, 1)
+        replay = replay_online_test(y, s, operating_threshold=0.5)
+        assert replay.companion_bad_debt_rate < replay.baseline_bad_debt_rate
+        assert replay.reduction_fraction > 0.5
+
+    def test_useless_model_no_reduction(self, rng):
+        y = rng.integers(0, 2, 3000).astype(float)
+        s = rng.random(3000)
+        replay = replay_online_test(y, s, operating_threshold=0.5)
+        assert abs(replay.reduction_fraction) < 0.15
+
+    def test_curve_shapes(self, rng):
+        y = rng.integers(0, 2, 200).astype(float)
+        s = rng.random(200)
+        replay = replay_online_test(y, s)
+        assert set(replay.curves) == {
+            "thresholds",
+            "false_positive_rate",
+            "bad_debt_rate",
+            "refusal_rate",
+        }
+
+    def test_refusal_at_threshold(self, rng):
+        y = rng.integers(0, 2, 500).astype(float)
+        s = rng.random(500)
+        replay = replay_online_test(y, s, operating_threshold=0.5)
+        # At threshold 0.5 with uniform scores, about half are refused.
+        assert 0.35 < replay.refusal_at_threshold < 0.65
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(ValueError):
+            replay_online_test(np.array([]), np.array([]))
+
+    def test_zero_baseline_reduction_zero(self):
+        y = np.zeros(100)
+        s = np.random.default_rng(0).random(100)
+        replay = replay_online_test(y, s)
+        assert replay.reduction_fraction == 0.0

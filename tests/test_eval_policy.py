@@ -1,0 +1,100 @@
+"""Unit tests for operating-threshold policies."""
+
+import numpy as np
+import pytest
+
+from repro.eval.policy import (
+    threshold_for_bad_debt,
+    threshold_for_fpr_cap,
+    threshold_for_refusal_budget,
+)
+from repro.metrics.calibration import bad_debt_rate, refusal_rate
+
+
+@pytest.fixture(scope="module")
+def stream():
+    """An informative scored stream: scores correlate with defaults."""
+    rng = np.random.default_rng(0)
+    n = 8_000
+    y = rng.integers(0, 2, n).astype(float)
+    scores = np.clip(0.55 * y + 0.45 * rng.random(n), 0, 1)
+    return y, scores
+
+
+class TestBadDebtTarget:
+    def test_constraint_met(self, stream):
+        y, s = stream
+        point = threshold_for_bad_debt(y, s, target_bad_debt_rate=0.25)
+        assert point.bad_debt_rate <= 0.25
+        assert bad_debt_rate(y, s, point.threshold) == pytest.approx(
+            point.bad_debt_rate
+        )
+
+    def test_loosest_feasible(self, stream):
+        """A slightly higher threshold must violate the target."""
+        y, s = stream
+        point = threshold_for_bad_debt(y, s, target_bad_debt_rate=0.25,
+                                       n_grid=501)
+        step = 1.0 / 500
+        if point.threshold + step <= 1.0:
+            assert bad_debt_rate(y, s, point.threshold + step) > 0.25
+
+    def test_zero_target_always_feasible(self, stream):
+        """Bad debt 0 is always reachable (worst case: refuse everything);
+        the policy finds the loosest threshold that still achieves it."""
+        y, s = stream
+        point = threshold_for_bad_debt(y, s, target_bad_debt_rate=0.0)
+        assert point.bad_debt_rate == 0.0
+        # In this stream every defaulter scores >= 0.55, so the loosest
+        # zero-bad-debt threshold refuses far fewer than all applications.
+        assert point.refusal_rate < 1.0
+
+    def test_invalid_target(self, stream):
+        y, s = stream
+        with pytest.raises(ValueError):
+            threshold_for_bad_debt(y, s, target_bad_debt_rate=1.5)
+
+
+class TestRefusalBudget:
+    def test_constraint_met_and_tightest(self, stream):
+        y, s = stream
+        point = threshold_for_refusal_budget(y, s, max_refusal_rate=0.2)
+        assert point.refusal_rate <= 0.2
+        # Tightest feasible: a slightly lower threshold must refuse more
+        # than the budget.
+        step = 1.0 / 500
+        if point.threshold - step >= 0.0:
+            assert refusal_rate(y, s, point.threshold - step) > 0.2
+
+    def test_budget_one_accepts_everything(self, stream):
+        y, s = stream
+        point = threshold_for_refusal_budget(y, s, max_refusal_rate=1.0)
+        assert point.threshold == 0.0
+
+    def test_tighter_budget_higher_bad_debt(self, stream):
+        y, s = stream
+        tight = threshold_for_refusal_budget(y, s, max_refusal_rate=0.05)
+        loose = threshold_for_refusal_budget(y, s, max_refusal_rate=0.4)
+        assert tight.bad_debt_rate >= loose.bad_debt_rate
+
+
+class TestFprCap:
+    def test_constraint_met(self, stream):
+        y, s = stream
+        point = threshold_for_fpr_cap(y, s, max_false_positive_rate=0.1)
+        assert point.false_positive_rate <= 0.1
+
+    def test_zero_cap_feasible_at_top(self, stream):
+        y, s = stream
+        point = threshold_for_fpr_cap(y, s, max_false_positive_rate=0.0)
+        # Only the refuse-nobody end can guarantee zero FPR here.
+        assert point.false_positive_rate == 0.0
+
+
+class TestOperatingPoint:
+    def test_describe(self, stream):
+        y, s = stream
+        point = threshold_for_refusal_budget(y, s, max_refusal_rate=0.2)
+        text = point.describe()
+        assert "threshold" in text
+        assert "%" in text

@@ -1,0 +1,67 @@
+"""Unit tests for text report rendering."""
+
+import pytest
+
+from repro.eval.reports import format_series, format_table, highlight_best
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        rows = [
+            {"method": "A", "mKS": 0.5},
+            {"method": "B", "mKS": 0.61234},
+        ]
+        out = format_table(rows, columns=("method", "mKS"), title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "method" in lines[1]
+        assert "0.6123" in out
+
+    def test_missing_cell_renders_dash(self):
+        out = format_table([{"a": 1}], columns=("a", "b"))
+        assert "-" in out.splitlines()[-1]
+
+    def test_alignment(self):
+        rows = [{"x": "short", "y": 1.0}, {"x": "muchlongervalue", "y": 2.0}]
+        out = format_table(rows, columns=("x", "y"))
+        data_lines = out.splitlines()[2:]
+        # The y column starts at the same offset in both rows.
+        offsets = [line.index("1.0000") if "1.0000" in line
+                   else line.index("2.0000") for line in data_lines]
+        assert offsets[0] == offsets[1]
+
+
+class TestFormatSeries:
+    def test_rendering(self):
+        out = format_series("curve", [1, 2], [0.1, 0.2],
+                            x_label="epoch", y_label="ks")
+        assert "curve" in out
+        assert "1: 0.1000" in out
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [0.1, 0.2])
+
+
+class TestHighlightBest:
+    def test_maximize(self):
+        rows = [
+            {"method": "A", "m": 0.2},
+            {"method": "B", "m": 0.9},
+        ]
+        assert highlight_best(rows, "m") == "B"
+
+    def test_minimize(self):
+        rows = [
+            {"method": "A", "m": 0.2},
+            {"method": "B", "m": 0.9},
+        ]
+        assert highlight_best(rows, "m", maximize=False) == "A"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            highlight_best([], "m")
+
+    def test_no_numeric_raises(self):
+        with pytest.raises(ValueError):
+            highlight_best([{"method": "A", "m": "n/a"}], "m")

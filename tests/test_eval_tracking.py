@@ -1,0 +1,77 @@
+"""Unit tests for the KS tracking callback."""
+
+import numpy as np
+import pytest
+
+from repro.eval.tracking import KSTrackingCallback
+from repro.models.logistic import LogisticModel
+
+
+class TestKSTracking:
+    def test_tracks_every_epoch(self, tiny_envs):
+        model = LogisticModel(tiny_envs[0].features.shape[1])
+        callback = KSTrackingCallback(model, tiny_envs)
+        theta = model.init_params(0)
+        for epoch in range(4):
+            value = callback(epoch, theta)
+            assert value is not None
+        assert len(callback.curve) == 4
+
+    def test_every_n_epochs(self, tiny_envs):
+        model = LogisticModel(tiny_envs[0].features.shape[1])
+        callback = KSTrackingCallback(model, tiny_envs, every=3)
+        theta = model.init_params(0)
+        values = [callback(e, theta) for e in range(7)]
+        assert [v is not None for v in values] == [
+            True, False, False, True, False, False, True
+        ]
+
+    def test_statistic_choice(self, tiny_envs):
+        model = LogisticModel(tiny_envs[0].features.shape[1])
+        theta = model.init_params(0)
+        mean_cb = KSTrackingCallback(model, tiny_envs, statistic="mean")
+        worst_cb = KSTrackingCallback(model, tiny_envs, statistic="worst")
+        assert worst_cb(0, theta) <= mean_cb(0, theta)
+
+    def test_best(self, tiny_envs):
+        model = LogisticModel(tiny_envs[0].features.shape[1])
+        callback = KSTrackingCallback(model, tiny_envs)
+        rng = np.random.default_rng(0)
+        for epoch in range(5):
+            callback(epoch, 0.1 * rng.standard_normal(
+                tiny_envs[0].features.shape[1]))
+        epoch, value = callback.best()
+        assert value == max(v for _, v in callback.curve)
+
+    def test_best_before_any_epoch_raises(self, tiny_envs):
+        model = LogisticModel(tiny_envs[0].features.shape[1])
+        callback = KSTrackingCallback(model, tiny_envs)
+        with pytest.raises(RuntimeError):
+            callback.best()
+
+    def test_invalid_args(self, tiny_envs):
+        model = LogisticModel(tiny_envs[0].features.shape[1])
+        with pytest.raises(ValueError):
+            KSTrackingCallback(model, tiny_envs, statistic="median")
+        with pytest.raises(ValueError):
+            KSTrackingCallback(model, tiny_envs, every=0)
+
+    def test_degenerate_envs_filtered(self, tiny_envs, rng):
+        from repro.data.dataset import EnvironmentData
+
+        degenerate = EnvironmentData(
+            "deg", rng.standard_normal((10, tiny_envs[0].features.shape[1])),
+            np.zeros(10)
+        )
+        model = LogisticModel(tiny_envs[0].features.shape[1])
+        callback = KSTrackingCallback(model, list(tiny_envs) + [degenerate])
+        assert all(e.name != "deg" for e in callback.environments)
+
+    def test_all_degenerate_raises(self, rng):
+        from repro.data.dataset import EnvironmentData
+
+        model = LogisticModel(4)
+        degenerate = EnvironmentData("d", rng.standard_normal((10, 4)),
+                                     np.zeros(10))
+        with pytest.raises(ValueError):
+            KSTrackingCallback(model, [degenerate])

@@ -1,0 +1,46 @@
+"""Unit tests for the stability study harness (tiny settings)."""
+
+import pytest
+
+from repro.experiments.stability import (
+    CLAIMS,
+    format_stability,
+    run_stability,
+)
+
+
+class TestRunStability:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_stability(
+            data_seeds=(1, 2),
+            n_samples=5_000,
+            trainer_seeds=(0,),
+            methods=("ERM", "meta-IRM", "LightMIRM"),
+        )
+
+    def test_rows_per_method(self, study):
+        assert [r.method for r in study.rows] == [
+            "ERM", "meta-IRM", "LightMIRM",
+        ]
+        assert study.n_seeds == 2
+
+    def test_claim_rates_in_unit_interval(self, study):
+        assert set(study.claim_rates) == set(CLAIMS)
+        for rate in study.claim_rates.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_stds_nonnegative(self, study):
+        for row in study.rows:
+            assert row.mean_ks_std >= 0
+            assert row.worst_ks_std >= 0
+
+    def test_format(self, study):
+        rendered = format_stability(study)
+        assert "Stability over 2 platform seeds" in rendered
+        assert "claim hold-rates" in rendered
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            run_stability(data_seeds=(1,), n_samples=4_000,
+                          methods=("ERM", "CatBoost"))

@@ -1,0 +1,139 @@
+"""Failure-injection tests: malformed inputs must fail loudly and early."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.erm import ERMTrainer
+from repro.core.config import LightMIRMConfig, MetaIRMConfig
+from repro.core.lightmirm import LightMIRMTrainer
+from repro.core.meta_irm import MetaIRMTrainer
+from repro.data.dataset import EnvironmentData
+from repro.gbdt.boosting import GBDTClassifier, GBDTParams
+from repro.pipeline.extractor import GBDTFeatureExtractor
+from repro.train.base import BaseTrainConfig
+
+
+class TestNaNAndInfInputs:
+    def test_gbdt_rejects_nan_features(self, rng):
+        x = rng.standard_normal((50, 3))
+        x[3, 1] = np.nan
+        y = rng.integers(0, 2, 50).astype(float)
+        with pytest.raises(ValueError, match="finite"):
+            GBDTClassifier(GBDTParams(n_trees=2)).fit(x, y)
+
+    def test_gbdt_rejects_inf_at_predict(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = rng.integers(0, 2, 100).astype(float)
+        y[:2] = [0, 1]
+        model = GBDTClassifier(GBDTParams(n_trees=2)).fit(x, y)
+        bad = x.copy()
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            model.predict_proba(bad)
+
+    def test_metrics_reject_nan_scores(self, rng):
+        from repro.metrics.auc import auc_score
+
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            auc_score(y, np.array([0.1, np.nan, 0.3, 0.4]))
+
+
+class TestDegenerateEnvironments:
+    def test_single_class_environment_trains_without_crash(self, rng):
+        """A province with zero defaults must not break training (it is
+        skipped at evaluation time instead)."""
+        envs = [
+            EnvironmentData("ok", rng.standard_normal((80, 4)),
+                            rng.integers(0, 2, 80).astype(float)),
+            EnvironmentData("no_defaults", rng.standard_normal((40, 4)),
+                            np.zeros(40)),
+        ]
+        envs[0].labels.setflags(write=True)
+        envs[0].labels[:2] = [0, 1]
+        for trainer in (
+            ERMTrainer(BaseTrainConfig(n_epochs=5)),
+            MetaIRMTrainer(MetaIRMConfig(n_epochs=5)),
+            LightMIRMTrainer(LightMIRMConfig(n_epochs=5)),
+        ):
+            result = trainer.fit(envs)
+            assert np.isfinite(result.theta).all()
+
+    def test_one_row_environment(self, rng):
+        envs = [
+            EnvironmentData("big", rng.standard_normal((80, 4)),
+                            rng.integers(0, 2, 80).astype(float)),
+            EnvironmentData("one", rng.standard_normal((1, 4)),
+                            np.ones(1)),
+        ]
+        result = LightMIRMTrainer(LightMIRMConfig(n_epochs=3)).fit(envs)
+        assert np.isfinite(result.theta).all()
+
+
+class TestCorruptedArtifacts:
+    def test_truncated_json_raises(self, small_split, tmp_path):
+        from repro.persist import save_pipeline, load_pipeline
+        from repro.pipeline.pipeline import LoanDefaultPipeline
+
+        pipeline = LoanDefaultPipeline(ERMTrainer(BaseTrainConfig(n_epochs=2)))
+        pipeline.fit(small_split.train)
+        path = tmp_path / "model.json"
+        save_pipeline(pipeline, path)
+        path.write_text(path.read_text()[:100])
+        with pytest.raises(json.JSONDecodeError):
+            load_pipeline(path)
+
+    def test_theta_dimension_mismatch_detected(self, small_split, tmp_path):
+        from repro.persist import load_pipeline, save_pipeline
+        from repro.pipeline.pipeline import LoanDefaultPipeline
+
+        pipeline = LoanDefaultPipeline(ERMTrainer(BaseTrainConfig(n_epochs=2)))
+        pipeline.fit(small_split.train)
+        path = tmp_path / "model.json"
+        save_pipeline(pipeline, path)
+        payload = json.loads(path.read_text())
+        payload["theta"] = payload["theta"][:-3]  # corrupt the head
+        path.write_text(json.dumps(payload))
+        scorer = load_pipeline(path)
+        with pytest.raises(ValueError):
+            scorer.predict_proba(small_split.test.features[:5])
+
+
+class TestExtractorMisuse:
+    def test_transform_wrong_width(self, fitted_extractor, rng):
+        from repro.data.generator import GeneratorConfig, LoanDataGenerator
+
+        other = LoanDataGenerator(
+            GeneratorConfig(n_samples=300, total_features=60, seed=1)
+        ).generate()
+        with pytest.raises(ValueError):
+            fitted_extractor.transform(other)
+
+    def test_head_theta_wrong_dim(self, fitted_extractor, train_envs):
+        from repro.models.logistic import LogisticModel
+
+        model = LogisticModel(fitted_extractor.n_output_features)
+        with pytest.raises(ValueError):
+            model.predict_proba(
+                np.zeros(3), train_envs[0].features
+            )
+
+
+class TestCLIFailures:
+    def test_missing_data_file(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(FileNotFoundError):
+            main(["train", "--method", "ERM",
+                  "--data", str(tmp_path / "absent.npz")])
+
+    def test_unknown_method(self, tmp_path):
+        from repro.cli import main
+        from repro.data.generator import GeneratorConfig, LoanDataGenerator
+
+        path = tmp_path / "d.npz"
+        LoanDataGenerator(GeneratorConfig.small(seed=0)).generate().save(path)
+        with pytest.raises(KeyError):
+            main(["train", "--method", "XGBoost", "--data", str(path)])

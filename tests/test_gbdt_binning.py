@@ -1,0 +1,103 @@
+"""Unit tests for the quantile binner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbdt.binning import QuantileBinner
+
+
+class TestFitTransform:
+    def test_bins_are_within_range(self, rng):
+        x = rng.standard_normal((500, 4))
+        binner = QuantileBinner(max_bins=16)
+        binned = binner.fit_transform(x)
+        assert binned.dtype == np.uint8
+        assert binned.min() >= 0
+        for f in range(4):
+            assert binned[:, f].max() < binner.n_bins(f)
+
+    def test_monotone_in_raw_value(self, rng):
+        """Larger raw values never get smaller bin indices."""
+        x = rng.standard_normal((300, 1))
+        binner = QuantileBinner(max_bins=32).fit(x)
+        binned = binner.transform(x).ravel()
+        order = np.argsort(x.ravel())
+        assert np.all(np.diff(binned[order]) >= 0)
+
+    def test_roughly_equal_occupancy(self, rng):
+        x = rng.standard_normal((10_000, 1))
+        binner = QuantileBinner(max_bins=10).fit(x)
+        binned = binner.transform(x).ravel()
+        counts = np.bincount(binned, minlength=binner.n_bins(0))
+        assert counts.min() > 0.5 * counts.mean()
+
+    def test_constant_column_single_bin(self):
+        x = np.ones((50, 1))
+        binner = QuantileBinner(max_bins=8).fit(x)
+        assert binner.n_bins(0) == 1
+        assert np.all(binner.transform(x) == 0)
+
+    def test_unseen_extremes_clamp_to_edge_bins(self, rng):
+        x = rng.standard_normal((200, 1))
+        binner = QuantileBinner(max_bins=8).fit(x)
+        extremes = np.array([[-100.0], [100.0]])
+        binned = binner.transform(extremes).ravel()
+        assert binned[0] == 0
+        assert binned[1] == binner.n_bins(0) - 1
+
+    def test_few_distinct_values_fewer_bins(self):
+        x = np.array([[0.0], [1.0], [0.0], [1.0], [2.0]])
+        binner = QuantileBinner(max_bins=64).fit(x)
+        assert binner.n_bins(0) <= 3
+
+    def test_bin_upper_value(self, rng):
+        x = rng.standard_normal((100, 1))
+        binner = QuantileBinner(max_bins=4).fit(x)
+        last = binner.n_bins(0) - 1
+        assert binner.bin_upper_value(0, last) == np.inf
+        assert np.isfinite(binner.bin_upper_value(0, 0))
+
+
+class TestValidation:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            QuantileBinner().transform(np.zeros((2, 2)))
+
+    def test_wrong_column_count_raises(self, rng):
+        binner = QuantileBinner().fit(rng.standard_normal((10, 3)))
+        with pytest.raises(ValueError):
+            binner.transform(rng.standard_normal((10, 4)))
+
+    def test_nonfinite_raises(self):
+        with pytest.raises(ValueError):
+            QuantileBinner().fit(np.array([[np.nan]]))
+
+    def test_bad_max_bins(self):
+        with pytest.raises(ValueError):
+            QuantileBinner(max_bins=1)
+        with pytest.raises(ValueError):
+            QuantileBinner(max_bins=500)
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            QuantileBinner().fit(np.zeros(5))
+
+
+class TestBinningProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 32))
+    def test_train_values_round_trip_order(self, seed, max_bins):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((rng.integers(5, 200), 1))
+        binner = QuantileBinner(max_bins=max_bins).fit(x)
+        binned = binner.transform(x).ravel()
+        values = x.ravel()
+        # Same raw value -> same bin; order preserved.
+        for i in range(len(values)):
+            for j in range(i + 1, min(i + 5, len(values))):
+                if values[i] < values[j]:
+                    assert binned[i] <= binned[j]
+                elif values[i] == values[j]:
+                    assert binned[i] == binned[j]

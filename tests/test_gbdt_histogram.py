@@ -1,0 +1,63 @@
+"""Unit tests for the gradient/hessian histogram builder."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt.histogram import NodeHistogram, build_histogram
+
+
+@pytest.fixture()
+def toy():
+    binned = np.array(
+        [[0, 1], [1, 1], [2, 0], [0, 2], [1, 0]], dtype=np.uint8
+    )
+    gradients = np.array([0.5, -0.2, 0.3, 0.1, -0.4])
+    hessians = np.array([0.25, 0.16, 0.21, 0.09, 0.24])
+    return binned, gradients, hessians
+
+
+class TestBuildHistogram:
+    def test_totals_match_sums(self, toy):
+        binned, g, h = toy
+        rows = np.arange(5)
+        hist = build_histogram(binned, g, h, rows, max_bins=4)
+        assert hist.total_grad == pytest.approx(g.sum())
+        assert hist.total_hess == pytest.approx(h.sum())
+        assert hist.total_count == 5
+
+    def test_per_bin_values(self, toy):
+        binned, g, h = toy
+        hist = build_histogram(binned, g, h, np.arange(5), max_bins=4)
+        # Feature 0, bin 0 holds rows 0 and 3.
+        assert hist.grad[0, 0] == pytest.approx(g[0] + g[3])
+        assert hist.hess[0, 0] == pytest.approx(h[0] + h[3])
+        assert hist.count[0, 0] == 2
+        # Feature 1, bin 1 holds rows 0 and 1.
+        assert hist.grad[1, 1] == pytest.approx(g[0] + g[1])
+
+    def test_subset_of_rows(self, toy):
+        binned, g, h = toy
+        hist = build_histogram(binned, g, h, np.array([1, 2]), max_bins=4)
+        assert hist.total_count == 2
+        assert hist.total_grad == pytest.approx(g[1] + g[2])
+
+    def test_every_feature_row_sums_to_total(self, toy):
+        binned, g, h = toy
+        hist = build_histogram(binned, g, h, np.arange(5), max_bins=4)
+        for f in range(binned.shape[1]):
+            assert hist.grad[f].sum() == pytest.approx(hist.total_grad)
+            assert hist.count[f].sum() == hist.total_count
+
+
+class TestSubtraction:
+    def test_sibling_subtraction_identity(self, toy):
+        binned, g, h = toy
+        parent = build_histogram(binned, g, h, np.arange(5), max_bins=4)
+        left_rows = np.array([0, 3])
+        right_rows = np.array([1, 2, 4])
+        left = build_histogram(binned, g, h, left_rows, max_bins=4)
+        right_direct = build_histogram(binned, g, h, right_rows, max_bins=4)
+        right_subtracted = parent.subtract(left)
+        np.testing.assert_allclose(right_subtracted.grad, right_direct.grad)
+        np.testing.assert_allclose(right_subtracted.hess, right_direct.hess)
+        np.testing.assert_allclose(right_subtracted.count, right_direct.count)

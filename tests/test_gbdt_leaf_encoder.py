@@ -1,0 +1,88 @@
+"""Unit tests for the leaf one-hot encoder (the GBDT+LR bridge)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.gbdt.boosting import GBDTClassifier, GBDTParams
+from repro.gbdt.leaf_encoder import LeafIndexEncoder
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((500, 4))
+    logit = x[:, 0] - 0.5 * x[:, 1]
+    y = (rng.random(500) < 1 / (1 + np.exp(-logit))).astype(float)
+    model = GBDTClassifier(GBDTParams(n_trees=6)).fit(x, y)
+    return model, x
+
+
+class TestTransform:
+    def test_output_is_csr(self, fitted):
+        model, x = fitted
+        encoder = LeafIndexEncoder(model)
+        out = encoder.transform(x)
+        assert sparse.issparse(out)
+        assert out.shape == (500, encoder.n_output_features)
+
+    def test_exactly_one_hot_per_tree(self, fitted):
+        model, x = fitted
+        encoder = LeafIndexEncoder(model)
+        out = encoder.transform(x)
+        row_sums = np.asarray(out.sum(axis=1)).ravel()
+        np.testing.assert_array_equal(row_sums, encoder.n_trees)
+        assert out.data.max() == 1.0
+
+    def test_block_structure(self, fitted):
+        """Each tree's indicator lands in its own column block."""
+        model, x = fitted
+        encoder = LeafIndexEncoder(model)
+        out = encoder.transform(x).toarray()
+        offsets = np.concatenate(([0], np.cumsum(model.leaves_per_tree())))
+        for t in range(encoder.n_trees):
+            block = out[:, offsets[t]:offsets[t + 1]]
+            np.testing.assert_array_equal(block.sum(axis=1), 1.0)
+
+    def test_consistent_with_predict_leaves(self, fitted):
+        model, x = fitted
+        encoder = LeafIndexEncoder(model)
+        leaves = model.predict_leaves(x)
+        out = encoder.transform(x)
+        rebuilt = encoder.encode_leaves(leaves)
+        assert (out != rebuilt).nnz == 0
+
+    def test_column_origin_round_trip(self, fitted):
+        model, x = fitted
+        encoder = LeafIndexEncoder(model)
+        offsets = np.concatenate(([0], np.cumsum(model.leaves_per_tree())))
+        for col in (0, encoder.n_output_features - 1,
+                    encoder.n_output_features // 2):
+            tree, leaf = encoder.column_origin(col)
+            assert offsets[tree] + leaf == col
+
+    def test_out_of_range_column_origin_raises(self, fitted):
+        model, _ = fitted
+        encoder = LeafIndexEncoder(model)
+        with pytest.raises(IndexError):
+            encoder.column_origin(encoder.n_output_features)
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError):
+            LeafIndexEncoder(GBDTClassifier())
+
+    def test_bad_leaf_matrix_shape(self, fitted):
+        model, _ = fitted
+        encoder = LeafIndexEncoder(model)
+        with pytest.raises(ValueError):
+            encoder.encode_leaves(np.zeros((3, encoder.n_trees + 1), dtype=int))
+
+    def test_out_of_range_leaf_raises(self, fitted):
+        model, _ = fitted
+        encoder = LeafIndexEncoder(model)
+        bad = np.zeros((1, encoder.n_trees), dtype=int)
+        bad[0, 0] = 10_000
+        with pytest.raises(ValueError):
+            encoder.encode_leaves(bad)

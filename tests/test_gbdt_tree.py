@@ -1,0 +1,125 @@
+"""Unit tests for the leaf-wise decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.tree import DecisionTree, TreeParams
+
+
+def _regression_setup(rng, n=400, d=3, max_bins=16):
+    """Binned features plus gradient/hessian stats of a squared loss."""
+    x = rng.standard_normal((n, d))
+    target = np.where(x[:, 0] > 0, 2.0, -1.0) + 0.1 * rng.standard_normal(n)
+    # Squared loss around 0: gradient = -target, hessian = 1.
+    gradients = -target
+    hessians = np.ones(n)
+    binner = QuantileBinner(max_bins=max_bins).fit(x)
+    return binner.transform(x), gradients, hessians, target
+
+
+class TestGrowth:
+    def test_respects_max_leaves(self, rng):
+        binned, g, h, _ = _regression_setup(rng)
+        tree = DecisionTree(TreeParams(max_leaves=6, min_child_samples=5))
+        tree.fit(binned, g, h, max_bins=16)
+        assert 2 <= tree.n_leaves <= 6
+
+    def test_respects_max_depth(self, rng):
+        binned, g, h, _ = _regression_setup(rng)
+        tree = DecisionTree(TreeParams(max_leaves=31, max_depth=1,
+                                       min_child_samples=5))
+        tree.fit(binned, g, h, max_bins=16)
+        assert tree.n_leaves <= 2
+
+    def test_min_child_samples_respected(self, rng):
+        binned, g, h, _ = _regression_setup(rng, n=60)
+        tree = DecisionTree(TreeParams(max_leaves=31, min_child_samples=25))
+        tree.fit(binned, g, h, max_bins=16)
+        leaves = tree.predict_leaf(binned)
+        counts = np.bincount(leaves)
+        assert counts[counts > 0].min() >= 25
+
+    def test_finds_the_signal_split(self, rng):
+        binned, g, h, target = _regression_setup(rng)
+        tree = DecisionTree(TreeParams(max_leaves=2, min_child_samples=5))
+        tree.fit(binned, g, h, max_bins=16)
+        predictions = tree.predict_value(binned)
+        # A single split on x0 should separate the two target levels.
+        corr = np.corrcoef(predictions, target)[0, 1]
+        assert corr > 0.9
+
+    def test_no_valid_split_keeps_single_leaf(self, rng):
+        binned = np.zeros((50, 2), dtype=np.uint8)  # constant features
+        g = rng.standard_normal(50)
+        h = np.ones(50)
+        tree = DecisionTree(TreeParams())
+        tree.fit(binned, g, h, max_bins=4)
+        assert tree.n_leaves == 1
+
+    def test_zero_samples_raises(self, rng):
+        binned, g, h, _ = _regression_setup(rng)
+        with pytest.raises(ValueError):
+            DecisionTree().fit(binned, g, h, max_bins=16,
+                               sample_indices=np.array([], dtype=int))
+
+
+class TestPrediction:
+    def test_leaf_indices_dense(self, rng):
+        binned, g, h, _ = _regression_setup(rng)
+        tree = DecisionTree(TreeParams(max_leaves=8, min_child_samples=5))
+        tree.fit(binned, g, h, max_bins=16)
+        leaves = tree.predict_leaf(binned)
+        present = np.unique(leaves)
+        assert present.min() == 0
+        assert present.max() == tree.n_leaves - 1
+        # Training rows should reach every leaf.
+        assert present.size == tree.n_leaves
+
+    def test_leaf_value_is_newton_step(self, rng):
+        """Leaf value must equal -G/(H + lambda) over the leaf's rows."""
+        binned, g, h, _ = _regression_setup(rng)
+        lam = 1.0
+        tree = DecisionTree(TreeParams(max_leaves=4, min_child_samples=5,
+                                       reg_lambda=lam))
+        tree.fit(binned, g, h, max_bins=16)
+        leaves = tree.predict_leaf(binned)
+        values = tree.predict_value(binned)
+        for leaf in range(tree.n_leaves):
+            mask = leaves == leaf
+            expected = -g[mask].sum() / (h[mask].sum() + lam)
+            np.testing.assert_allclose(values[mask], expected, atol=1e-10)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict_leaf(np.zeros((1, 1), dtype=np.uint8))
+
+    def test_deterministic(self, rng):
+        binned, g, h, _ = _regression_setup(rng)
+        t1 = DecisionTree(TreeParams(max_leaves=8, min_child_samples=5))
+        t1.fit(binned, g, h, max_bins=16)
+        t2 = DecisionTree(TreeParams(max_leaves=8, min_child_samples=5))
+        t2.fit(binned, g, h, max_bins=16)
+        np.testing.assert_array_equal(
+            t1.predict_leaf(binned), t2.predict_leaf(binned)
+        )
+
+
+class TestFeatureImportance:
+    def test_signal_feature_dominates(self, rng):
+        binned, g, h, _ = _regression_setup(rng)
+        tree = DecisionTree(TreeParams(max_leaves=8, min_child_samples=5))
+        tree.fit(binned, g, h, max_bins=16)
+        importance = tree.feature_importance(binned.shape[1])
+        assert importance.argmax() == 0
+        assert np.all(importance >= 0)
+
+
+class TestParams:
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            TreeParams(max_leaves=1)
+        with pytest.raises(ValueError):
+            TreeParams(min_child_samples=0)
+        with pytest.raises(ValueError):
+            TreeParams(reg_lambda=-1)

@@ -1,0 +1,107 @@
+"""Unit tests for the rank-based AUC and the ROC curve."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.auc import auc_score, roc_curve
+
+
+class TestAucScore:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(y, s) == 1.0
+
+    def test_perfectly_wrong(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(y, s) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 5000).astype(float)
+        s = rng.random(5000)
+        assert abs(auc_score(y, s) - 0.5) < 0.03
+
+    def test_all_ties_is_half(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.zeros(4)
+        assert auc_score(y, s) == pytest.approx(0.5)
+
+    def test_partial_ties_counted_half(self):
+        # One positive tied with one negative: P(pos > neg) + 0.5 P(tie).
+        y = np.array([0, 1])
+        s = np.array([0.5, 0.5])
+        assert auc_score(y, s) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(5)
+        y = rng.integers(0, 2, 60).astype(float)
+        y[:2] = [0, 1]
+        s = rng.standard_normal(60).round(1)  # force some ties
+        pos = s[y == 1]
+        neg = s[y == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (pos.size * neg.size)
+        assert auc_score(y, s) == pytest.approx(expected)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="one class"):
+            auc_score(np.ones(5), np.arange(5.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            auc_score(np.array([]), np.array([]))
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError, match="binary"):
+            auc_score(np.array([0, 2]), np.array([0.1, 0.9]))
+
+    def test_nan_scores_raise(self):
+        with pytest.raises(ValueError, match="finite"):
+            auc_score(np.array([0, 1]), np.array([0.1, np.nan]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            auc_score(np.array([0, 1]), np.array([0.1, 0.2, 0.3]))
+
+
+class TestRocCurve:
+    def test_starts_at_origin_and_ends_at_one_one(self):
+        y = np.array([0, 1, 0, 1, 1])
+        s = np.array([0.1, 0.9, 0.4, 0.6, 0.35])
+        fpr, tpr, thresholds = roc_curve(y, s)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, 300).astype(float)
+        y[:2] = [0, 1]
+        s = rng.random(300)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_thresholds_strictly_decreasing(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, 100).astype(float)
+        y[:2] = [0, 1]
+        s = rng.random(100).round(1)
+        _, __, thresholds = roc_curve(y, s)
+        assert np.all(np.diff(thresholds) < 0)
+
+    def test_trapezoid_area_matches_auc(self):
+        rng = np.random.default_rng(4)
+        y = rng.integers(0, 2, 500).astype(float)
+        y[:2] = [0, 1]
+        s = rng.standard_normal(500) + y  # informative scores with overlap
+        fpr, tpr, _ = roc_curve(y, s)
+        area = float(np.trapezoid(tpr, fpr))
+        assert area == pytest.approx(auc_score(y, s), abs=1e-10)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.zeros(4), np.arange(4.0))

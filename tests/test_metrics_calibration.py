@@ -1,0 +1,71 @@
+"""Unit tests for threshold/operating metrics (Fig 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.calibration import (
+    bad_debt_rate,
+    confusion_at_threshold,
+    false_positive_rate,
+    refusal_rate,
+    threshold_sweep,
+)
+
+Y = np.array([0, 0, 0, 0, 1, 1])
+S = np.array([0.1, 0.2, 0.6, 0.3, 0.7, 0.4])
+
+
+class TestConfusion:
+    def test_counts_at_half(self):
+        c = confusion_at_threshold(Y, S, 0.5)
+        assert (c.true_positive, c.false_positive) == (1, 1)
+        assert (c.true_negative, c.false_negative) == (3, 1)
+        assert c.total == 6
+        assert c.n_refused == 2
+        assert c.n_approved == 4
+
+    def test_threshold_zero_refuses_all(self):
+        c = confusion_at_threshold(Y, S, 0.0)
+        assert c.n_refused == 6
+        assert c.n_approved == 0
+
+    def test_threshold_above_max_approves_all(self):
+        c = confusion_at_threshold(Y, S, 1.1)
+        assert c.n_approved == 6
+
+
+class TestRates:
+    def test_false_positive_rate(self):
+        assert false_positive_rate(Y, S, 0.5) == pytest.approx(1 / 4)
+
+    def test_bad_debt_rate(self):
+        # One default among 4 approved loans.
+        assert bad_debt_rate(Y, S, 0.5) == pytest.approx(1 / 4)
+
+    def test_bad_debt_zero_when_all_refused(self):
+        assert bad_debt_rate(Y, S, 0.0) == 0.0
+
+    def test_bad_debt_equals_base_rate_when_all_approved(self):
+        assert bad_debt_rate(Y, S, 1.1) == pytest.approx(Y.mean())
+
+    def test_refusal_rate(self):
+        assert refusal_rate(Y, S, 0.5) == pytest.approx(2 / 6)
+
+    def test_good_model_cuts_bad_debt(self, rng):
+        y = rng.integers(0, 2, 2000).astype(float)
+        scores = np.clip(0.7 * y + 0.3 * rng.random(2000), 0, 1)
+        assert bad_debt_rate(y, scores, 0.5) < y.mean()
+
+
+class TestThresholdSweep:
+    def test_sweep_shapes_and_monotonicity(self):
+        curves = threshold_sweep(Y, S)
+        n = curves["thresholds"].size
+        assert all(curves[k].size == n for k in curves)
+        # Raising the threshold can only approve more loans.
+        assert np.all(np.diff(curves["refusal_rate"]) <= 1e-12)
+
+    def test_custom_thresholds(self):
+        curves = threshold_sweep(Y, S, thresholds=np.array([0.25, 0.5]))
+        assert curves["thresholds"].tolist() == [0.25, 0.5]
+        assert curves["bad_debt_rate"][1] == pytest.approx(1 / 4)

@@ -1,0 +1,90 @@
+"""Unit tests for per-environment fairness aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.fairness import (
+    EnvironmentScores,
+    FairnessReport,
+    evaluate_environments,
+    scorable_environments,
+)
+
+
+def _make_env(rng, n, signal):
+    y = rng.integers(0, 2, n).astype(float)
+    y[:2] = [0, 1]
+    s = signal * y + rng.standard_normal(n)
+    return y, s
+
+
+class TestEvaluateEnvironments:
+    def test_mean_and_worst_aggregation(self, rng):
+        labels, scores = {}, {}
+        for name, signal in (("good", 5.0), ("bad", 0.2)):
+            y, s = _make_env(rng, 400, signal)
+            labels[name], scores[name] = y, s
+        report = evaluate_environments(labels, scores)
+        per = report.per_environment
+        assert report.mean_ks == pytest.approx(
+            (per["good"].ks + per["bad"].ks) / 2
+        )
+        assert report.worst_ks == per["bad"].ks
+        assert report.worst_ks_environment == "bad"
+        assert report.worst_auc == per["bad"].auc
+        assert 0 < report.ks_spread() < 1
+
+    def test_summary_keys(self, rng):
+        y, s = _make_env(rng, 100, 1.0)
+        report = evaluate_environments({"e": y}, {"e": s})
+        assert set(report.summary()) == {"mKS", "wKS", "mAUC", "wAUC"}
+
+    def test_single_class_env_skipped(self, rng):
+        y, s = _make_env(rng, 100, 1.0)
+        labels = {"ok": y, "degenerate": np.zeros(50)}
+        scores = {"ok": s, "degenerate": np.zeros(50)}
+        report = evaluate_environments(labels, scores)
+        assert report.skipped == ("degenerate",)
+        assert list(report.per_environment) == ["ok"]
+
+    def test_all_degenerate_raises(self):
+        with pytest.raises(ValueError, match="no environment"):
+            evaluate_environments({"a": np.zeros(10)}, {"a": np.zeros(10)})
+
+    def test_mismatched_keys_raise(self, rng):
+        y, s = _make_env(rng, 100, 1.0)
+        with pytest.raises(ValueError, match="disagree"):
+            evaluate_environments({"a": y}, {"b": s})
+
+    def test_environments_sorted_by_name(self, rng):
+        labels, scores = {}, {}
+        for name in ("zeta", "alpha", "mid"):
+            y, s = _make_env(rng, 80, 2.0)
+            labels[name], scores[name] = y, s
+        report = evaluate_environments(labels, scores)
+        assert list(report.per_environment) == ["alpha", "mid", "zeta"]
+
+
+class TestScorableEnvironments:
+    def test_filters_by_min_class_count(self):
+        labels = {
+            "full": np.array([0, 0, 1, 1]),
+            "one_pos": np.array([0, 0, 0, 1]),
+            "empty_pos": np.zeros(4),
+        }
+        assert scorable_environments(labels, min_class_count=2) == ["full"]
+        assert set(scorable_environments(labels, min_class_count=1)) == {
+            "full",
+            "one_pos",
+        }
+
+
+class TestFairnessReport:
+    def test_empty_report_raises(self):
+        with pytest.raises(ValueError):
+            FairnessReport(per_environment={})
+
+    def test_default_rate(self):
+        scores = EnvironmentScores("e", ks=0.5, auc=0.7, n_samples=10,
+                                   n_positive=3)
+        assert scores.default_rate == pytest.approx(0.3)

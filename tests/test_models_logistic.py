@@ -1,0 +1,167 @@
+"""Unit + property tests for the logistic model's analytic derivatives.
+
+The MAML machinery relies on these gradients and Hessian-vector products
+being *exact*; every derivative is checked against finite differences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.models.logistic import LogisticModel, binary_cross_entropy, sigmoid
+
+
+def _problem(rng, n=40, d=6, l2=0.0, sparse_x=False):
+    x = rng.standard_normal((n, d))
+    if sparse_x:
+        x[x < 0.5] = 0.0
+        x = sparse.csr_matrix(x)
+    logits = np.asarray(x @ rng.standard_normal(d)).ravel()
+    y = (rng.random(n) < sigmoid(logits)).astype(float)
+    theta = 0.5 * rng.standard_normal(d)
+    return LogisticModel(d, l2=l2), theta, x, y
+
+
+def _finite_diff_grad(fn, theta, eps=1e-6):
+    grad = np.zeros_like(theta)
+    for i in range(theta.size):
+        up = theta.copy()
+        up[i] += eps
+        down = theta.copy()
+        down[i] -= eps
+        grad[i] = (fn(up) - fn(down)) / (2 * eps)
+    return grad
+
+
+class TestSigmoid:
+    def test_extreme_values_stable(self):
+        assert sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(z) + sigmoid(-z), 1.0, atol=1e-12)
+
+
+class TestLoss:
+    def test_bce_known_value(self):
+        y = np.array([1.0, 0.0])
+        p = np.array([0.8, 0.3])
+        expected = -(np.log(0.8) + np.log(0.7)) / 2
+        assert binary_cross_entropy(y, p) == pytest.approx(expected)
+
+    def test_bce_clipping_handles_zero_prob(self):
+        assert np.isfinite(
+            binary_cross_entropy(np.array([1.0]), np.array([0.0]))
+        )
+
+    def test_l2_term_added(self, rng):
+        model, theta, x, y = _problem(rng, l2=0.5)
+        bare = LogisticModel(theta.size, l2=0.0)
+        assert model.loss(theta, x, y) == pytest.approx(
+            bare.loss(theta, x, y) + 0.25 * float(theta @ theta)
+        )
+
+
+class TestGradient:
+    @pytest.mark.parametrize("l2", [0.0, 0.1])
+    @pytest.mark.parametrize("sparse_x", [False, True])
+    def test_matches_finite_differences(self, rng, l2, sparse_x):
+        model, theta, x, y = _problem(rng, l2=l2, sparse_x=sparse_x)
+        grad = model.gradient(theta, x, y)
+        fd = _finite_diff_grad(lambda t: model.loss(t, x, y), theta)
+        np.testing.assert_allclose(grad, fd, atol=1e-5)
+
+    def test_loss_and_gradient_consistent(self, rng):
+        model, theta, x, y = _problem(rng)
+        loss, grad = model.loss_and_gradient(theta, x, y)
+        assert loss == pytest.approx(model.loss(theta, x, y))
+        np.testing.assert_allclose(grad, model.gradient(theta, x, y))
+
+    def test_zero_at_optimum_direction(self, rng):
+        """Gradient descent reduces the loss."""
+        model, theta, x, y = _problem(rng)
+        loss0 = model.loss(theta, x, y)
+        theta1 = theta - 0.5 * model.gradient(theta, x, y)
+        assert model.loss(theta1, x, y) < loss0
+
+
+class TestHessianVectorProduct:
+    @pytest.mark.parametrize("l2", [0.0, 0.1])
+    @pytest.mark.parametrize("sparse_x", [False, True])
+    def test_matches_finite_difference_of_gradient(self, rng, l2, sparse_x):
+        model, theta, x, y = _problem(rng, l2=l2, sparse_x=sparse_x)
+        v = rng.standard_normal(theta.size)
+        hv = model.hessian_vector_product(theta, x, y, v)
+        eps = 1e-6
+        fd = (
+            model.gradient(theta + eps * v, x, y)
+            - model.gradient(theta - eps * v, x, y)
+        ) / (2 * eps)
+        np.testing.assert_allclose(hv, fd, atol=1e-5)
+
+    def test_linear_in_vector(self, rng):
+        model, theta, x, y = _problem(rng)
+        v1 = rng.standard_normal(theta.size)
+        v2 = rng.standard_normal(theta.size)
+        lhs = model.hessian_vector_product(theta, x, y, 2 * v1 + v2)
+        rhs = 2 * model.hessian_vector_product(
+            theta, x, y, v1
+        ) + model.hessian_vector_product(theta, x, y, v2)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_positive_semidefinite(self, rng):
+        """v' H v >= 0 for the convex BCE objective."""
+        model, theta, x, y = _problem(rng)
+        for _ in range(5):
+            v = rng.standard_normal(theta.size)
+            hv = model.hessian_vector_product(theta, x, y, v)
+            assert float(v @ hv) >= -1e-12
+
+    def test_wrong_vector_shape_raises(self, rng):
+        model, theta, x, y = _problem(rng)
+        with pytest.raises(ValueError):
+            model.hessian_vector_product(theta, x, y, np.zeros(3))
+
+
+class TestValidation:
+    def test_wrong_theta_shape_raises(self, rng):
+        model, theta, x, y = _problem(rng)
+        with pytest.raises(ValueError):
+            model.predict_proba(theta[:-1], x)
+
+    def test_wrong_feature_dim_raises(self, rng):
+        model, theta, x, y = _problem(rng)
+        with pytest.raises(ValueError):
+            model.predict_proba(theta, x[:, :-1])
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            LogisticModel(0)
+        with pytest.raises(ValueError):
+            LogisticModel(3, l2=-1.0)
+
+    def test_init_params_deterministic(self):
+        model = LogisticModel(8)
+        np.testing.assert_array_equal(
+            model.init_params(seed=4), model.init_params(seed=4)
+        )
+        assert not np.array_equal(
+            model.init_params(seed=4), model.init_params(seed=5)
+        )
+
+
+class TestGradientProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_gradient_check_random_problems(self, seed):
+        rng = np.random.default_rng(seed)
+        model, theta, x, y = _problem(
+            rng, n=int(rng.integers(5, 30)), d=int(rng.integers(2, 8)),
+            l2=float(rng.random() * 0.1)
+        )
+        grad = model.gradient(theta, x, y)
+        fd = _finite_diff_grad(lambda t: model.loss(t, x, y), theta)
+        np.testing.assert_allclose(grad, fd, atol=2e-5)

@@ -1,0 +1,164 @@
+"""Unit tests for drift monitoring (PSI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.splits import temporal_split
+from repro.monitor import (
+    drift_report,
+    population_stability_index,
+)
+
+
+class TestPSI:
+    def test_identical_distribution_near_zero(self, rng):
+        sample = rng.standard_normal(20_000)
+        psi = population_stability_index(sample[:10_000], sample[10_000:])
+        assert psi < 0.01
+
+    def test_shifted_distribution_large(self, rng):
+        baseline = rng.standard_normal(5_000)
+        shifted = rng.standard_normal(5_000) + 1.5
+        assert population_stability_index(baseline, shifted) > 0.25
+
+    def test_scale_change_detected(self, rng):
+        baseline = rng.standard_normal(5_000)
+        widened = 3.0 * rng.standard_normal(5_000)
+        assert population_stability_index(baseline, widened) > 0.25
+
+    def test_symmetric_in_roles_approximately(self, rng):
+        a = rng.standard_normal(5_000)
+        b = rng.standard_normal(5_000) + 0.5
+        forward = population_stability_index(a, b)
+        backward = population_stability_index(b, a)
+        # PSI is not exactly symmetric (bins follow the baseline), but the
+        # two directions must agree on the order of magnitude.
+        assert 0.3 < forward / backward < 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            population_stability_index(np.array([]), np.array([1.0]))
+
+    def test_bad_bins_raise(self, rng):
+        with pytest.raises(ValueError):
+            population_stability_index(rng.random(10), rng.random(10),
+                                       n_bins=1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(0.0, 2.0))
+    def test_nonnegative_and_monotone_in_shift(self, seed, shift):
+        rng = np.random.default_rng(seed)
+        baseline = rng.standard_normal(2_000)
+        actual = rng.standard_normal(2_000) + shift
+        psi = population_stability_index(baseline, actual)
+        assert psi >= 0.0
+        if shift > 1.0:
+            assert psi > population_stability_index(
+                baseline, rng.standard_normal(2_000)
+            )
+
+
+class TestDriftReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.data.generator import generate_default_dataset
+
+        dataset = generate_default_dataset(n_samples=20_000, seed=5)
+        split = temporal_split(dataset)
+        return drift_report(split.train, split.test)
+
+    def test_covers_every_feature(self, report):
+        from repro.data.generator import GeneratorConfig
+
+        assert len(report.features) == GeneratorConfig().total_features
+
+    def test_spurious_features_drift_most(self, report):
+        """The 2020 concept shift shows up in the regional signals."""
+        worst_names = {f.name for f in report.worst(8)}
+        assert any(name.startswith("regional_signal") for name in worst_names)
+
+    def test_vehicle_mix_drift_detected(self, report):
+        by_name = {f.name: f for f in report.features}
+        # The used-car share falls and trucks rise between the windows.
+        assert by_name["vehicle_is_used_car"].psi > 0.001
+
+    def test_noise_features_stable(self, report):
+        by_name = {f.name: f for f in report.features}
+        noise = [f for name, f in by_name.items()
+                 if name.startswith("bureau_field")]
+        assert noise
+        assert all(f.psi < 0.05 for f in noise)
+
+    def test_reading_labels(self, report):
+        for feature in report.features:
+            assert feature.reading in {"stable", "moderate shift",
+                                       "major shift"}
+
+    def test_drifted_subset_consistent(self, report):
+        drifted = report.drifted(0.01)
+        assert all(f.psi >= 0.01 for f in drifted)
+
+    def test_label_rates_reported(self, report):
+        assert 0 < report.baseline_default_rate < 1
+        assert 0 < report.monitoring_default_rate < 1
+
+    def test_schema_mismatch_raises(self, report):
+        from repro.data.generator import GeneratorConfig, LoanDataGenerator
+
+        other = LoanDataGenerator(GeneratorConfig.small(seed=1)).generate()
+        from repro.data.generator import generate_default_dataset
+
+        base = generate_default_dataset(n_samples=2_000, seed=5)
+        with pytest.raises(ValueError):
+            drift_report(base, other)
+
+
+class TestConceptDrift:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.data.generator import generate_default_dataset
+
+        dataset = generate_default_dataset(n_samples=20_000, seed=5)
+        split = temporal_split(dataset)
+        from repro.monitor import concept_drift_report
+
+        return concept_drift_report(split.train, split.test)
+
+    def test_sorted_by_shift(self, report):
+        shifts = [d.shift for d in report]
+        assert shifts == sorted(shifts, reverse=True)
+
+    def test_spurious_signals_top_the_list(self, report):
+        """The 2020 concept shift hits the regional signals hardest."""
+        top_names = {d.name for d in report[:6]}
+        assert sum(
+            1 for name in top_names if name.startswith("regional_signal")
+        ) >= 3
+
+    def test_invariant_features_stable(self, report):
+        by_name = {d.name: d for d in report}
+        dti = by_name["debt_to_income"]
+        assert dti.shift < 0.05
+        # ... and the relationship keeps its sign and strength.
+        assert dti.baseline_correlation > 0.05
+        assert dti.monitoring_correlation > 0.05
+
+    def test_correlations_bounded(self, report):
+        for drift in report:
+            assert -1.0 <= drift.baseline_correlation <= 1.0
+            assert -1.0 <= drift.monitoring_correlation <= 1.0
+
+    def test_schema_mismatch_raises(self):
+        from repro.data.generator import (
+            GeneratorConfig,
+            LoanDataGenerator,
+            generate_default_dataset,
+        )
+        from repro.monitor import concept_drift_report
+
+        base = generate_default_dataset(n_samples=2_000, seed=5)
+        other = LoanDataGenerator(GeneratorConfig.small(seed=1)).generate()
+        with pytest.raises(ValueError):
+            concept_drift_report(base, other)

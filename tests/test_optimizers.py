@@ -1,0 +1,139 @@
+"""Unit tests for the outer-loop optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.train.optimizers import SGD, Adam, Momentum, make_optimizer
+
+
+def _quadratic(theta, scales):
+    """Ill-conditioned quadratic: loss and gradient."""
+    loss = 0.5 * float(scales @ theta**2)
+    return loss, scales * theta
+
+
+class TestSGD:
+    def test_exact_step(self):
+        opt = SGD(learning_rate=0.5)
+        theta = np.array([1.0, -2.0])
+        grad = np.array([0.2, 0.4])
+        np.testing.assert_allclose(opt.step(theta, grad), [0.9, -2.2])
+
+    def test_does_not_mutate_inputs(self):
+        opt = SGD(learning_rate=0.5)
+        theta = np.array([1.0])
+        grad = np.array([1.0])
+        opt.step(theta, grad)
+        assert theta[0] == 1.0
+
+
+class TestMomentum:
+    def test_first_step_matches_sgd(self):
+        theta = np.array([1.0, 1.0])
+        grad = np.array([0.5, -0.5])
+        np.testing.assert_allclose(
+            Momentum(0.1, momentum=0.9).step(theta, grad),
+            SGD(0.1).step(theta, grad),
+        )
+
+    def test_velocity_accumulates(self):
+        opt = Momentum(0.1, momentum=0.5)
+        theta = np.zeros(1)
+        grad = np.ones(1)
+        theta = opt.step(theta, grad)        # v=1,   theta=-0.1
+        theta = opt.step(theta, grad)        # v=1.5, theta=-0.25
+        assert theta[0] == pytest.approx(-0.25)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            Momentum(0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction the first Adam step has magnitude ~lr."""
+        opt = Adam(learning_rate=0.1)
+        theta = np.zeros(3)
+        grad = np.array([5.0, -0.01, 1.0])
+        new = opt.step(theta, grad)
+        np.testing.assert_allclose(np.abs(new), 0.1, rtol=1e-3)
+
+    def test_converges_on_ill_conditioned_problem_faster_than_sgd(self):
+        scales = np.array([100.0, 1.0])
+        theta_sgd = np.array([1.0, 1.0])
+        theta_adam = np.array([1.0, 1.0])
+        sgd = SGD(learning_rate=0.005)  # stability-limited by the 100 axis
+        adam = Adam(learning_rate=0.1)
+        for _ in range(200):
+            _, g = _quadratic(theta_sgd, scales)
+            theta_sgd = sgd.step(theta_sgd, g)
+            _, g = _quadratic(theta_adam, scales)
+            theta_adam = adam.step(theta_adam, g)
+        assert _quadratic(theta_adam, scales)[0] < _quadratic(
+            theta_sgd, scales
+        )[0]
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(0.1, beta1=1.0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_optimizer("sgd", 0.1), SGD)
+        assert isinstance(make_optimizer("momentum", 0.1), Momentum)
+        assert isinstance(make_optimizer("adam", 0.1), Adam)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_optimizer("lbfgs", 0.1)
+
+    def test_kwargs_forwarded(self):
+        opt = make_optimizer("momentum", 0.1, momentum=0.5)
+        assert opt.momentum == 0.5
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            make_optimizer("sgd", 0.0)
+
+
+class TestTrainerIntegration:
+    def test_adam_trains_erm(self, tiny_envs):
+        from repro.baselines.erm import ERMTrainer
+        from repro.train.base import BaseTrainConfig
+
+        result = ERMTrainer(
+            BaseTrainConfig(n_epochs=60, learning_rate=0.1,
+                            optimizer="adam")
+        ).fit(tiny_envs)
+        assert result.theta[0] > 0.3
+
+    def test_adam_trains_lightmirm(self, tiny_envs):
+        from repro.core.config import LightMIRMConfig
+        from repro.core.lightmirm import LightMIRMTrainer
+
+        result = LightMIRMTrainer(
+            LightMIRMConfig(n_epochs=60, learning_rate=0.05,
+                            optimizer="adam")
+        ).fit(tiny_envs)
+        assert np.isfinite(result.theta).all()
+
+    def test_bad_optimizer_name_rejected_in_config(self):
+        from repro.train.base import BaseTrainConfig
+
+        with pytest.raises(ValueError):
+            BaseTrainConfig(optimizer="sophia")
+
+    def test_sgd_default_backwards_compatible(self, tiny_envs):
+        """The default config still produces the paper's plain-GD path."""
+        from repro.baselines.erm import ERMTrainer
+        from repro.train.base import BaseTrainConfig
+
+        result = ERMTrainer(BaseTrainConfig(n_epochs=5)).fit(tiny_envs)
+        manual = result.model.init_params(seed=0, scale=0.01)
+        from repro.train.base import stack_environments
+
+        x, y = stack_environments(tiny_envs)
+        for _ in range(5):
+            manual = manual - 2.0 * result.model.gradient(manual, x, y)
+        np.testing.assert_allclose(result.theta, manual, atol=1e-12)

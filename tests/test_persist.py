@@ -1,0 +1,161 @@
+"""Round-trip tests for model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.erm import ERMTrainer
+from repro.baselines.finetune import FineTuneConfig, FineTuneTrainer
+from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.boosting import GBDTClassifier, GBDTParams
+from repro.gbdt.tree import DecisionTree
+from repro.persist import (
+    binner_from_dict,
+    binner_to_dict,
+    gbdt_from_dict,
+    gbdt_to_dict,
+    load_pipeline,
+    save_pipeline,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.pipeline.pipeline import LoanDefaultPipeline
+from repro.train.base import BaseTrainConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_gbdt():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((600, 6))
+    logit = 1.2 * x[:, 0] - 0.8 * x[:, 1] + 0.3 * x[:, 2] * x[:, 0]
+    y = (rng.random(600) < 1 / (1 + np.exp(-logit))).astype(float)
+    model = GBDTClassifier(
+        GBDTParams(n_trees=8, subsample=0.8, colsample=0.8, seed=3)
+    ).fit(x, y)
+    return model, x
+
+
+class TestBinnerRoundTrip:
+    def test_identical_transform(self, rng):
+        x = rng.standard_normal((200, 4))
+        binner = QuantileBinner(max_bins=16).fit(x)
+        restored = binner_from_dict(binner_to_dict(binner))
+        np.testing.assert_array_equal(
+            binner.transform(x), restored.transform(x)
+        )
+
+    def test_json_serialisable(self, rng):
+        binner = QuantileBinner().fit(rng.standard_normal((50, 2)))
+        json.dumps(binner_to_dict(binner))  # must not raise
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            binner_to_dict(QuantileBinner())
+
+    def test_version_checked(self, rng):
+        binner = QuantileBinner().fit(rng.standard_normal((50, 2)))
+        payload = binner_to_dict(binner)
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            binner_from_dict(payload)
+
+
+class TestTreeRoundTrip:
+    def test_identical_leaves_and_values(self, fitted_gbdt):
+        model, x = fitted_gbdt
+        binned = model.binner.transform(x)
+        tree = model.trees_[0]
+        cols = model.tree_feature_subsets_[0]
+        restored = tree_from_dict(tree_to_dict(tree))
+        np.testing.assert_array_equal(
+            tree.predict_leaf(binned[:, cols]),
+            restored.predict_leaf(binned[:, cols]),
+        )
+        np.testing.assert_array_equal(
+            tree.predict_value(binned[:, cols]),
+            restored.predict_value(binned[:, cols]),
+        )
+        assert restored.n_leaves == tree.n_leaves
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            tree_to_dict(DecisionTree())
+
+    def test_restored_tree_has_no_importance(self, fitted_gbdt):
+        model, _ = fitted_gbdt
+        restored = tree_from_dict(tree_to_dict(model.trees_[0]))
+        with pytest.raises(RuntimeError, match="histograms"):
+            restored.feature_importance(6)
+
+
+class TestGBDTRoundTrip:
+    def test_identical_probabilities(self, fitted_gbdt):
+        model, x = fitted_gbdt
+        restored = gbdt_from_dict(gbdt_to_dict(model))
+        np.testing.assert_array_equal(
+            model.predict_proba(x), restored.predict_proba(x)
+        )
+
+    def test_identical_leaf_matrix(self, fitted_gbdt):
+        model, x = fitted_gbdt
+        restored = gbdt_from_dict(gbdt_to_dict(model))
+        np.testing.assert_array_equal(
+            model.predict_leaves(x), restored.predict_leaves(x)
+        )
+
+    def test_json_round_trip_through_text(self, fitted_gbdt):
+        model, x = fitted_gbdt
+        text = json.dumps(gbdt_to_dict(model))
+        restored = gbdt_from_dict(json.loads(text))
+        np.testing.assert_array_equal(
+            model.predict_proba(x), restored.predict_proba(x)
+        )
+
+
+class TestPipelineArtifact:
+    def test_save_load_round_trip(self, small_split, tmp_path):
+        pipeline = LoanDefaultPipeline(ERMTrainer(BaseTrainConfig(n_epochs=10)))
+        pipeline.fit(small_split.train)
+        path = tmp_path / "model.json"
+        save_pipeline(pipeline, path, metadata={"run": "test"})
+
+        scorer = load_pipeline(path)
+        expected = pipeline.predict_proba(small_split.test)
+        actual = scorer.predict_proba(small_split.test)
+        np.testing.assert_array_equal(expected, actual)
+        assert scorer.trainer_name == "ERM"
+        assert scorer.metadata == {"run": "test"}
+
+    def test_accepts_raw_feature_matrix(self, small_split, tmp_path):
+        pipeline = LoanDefaultPipeline(ERMTrainer(BaseTrainConfig(n_epochs=5)))
+        pipeline.fit(small_split.train)
+        path = tmp_path / "model.json"
+        save_pipeline(pipeline, path)
+        scorer = load_pipeline(path)
+        out = scorer.predict_proba(small_split.test.features[:7])
+        assert out.shape == (7,)
+
+    def test_unfitted_pipeline_rejected(self, tmp_path):
+        pipeline = LoanDefaultPipeline(ERMTrainer(BaseTrainConfig(n_epochs=1)))
+        with pytest.raises(RuntimeError):
+            save_pipeline(pipeline, tmp_path / "m.json")
+
+    def test_finetuned_head_rejected(self, small_split, tmp_path):
+        pipeline = LoanDefaultPipeline(
+            FineTuneTrainer(FineTuneConfig(n_epochs=5))
+        )
+        pipeline.fit(small_split.train)
+        with pytest.raises(ValueError, match="fine-tuned"):
+            save_pipeline(pipeline, tmp_path / "m.json")
+
+    def test_bad_version_rejected(self, small_split, tmp_path):
+        pipeline = LoanDefaultPipeline(ERMTrainer(BaseTrainConfig(n_epochs=2)))
+        pipeline.fit(small_split.train)
+        path = tmp_path / "model.json"
+        save_pipeline(pipeline, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_pipeline(path)

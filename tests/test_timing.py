@@ -1,0 +1,78 @@
+"""Unit tests for the step timer."""
+
+import time
+
+import pytest
+
+from repro.timing import STEP_NAMES, StepStats, StepTimer
+
+
+class TestStepTimer:
+    def test_accumulates_time_and_count(self):
+        timer = StepTimer(enabled=True)
+        for _ in range(3):
+            with timer.step("work"):
+                time.sleep(0.002)
+        stats = timer.stats["work"]
+        assert stats.count == 3
+        assert stats.total_seconds >= 0.006
+        assert stats.mean_seconds == pytest.approx(
+            stats.total_seconds / 3
+        )
+
+    def test_disabled_timer_records_nothing(self):
+        timer = StepTimer(enabled=False)
+        with timer.step("work"):
+            pass
+        timer.begin_epoch()
+        timer.end_epoch()
+        assert timer.stats == {}
+        assert timer.epoch_seconds == []
+
+    def test_records_on_exception(self):
+        timer = StepTimer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with timer.step("boom"):
+                raise RuntimeError("x")
+        assert timer.stats["boom"].count == 1
+
+    def test_epoch_timing(self):
+        timer = StepTimer(enabled=True)
+        for _ in range(2):
+            timer.begin_epoch()
+            time.sleep(0.002)
+            timer.end_epoch()
+        assert len(timer.epoch_seconds) == 2
+        assert timer.mean_epoch_seconds >= 0.002
+
+    def test_end_epoch_without_begin_is_noop(self):
+        timer = StepTimer(enabled=True)
+        timer.end_epoch()
+        assert timer.epoch_seconds == []
+
+    def test_proportions_sum_to_one(self):
+        timer = StepTimer(enabled=True)
+        with timer.step("a"):
+            time.sleep(0.002)
+        with timer.step("b"):
+            time.sleep(0.002)
+        proportions = timer.proportions()
+        assert sum(proportions.values()) == pytest.approx(1.0)
+
+    def test_proportions_empty(self):
+        assert StepTimer(enabled=True).proportions() == {}
+
+    def test_missing_step_reads_zero(self):
+        timer = StepTimer(enabled=True)
+        assert timer.mean_step_seconds("absent") == 0.0
+        assert timer.total_step_seconds("absent") == 0.0
+
+    def test_table_row_uses_canonical_names(self):
+        timer = StepTimer(enabled=True)
+        row = timer.as_table_row()
+        assert tuple(row) == STEP_NAMES
+
+
+class TestStepStats:
+    def test_zero_count_mean(self):
+        assert StepStats().mean_seconds == 0.0

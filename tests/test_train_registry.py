@@ -1,0 +1,53 @@
+"""Unit tests for the trainer registry."""
+
+import pytest
+
+from repro.baselines.erm import ERMTrainer
+from repro.core.lightmirm import LightMIRMTrainer
+from repro.core.meta_irm import MetaIRMTrainer
+from repro.train.registry import available_trainers, make_trainer
+
+
+class TestMakeTrainer:
+    def test_all_listed_names_constructible(self):
+        for name in available_trainers():
+            trainer = make_trainer(name, n_epochs=1)
+            assert trainer.config.n_epochs == 1
+
+    def test_names_cover_paper_table1(self):
+        names = available_trainers()
+        for required in (
+            "ERM",
+            "ERM + fine-tuning",
+            "Up Sampling",
+            "Group DRO",
+            "V-REx",
+            "IRMv1",
+            "meta-IRM",
+            "LightMIRM",
+        ):
+            assert required in names
+
+    def test_types(self):
+        assert isinstance(make_trainer("ERM"), ERMTrainer)
+        assert isinstance(make_trainer("meta-IRM"), MetaIRMTrainer)
+        assert isinstance(make_trainer("LightMIRM"), LightMIRMTrainer)
+
+    def test_sampled_meta_irm_syntax(self):
+        trainer = make_trainer("meta-IRM(5)")
+        assert isinstance(trainer, MetaIRMTrainer)
+        assert trainer.config.n_sampled_envs == 5
+        assert trainer.name == "meta-IRM(5)"
+
+    def test_config_overrides_forwarded(self):
+        trainer = make_trainer("LightMIRM", queue_length=7, gamma=0.5)
+        assert trainer.config.queue_length == 7
+        assert trainer.config.gamma == 0.5
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_trainer("AdaBoost")
+
+    def test_bad_sampled_syntax_raises(self):
+        with pytest.raises(ValueError):
+            make_trainer("meta-IRM(five)")

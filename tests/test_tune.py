@@ -1,0 +1,119 @@
+"""Unit tests for the hyper-parameter grid search."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LightMIRMConfig
+from repro.core.lightmirm import LightMIRMTrainer
+from repro.train.base import BaseTrainConfig
+from repro.baselines.erm import ERMTrainer
+from repro.tune import grid_search, split_environments
+
+
+class TestSplitEnvironments:
+    def test_stratified_split(self, tiny_envs):
+        fit, valid = split_environments(tiny_envs, validation_fraction=0.25)
+        assert [e.name for e in fit] == [e.name for e in valid]
+        for env, f, v in zip(tiny_envs, fit, valid):
+            assert f.n_samples + v.n_samples == env.n_samples
+            assert v.n_samples == round(0.25 * env.n_samples)
+
+    def test_deterministic(self, tiny_envs):
+        a_fit, _ = split_environments(tiny_envs, seed=3)
+        b_fit, _ = split_environments(tiny_envs, seed=3)
+        np.testing.assert_array_equal(a_fit[0].labels, b_fit[0].labels)
+
+    def test_invalid_fraction(self, tiny_envs):
+        with pytest.raises(ValueError):
+            split_environments(tiny_envs, validation_fraction=1.0)
+
+    def test_too_small_environment(self, rng):
+        from repro.data.dataset import EnvironmentData
+
+        env = EnvironmentData("tiny", rng.standard_normal((1, 3)),
+                              np.ones(1))
+        with pytest.raises(ValueError, match="too small"):
+            split_environments([env], validation_fraction=0.5)
+
+
+class TestGridSearch:
+    def test_evaluates_full_product(self, tiny_envs):
+        result = grid_search(
+            lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=10, **kw)),
+            grid={"learning_rate": [0.5, 1.0], "l2": [1e-4, 1e-2]},
+            environments=tiny_envs,
+        )
+        assert len(result.trials) == 4
+        seen = {tuple(sorted(t.params.items())) for t in result.trials}
+        assert len(seen) == 4
+
+    def test_best_maximises_objective(self, tiny_envs):
+        result = grid_search(
+            lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=10, **kw)),
+            grid={"learning_rate": [0.01, 1.0]},
+            environments=tiny_envs,
+            objective="mKS",
+        )
+        values = [t.report.mean_ks for t in result.trials]
+        assert result.best.report.mean_ks == max(values)
+
+    def test_ranked_order(self, tiny_envs):
+        result = grid_search(
+            lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=10, **kw)),
+            grid={"learning_rate": [0.01, 0.5, 1.0]},
+            environments=tiny_envs,
+            objective="mKS",
+        )
+        ranked = result.ranked()
+        assert ranked[0] is max(
+            result.trials, key=lambda t: t.report.mean_ks
+        )
+        scores = [t.report.mean_ks for t in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_blend_objective(self, tiny_envs):
+        result = grid_search(
+            lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=10, **kw)),
+            grid={"learning_rate": [0.5, 1.0]},
+            environments=tiny_envs,
+            objective="blend",
+            blend_weight=1.0,  # pure worst-province selection
+        )
+        values = [t.report.worst_ks for t in result.trials]
+        assert result.best.report.worst_ks == max(values)
+
+    def test_lightmirm_grid(self, tiny_envs):
+        result = grid_search(
+            lambda **kw: LightMIRMTrainer(
+                LightMIRMConfig(n_epochs=15, **kw)
+            ),
+            grid={"queue_length": [1, 5], "gamma": [0.9]},
+            environments=tiny_envs,
+        )
+        assert len(result.trials) == 2
+        assert result.best.params["gamma"] == 0.9
+
+    def test_records_training_time(self, tiny_envs):
+        result = grid_search(
+            lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=5, **kw)),
+            grid={"learning_rate": [1.0]},
+            environments=tiny_envs,
+        )
+        assert result.trials[0].train_seconds > 0
+
+    def test_invalid_objective(self, tiny_envs):
+        with pytest.raises(ValueError, match="objective"):
+            grid_search(
+                lambda **kw: ERMTrainer(BaseTrainConfig(**kw)),
+                grid={"learning_rate": [1.0]},
+                environments=tiny_envs,
+                objective="accuracy",
+            )
+
+    def test_empty_grid_rejected(self, tiny_envs):
+        with pytest.raises(ValueError, match="empty"):
+            grid_search(
+                lambda **kw: ERMTrainer(BaseTrainConfig(**kw)),
+                grid={},
+                environments=tiny_envs,
+            )
