@@ -1,0 +1,18 @@
+"""Runnable entry point for the tracked GBDT perf microbenchmarks.
+
+The benchmark implementations live in :mod:`repro.perfbench` (so they are
+importable wherever the package is installed); this thin wrapper exists so
+the suite can be launched from a repo checkout as::
+
+    PYTHONPATH=src python -m benchmarks.perf [--quick] [--out BENCH_gbdt.json]
+
+which is equivalent to ``python -m repro bench``.  See
+``docs/performance.md`` for what is measured and how to read the output.
+"""
+
+from repro.perfbench import (  # noqa: F401  (re-exported convenience API)
+    BenchConfig,
+    run_suite,
+    summarize,
+    write_bench_json,
+)

@@ -1,0 +1,8 @@
+"""``python -m benchmarks.perf`` — alias for ``python -m repro bench``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

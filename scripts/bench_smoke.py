@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Smoke-run every perf microbenchmark at tiny sizes.
+
+Exercises the full ``repro.perfbench`` suite (including the JSON writer)
+with :meth:`BenchConfig.smoke` sizes so benchmark code cannot silently rot
+between the occasions someone runs the real tracked configuration.  The
+same check runs under tier-1 via ``tests/test_perfbench_smoke.py``; this
+script is the standalone form::
+
+    PYTHONPATH=src python scripts/bench_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.perfbench import BenchConfig, run_suite, summarize, write_bench_json
+from repro.perfbench.suites import BENCHMARKS
+
+
+def main() -> int:
+    config = BenchConfig.smoke()
+    results = run_suite(config)
+    missing = sorted(set(BENCHMARKS) - set(results))
+    if missing:
+        print(f"benchmarks did not run: {missing}", file=sys.stderr)
+        return 1
+    print(summarize(results))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "BENCH_gbdt.json"
+        write_bench_json(path, results, config)
+        payload = json.loads(path.read_text())
+    for key in ("format", "config", "machine", "benchmarks"):
+        if key not in payload:
+            print(f"BENCH json missing key: {key}", file=sys.stderr)
+            return 1
+    print("bench smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

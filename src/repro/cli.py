@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro train --method LightMIRM --data platform.npz --out model.json
     python -m repro evaluate --model model.json --data platform.npz
     python -m repro experiment table1
+    python -m repro bench --out BENCH_gbdt.json
     python -m repro list
 
 ``experiment`` runs one of the paper's tables/figures at a configurable
@@ -78,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--data-seed", type=int, default=7)
     experiment.add_argument("--trainer-seeds", type=int, nargs="+",
                             default=[0, 1, 2])
+
+    bench = sub.add_parser(
+        "bench", help="run the tracked GBDT perf microbenchmarks"
+    )
+    bench.add_argument("--out", default="BENCH_gbdt.json",
+                       help="output JSON path (default: BENCH_gbdt.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny smoke sizes instead of the tracked config")
+    bench.add_argument("--repeats", type=int,
+                       help="override the per-benchmark repeat count")
+    bench.add_argument("--n-rows", type=int, help="override benchmark rows")
+    bench.add_argument("--n-features", type=int,
+                       help="override benchmark feature count")
+    bench.add_argument("--max-bins", type=int,
+                       help="override benchmark histogram bins")
+    bench.add_argument("--only", nargs="+", metavar="NAME",
+                       help="run a subset of benchmarks (see docs)")
 
     sub.add_parser("list", help="list trainers and experiments")
     return parser
@@ -157,6 +175,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.perfbench import (
+        BenchConfig, run_suite, summarize, write_bench_json,
+    )
+
+    config = BenchConfig.smoke() if args.quick else BenchConfig()
+    overrides = {
+        name: getattr(args, name)
+        for name in ("repeats", "n_rows", "n_features", "max_bins")
+        if getattr(args, name) is not None
+    }
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    results = run_suite(config, only=args.only)
+    print(summarize(results))
+    write_bench_json(args.out, results, config)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("trainers:")
     for name in available_trainers():
@@ -173,6 +213,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "experiment": _cmd_experiment,
+    "bench": _cmd_bench,
     "list": _cmd_list,
 }
 

@@ -32,6 +32,7 @@ from repro.data.dataset import LoanDataset
 from repro.data.provinces import YEARS, ProvinceRegistry, default_registry
 from repro.data.schema import CausalRole, LoanFeatureSchema, build_schema
 from repro.data.shifts import covid_default_shift, spurious_strength, vehicle_mix
+from repro.numerics import sigmoid as _sigmoid
 
 __all__ = ["GeneratorConfig", "LoanDataGenerator", "generate_default_dataset"]
 
@@ -228,14 +229,6 @@ class LoanDataGenerator:
         return x, y
 
 
-def _sigmoid(z: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(z, dtype=np.float64)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    exp_z = np.exp(z[~pos])
-    out[~pos] = exp_z / (1.0 + exp_z)
-    return out
 
 
 def generate_default_dataset(

@@ -2,18 +2,21 @@
 
 from repro.gbdt.binning import QuantileBinner
 from repro.gbdt.boosting import GBDTClassifier, GBDTParams
-from repro.gbdt.histogram import NodeHistogram, build_histogram
-from repro.gbdt.leaf_encoder import LeafIndexEncoder
-from repro.gbdt.tree import DecisionTree, SplitInfo, TreeParams
+from repro.gbdt.histogram import HistogramBuilder, NodeHistogram, build_histogram
+from repro.gbdt.leaf_encoder import LeafIndexEncoder, encode_leaf_matrix
+from repro.gbdt.tree import DecisionTree, FlatTree, SplitInfo, TreeParams
 
 __all__ = [
     "QuantileBinner",
     "GBDTClassifier",
     "GBDTParams",
+    "HistogramBuilder",
     "NodeHistogram",
     "build_histogram",
     "LeafIndexEncoder",
+    "encode_leaf_matrix",
     "DecisionTree",
+    "FlatTree",
     "SplitInfo",
     "TreeParams",
 ]

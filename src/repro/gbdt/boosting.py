@@ -4,16 +4,26 @@ Implements the boosting loop around :class:`~repro.gbdt.tree.DecisionTree`:
 second-order (Newton) boosting on the binary cross-entropy objective, with
 shrinkage, row/feature subsampling, and validation-based early stopping.
 This is the feature-extraction GBDT of the paper's "GBDT+LR" architecture.
+
+The hot path is allocation-disciplined: one :class:`HistogramBuilder` (and
+its fused-index matrix) is shared by every boosting round, feature bagging
+threads the column subset into the kernels instead of materialising
+``binned[:, cols]`` per round, and the ``*_binned`` prediction variants let
+callers bin a feature matrix once (:meth:`GBDTClassifier.bin_features`) and
+reuse it across scores, leaf indices, and staged probabilities.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.histogram import HistogramBuilder
 from repro.gbdt.tree import DecisionTree, TreeParams
+from repro.numerics import binary_cross_entropy, sigmoid
 
 __all__ = ["GBDTParams", "GBDTClassifier"]
 
@@ -63,6 +73,14 @@ class GBDTClassifier:
         model.fit(X_train, y_train, X_valid, y_valid)
         proba = model.predict_proba(X_test)
         leaves = model.predict_leaves(X_test)   # for the GBDT+LR encoder
+
+    Callers that need several views of the same rows (scores *and* leaf
+    indices, or staged probabilities) should bin once and use the
+    ``*_binned`` variants::
+
+        binned = model.bin_features(X_test)
+        proba = model.predict_proba_binned(binned)
+        leaves = model.predict_leaves_binned(binned)
     """
 
     def __init__(self, params: GBDTParams | None = None):
@@ -113,6 +131,7 @@ class GBDTClassifier:
         rng = np.random.default_rng(params.seed)
         binned = self.binner.fit_transform(features)
         n, d = binned.shape
+        builder = HistogramBuilder(binned, params.max_bins)
 
         use_valid = valid_features is not None
         if use_valid:
@@ -138,7 +157,7 @@ class GBDTClassifier:
         rounds_since_best = 0
 
         for _ in range(params.n_trees):
-            prob = _sigmoid(raw)
+            prob = sigmoid(raw)
             gradients = prob - labels
             hessians = np.maximum(prob * (1.0 - prob), 1e-12)
 
@@ -146,30 +165,44 @@ class GBDTClassifier:
             if params.subsample < 1.0:
                 size = max(1, int(round(params.subsample * n)))
                 row_subset = rng.choice(n, size=size, replace=False)
-            col_subset = np.arange(d)
+                # Sorted rows make the histogram gathers sequential in
+                # memory; set-based statistics are order-invariant, so
+                # fitted trees are unchanged.
+                row_subset.sort()
+            col_subset = None
             if params.colsample < 1.0:
                 size = max(1, int(round(params.colsample * d)))
                 col_subset = np.sort(rng.choice(d, size=size, replace=False))
 
             tree = DecisionTree(params.tree)
             tree.fit(
-                binned[:, col_subset],
+                binned,
                 gradients,
                 hessians,
                 max_bins=params.max_bins,
                 sample_indices=row_subset,
+                column_subset=col_subset,
+                builder=builder,
             )
             self.trees_.append(tree)
-            self.tree_feature_subsets_.append(col_subset)
+            self.tree_feature_subsets_.append(
+                col_subset if col_subset is not None else np.arange(d)
+            )
 
-            raw += params.learning_rate * tree.predict_value(binned[:, col_subset])
-            self.train_losses_.append(_logloss(labels, _sigmoid(raw)))
+            raw += params.learning_rate * tree.predict_value(
+                binned, columns=col_subset
+            )
+            self.train_losses_.append(
+                binary_cross_entropy(labels, sigmoid(raw))
+            )
 
             if use_valid:
                 valid_raw += params.learning_rate * tree.predict_value(
-                    valid_binned[:, col_subset]
+                    valid_binned, columns=col_subset
                 )
-                valid_loss = _logloss(valid_labels, _sigmoid(valid_raw))
+                valid_loss = binary_cross_entropy(
+                    valid_labels, sigmoid(valid_raw)
+                )
                 self.valid_losses_.append(valid_loss)
                 if valid_loss < best_valid - 1e-9:
                     best_valid = valid_loss
@@ -180,18 +213,58 @@ class GBDTClassifier:
                         break
         return self
 
-    def decision_function(self, features: np.ndarray) -> np.ndarray:
-        """Raw additive score (log-odds)."""
+    # ------------------------------------------------------- transform-once
+
+    def bin_features(self, features: np.ndarray) -> np.ndarray:
+        """Bin a raw feature matrix once, for reuse by ``*_binned`` calls."""
         self._check_fitted()
-        binned = self.binner.transform(np.asarray(features, dtype=np.float64))
+        return self.binner.transform(np.asarray(features, dtype=np.float64))
+
+    def decision_function_binned(self, binned: np.ndarray) -> np.ndarray:
+        """Raw additive score (log-odds) over pre-binned rows."""
+        self._check_fitted()
         raw = np.full(binned.shape[0], self.base_score_)
         for tree, cols in zip(self.trees_, self.tree_feature_subsets_):
-            raw += self.params.learning_rate * tree.predict_value(binned[:, cols])
+            raw += self.params.learning_rate * tree.predict_value(
+                binned, columns=cols
+            )
         return raw
+
+    def predict_proba_binned(self, binned: np.ndarray) -> np.ndarray:
+        """Default probabilities over pre-binned rows."""
+        return sigmoid(self.decision_function_binned(binned))
+
+    def predict_leaves_binned(self, binned: np.ndarray) -> np.ndarray:
+        """Leaf-index matrix ``(n, n_trees)`` over pre-binned rows."""
+        self._check_fitted()
+        leaves = np.empty((binned.shape[0], len(self.trees_)), dtype=np.int64)
+        for t, (tree, cols) in enumerate(
+            zip(self.trees_, self.tree_feature_subsets_)
+        ):
+            leaves[:, t] = tree.predict_leaf(binned, columns=cols)
+        return leaves
+
+    def staged_predict_proba_binned(
+        self, binned: np.ndarray
+    ) -> Iterator[np.ndarray]:
+        """Yield probabilities after each boosting round (pre-binned rows)."""
+        self._check_fitted()
+        raw = np.full(binned.shape[0], self.base_score_)
+        for tree, cols in zip(self.trees_, self.tree_feature_subsets_):
+            raw = raw + self.params.learning_rate * tree.predict_value(
+                binned, columns=cols
+            )
+            yield sigmoid(raw)
+
+    # ------------------------------------------------------ raw-feature API
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw additive score (log-odds)."""
+        return self.decision_function_binned(self.bin_features(features))
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Predicted default probabilities."""
-        return _sigmoid(self.decision_function(features))
+        return sigmoid(self.decision_function(features))
 
     def staged_predict_proba(self, features: np.ndarray):
         """Yield probabilities after each boosting round.
@@ -202,14 +275,9 @@ class GBDTClassifier:
         Yields:
             ``(n,)`` probability arrays, one per fitted tree.
         """
-        self._check_fitted()
-        binned = self.binner.transform(np.asarray(features, dtype=np.float64))
-        raw = np.full(binned.shape[0], self.base_score_)
-        for tree, cols in zip(self.trees_, self.tree_feature_subsets_):
-            raw = raw + self.params.learning_rate * tree.predict_value(
-                binned[:, cols]
-            )
-            yield _sigmoid(raw)
+        yield from self.staged_predict_proba_binned(
+            self.bin_features(features)
+        )
 
     def predict_leaves(self, features: np.ndarray) -> np.ndarray:
         """Leaf index of every sample in every tree.
@@ -219,14 +287,7 @@ class GBDTClassifier:
             index of each sample in tree ``t`` — the categorical cross-
             feature the GBDT+LR encoder one-hot expands.
         """
-        self._check_fitted()
-        binned = self.binner.transform(np.asarray(features, dtype=np.float64))
-        leaves = np.empty((binned.shape[0], len(self.trees_)), dtype=np.int64)
-        for t, (tree, cols) in enumerate(
-            zip(self.trees_, self.tree_feature_subsets_)
-        ):
-            leaves[:, t] = tree.predict_leaf(binned[:, cols])
-        return leaves
+        return self.predict_leaves_binned(self.bin_features(features))
 
     def leaves_per_tree(self) -> list[int]:
         """Leaf count of each fitted tree (sizes of the one-hot blocks)."""
@@ -245,19 +306,3 @@ class GBDTClassifier:
     def _check_fitted(self) -> None:
         if not self.is_fitted:
             raise RuntimeError("GBDTClassifier is not fitted")
-
-
-def _sigmoid(z: np.ndarray) -> np.ndarray:
-    out = np.empty_like(z, dtype=np.float64)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    exp_z = np.exp(z[~pos])
-    out[~pos] = exp_z / (1.0 + exp_z)
-    return out
-
-
-def _logloss(labels: np.ndarray, prob: np.ndarray) -> float:
-    prob = np.clip(prob, 1e-12, 1 - 1e-12)
-    return float(
-        -np.mean(labels * np.log(prob) + (1 - labels) * np.log(1 - prob))
-    )

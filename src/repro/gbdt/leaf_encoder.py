@@ -5,6 +5,12 @@ is treated as a non-linear transformation producing one categorical cross-
 feature per instance — the index of the leaf the instance falls into.  The
 categorical values are one-hot encoded per tree and concatenated into one
 sparse multi-hot vector (exactly one active indicator per tree).
+
+Because every row has exactly ``n_trees`` non-zeros at strictly increasing
+column positions (tree blocks are laid out in tree order), the CSR arrays
+are known in closed form — ``indptr`` is an arithmetic progression and
+``indices`` the offset leaf matrix — so the matrix is assembled directly
+without the COO→CSR conversion (duplicate summation, sort) round-trip.
 """
 
 from __future__ import annotations
@@ -14,7 +20,37 @@ from scipy import sparse
 
 from repro.gbdt.boosting import GBDTClassifier
 
-__all__ = ["LeafIndexEncoder"]
+__all__ = ["LeafIndexEncoder", "encode_leaf_matrix"]
+
+
+def encode_leaf_matrix(
+    leaf_matrix: np.ndarray, offsets: np.ndarray
+) -> sparse.csr_matrix:
+    """Build the multi-hot CSR matrix for a dense leaf-index matrix.
+
+    Args:
+        leaf_matrix: ``(n, n_trees)`` per-tree dense leaf indices.
+        offsets: ``(n_trees + 1,)`` cumulative leaf counts; tree ``t``'s
+            one-hot block spans columns ``[offsets[t], offsets[t + 1])``.
+
+    Returns:
+        CSR matrix of shape ``(n, offsets[-1])`` with exactly one non-zero
+        per tree per row.  ``data`` uses float32 — the values are all 1.0,
+        exactly representable, and scipy upcasts products with a float64
+        parameter vector, so downstream results are bit-identical.
+    """
+    n, n_trees = leaf_matrix.shape
+    indices = np.ascontiguousarray(
+        (leaf_matrix + offsets[:-1][None, :]).ravel(), dtype=np.int64
+    )
+    indptr = np.arange(n + 1, dtype=np.int64) * n_trees
+    data = np.ones(indices.size, dtype=np.float32)
+    # Column subsets within each row are strictly increasing (offsets grow
+    # with the tree index), so the arrays are already in canonical form.
+    matrix = sparse.csr_matrix(
+        (data, indices, indptr), shape=(n, int(offsets[-1]))
+    )
+    return matrix
 
 
 class LeafIndexEncoder:
@@ -50,6 +86,14 @@ class LeafIndexEncoder:
         leaf_matrix = self.model.predict_leaves(features)
         return self.encode_leaves(leaf_matrix)
 
+    def transform_binned(self, binned: np.ndarray) -> sparse.csr_matrix:
+        """Encode pre-binned rows (see :meth:`GBDTClassifier.bin_features`).
+
+        Lets a caller share one binned matrix between probability scoring
+        and leaf encoding instead of re-binning per consumer.
+        """
+        return self.encode_leaves(self.model.predict_leaves_binned(binned))
+
     def encode_leaves(self, leaf_matrix: np.ndarray) -> sparse.csr_matrix:
         """Encode a precomputed ``(n, n_trees)`` leaf-index matrix."""
         leaf_matrix = np.asarray(leaf_matrix, dtype=np.int64)
@@ -60,14 +104,7 @@ class LeafIndexEncoder:
         per_tree_leaves = np.diff(self._offsets)
         if np.any(leaf_matrix < 0) or np.any(leaf_matrix >= per_tree_leaves[None, :]):
             raise ValueError("leaf index out of range for its tree")
-        n = leaf_matrix.shape[0]
-        # Column index of each active indicator: tree offset + leaf index.
-        cols = (leaf_matrix + self._offsets[:-1][None, :]).ravel()
-        rows = np.repeat(np.arange(n), self.n_trees)
-        data = np.ones(cols.size)
-        return sparse.csr_matrix(
-            (data, (rows, cols)), shape=(n, self.n_output_features)
-        )
+        return encode_leaf_matrix(leaf_matrix, self._offsets)
 
     def column_origin(self, column: int) -> tuple[int, int]:
         """Map an output column back to ``(tree_index, leaf_index)``."""

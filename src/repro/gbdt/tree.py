@@ -6,6 +6,17 @@ growth repeatedly splits the leaf with the globally largest gain until the
 leaf budget is exhausted — the strategy LightGBM popularised and the one the
 paper's feature extractor relies on (each tree's leaves become the categories
 of one cross-feature).
+
+Inference is served from a *flattened* struct-of-arrays form built once
+after fitting (:class:`FlatTree`): parallel ``feature`` / ``threshold`` /
+``left`` / ``right`` / ``leaf_index`` arrays in which every leaf points to
+itself.  Routing all rows is then an ``O(depth × n)`` vectorised descent
+— ``node = left[node] + (bin > threshold[node])`` — instead of an
+``O(n_nodes × n)`` per-node mask loop.  The descent leans on two
+structural facts: siblings are appended consecutively during growth (so
+``right == left + 1`` always), and bin thresholds fit in a byte (so each
+node's feature and threshold pack into one int32, halving the per-level
+gather work).
 """
 
 from __future__ import annotations
@@ -16,9 +27,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.gbdt.histogram import NodeHistogram, build_histogram
+from repro.gbdt.histogram import HistogramBuilder, NodeHistogram
 
-__all__ = ["TreeParams", "DecisionTree", "SplitInfo"]
+__all__ = ["TreeParams", "DecisionTree", "SplitInfo", "FlatTree"]
 
 
 @dataclass(frozen=True)
@@ -88,6 +99,141 @@ class _Node:
         return self.left == -1
 
 
+@dataclass(frozen=True)
+class FlatTree:
+    """Struct-of-arrays prediction form of a fitted tree.
+
+    Leaves are encoded as self-loops (``left == right == node_id`` with an
+    always-true threshold), so ``depth`` routing iterations settle every
+    row on its leaf regardless of where it landed earlier.
+
+    Attributes:
+        feature: ``(n_nodes,)`` int32 split feature (0 for leaves).
+        threshold: ``(n_nodes,)`` int32 bin threshold (max for leaves, so
+            any bin compares ``<=`` and the self-loop is taken).
+        left: ``(n_nodes,)`` int32 left-child id (self for leaves).
+        right: ``(n_nodes,)`` int32 right-child id (self for leaves).
+        leaf_index: ``(n_nodes,)`` int64 dense leaf index (-1 internal).
+        value: ``(n_leaves,)`` float64 leaf values, by dense leaf index.
+        depth: Maximum leaf depth — the routing iteration count.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    leaf_index: np.ndarray
+    value: np.ndarray
+    depth: int
+
+    #: Leaf threshold in the packed form: no uint8 bin exceeds it, so a
+    #: leaf's self-loop edge is always the "left" (not-greater) branch.
+    _LEAF_THRESHOLD = 255
+
+    def __post_init__(self) -> None:
+        # Fast routing packs each node's (left, feature, threshold) into
+        # one int64 — a single gather per descent level.  It needs
+        # right == left + 1 (siblings are appended consecutively during
+        # growth), byte-sized thresholds, and features below 2^24.  All
+        # hold for every tree this codebase grows or deserialises; the
+        # general where()-descent remains as a fallback.
+        internal = self.leaf_index < 0
+        packable = bool(
+            np.array_equal(self.right[internal], self.left[internal] + 1)
+            and np.all(self.threshold[internal] >= 0)
+            and np.all(self.threshold[internal] < self._LEAF_THRESHOLD)
+            and (self.feature.size == 0
+                 or int(self.feature.max()) < 1 << 24)
+        )
+        pack = None
+        if packable:
+            byte_thr = np.where(
+                internal, self.threshold, self._LEAF_THRESHOLD
+            ).astype(np.int64)
+            pack = (
+                (self.left.astype(np.int64) << 32)
+                | (self.feature.astype(np.int64) << 8)
+                | byte_thr
+            )
+        object.__setattr__(self, "_pack", pack)
+
+    @classmethod
+    def from_nodes(cls, nodes: list[_Node], n_leaves: int) -> "FlatTree":
+        """Compact a node list into the parallel-array form."""
+        n_nodes = len(nodes)
+        feature = np.zeros(n_nodes, dtype=np.int32)
+        threshold = np.full(n_nodes, np.iinfo(np.int32).max, dtype=np.int32)
+        left = np.arange(n_nodes, dtype=np.int32)
+        right = np.arange(n_nodes, dtype=np.int32)
+        leaf_index = np.full(n_nodes, -1, dtype=np.int64)
+        value = np.zeros(max(n_leaves, 1), dtype=np.float64)
+        depth = 0
+        for node in nodes:
+            if node.is_leaf:
+                leaf_index[node.node_id] = node.leaf_index
+                value[node.leaf_index] = node.value
+                depth = max(depth, node.depth)
+            else:
+                feature[node.node_id] = node.feature
+                threshold[node.node_id] = node.bin_threshold
+                left[node.node_id] = node.left
+                right[node.node_id] = node.right
+        return cls(feature=feature, threshold=threshold, left=left,
+                   right=right, leaf_index=leaf_index, value=value,
+                   depth=depth)
+
+    def route(self, binned: np.ndarray,
+              columns: np.ndarray | None = None) -> np.ndarray:
+        """Vectorised descent: leaf *node id* of every row.
+
+        Args:
+            binned: ``(n, d)`` bin-index matrix.  ``d`` is the tree's own
+                feature space when ``columns`` is None, else the full
+                matrix the tree's features index into via ``columns``.
+            columns: Optional map from tree-local feature id to column of
+                ``binned`` (feature bagging without slicing the matrix).
+
+        Returns:
+            ``(n,)`` integer node ids, all leaves.
+        """
+        if self._pack is None:
+            return self._route_general(binned, columns)
+        n, d = binned.shape
+        pack = self._pack
+        if columns is not None:
+            # Remap tree-local features to matrix columns once per call
+            # (n_nodes entries) instead of per routed row.
+            cols = np.asarray(columns, dtype=np.int64)
+            pack = (
+                (self.left.astype(np.int64) << 32)
+                | (cols[self.feature] << 8)
+                | (pack & 255)
+            )
+        flat_bins = binned.ravel()
+        row_offset = np.arange(n, dtype=np.int64) * d
+        node = np.zeros(n, dtype=np.int64)
+        for _ in range(self.depth):
+            p = pack[node]
+            bins = flat_bins[row_offset + ((p >> 8) & 0xFFFFFF)]
+            node = (p >> 32) + (bins > (p & 255))
+        return node
+
+    def _route_general(self, binned: np.ndarray,
+                       columns: np.ndarray | None) -> np.ndarray:
+        """where()-based descent for trees the packed form cannot encode."""
+        n = binned.shape[0]
+        feature = self.feature
+        if columns is not None:
+            feature = np.asarray(columns, dtype=np.int64)[self.feature]
+        node = np.zeros(n, dtype=np.int32)
+        rows = np.arange(n)
+        for _ in range(self.depth):
+            bins = binned[rows, feature[node]]
+            go_left = bins <= self.threshold[node]
+            node = np.where(go_left, self.left[node], self.right[node])
+        return node
+
+
 class DecisionTree:
     """Histogram-based regression tree over pre-binned features.
 
@@ -100,6 +246,7 @@ class DecisionTree:
         self.params = params or TreeParams()
         self._nodes: list[_Node] = []
         self._n_leaves = 0
+        self._flat: FlatTree | None = None
 
     @property
     def n_leaves(self) -> int:
@@ -110,6 +257,15 @@ class DecisionTree:
     def n_nodes(self) -> int:
         return len(self._nodes)
 
+    @property
+    def flat(self) -> FlatTree:
+        """The struct-of-arrays prediction form (built lazily)."""
+        if self._flat is None:
+            if not self._nodes:
+                raise RuntimeError("tree is not fitted")
+            self._flat = FlatTree.from_nodes(self._nodes, self._n_leaves)
+        return self._flat
+
     def fit(
         self,
         binned: np.ndarray,
@@ -117,6 +273,8 @@ class DecisionTree:
         hessians: np.ndarray,
         max_bins: int,
         sample_indices: np.ndarray | None = None,
+        column_subset: np.ndarray | None = None,
+        builder: HistogramBuilder | None = None,
     ) -> "DecisionTree":
         """Grow the tree on (possibly subsampled) training rows.
 
@@ -126,6 +284,12 @@ class DecisionTree:
             hessians: Per-row second-order loss derivatives.
             max_bins: Histogram width.
             sample_indices: Optional row subset (bagging).
+            column_subset: Optional sorted column indices (feature bagging).
+                Node features are stored relative to this subset, exactly
+                as if the tree had been fit on ``binned[:, column_subset]``
+                — but without materialising that copy.
+            builder: Optional shared :class:`HistogramBuilder` over
+                ``binned`` (the boosting loop passes one per ensemble).
 
         Returns:
             self.
@@ -136,10 +300,19 @@ class DecisionTree:
             raise ValueError("cannot fit a tree on zero samples")
         self._nodes = []
         self._n_leaves = 0
+        self._flat = None
         self._max_bins = max_bins
+        if builder is None:
+            builder = HistogramBuilder(binned, max_bins)
+        # Growth-time references, dropped at the end of fit().
+        self._builder = builder
+        self._binned = binned
+        self._column_subset = column_subset
+        self._gradients = gradients
+        self._hessians = hessians
 
-        root_hist = build_histogram(binned, gradients, hessians,
-                                    sample_indices, max_bins)
+        root_hist = builder.build(gradients, hessians, sample_indices,
+                                  column_subset)
         root = _Node(node_id=0, depth=0, sample_indices=sample_indices,
                      histogram=root_hist)
         self._nodes.append(root)
@@ -160,13 +333,15 @@ class DecisionTree:
         while heap and n_leaves < self.params.max_leaves:
             _, __, node_id, split = heapq.heappop(heap)
             node = self._nodes[node_id]
-            left, right = self._apply_split(node, split, binned, gradients,
-                                            hessians)
+            left, right = self._apply_split(node, split)
             n_leaves += 1
             push_candidate(left)
             push_candidate(right)
 
         self._finalize_leaves()
+        self._flat = FlatTree.from_nodes(self._nodes, self._n_leaves)
+        del self._builder, self._binned, self._column_subset
+        del self._gradients, self._hessians
         return self
 
     def _best_split(self, node: _Node) -> SplitInfo | None:
@@ -223,27 +398,29 @@ class DecisionTree:
         return best
 
     def _apply_split(
-        self,
-        node: _Node,
-        split: SplitInfo,
-        binned: np.ndarray,
-        gradients: np.ndarray,
-        hessians: np.ndarray,
+        self, node: _Node, split: SplitInfo
     ) -> tuple[_Node, _Node]:
         """Materialise a split: partition rows, build child histograms."""
         rows = node.sample_indices
-        goes_left = binned[rows, split.feature] <= split.bin_threshold
+        column = split.feature
+        if self._column_subset is not None:
+            column = self._column_subset[split.feature]
+        goes_left = self._binned[rows, column] <= split.bin_threshold
         left_rows = rows[goes_left]
         right_rows = rows[~goes_left]
 
         # Histogram subtraction trick: build the smaller side, derive the other.
         if left_rows.size <= right_rows.size:
-            left_hist = build_histogram(binned, gradients, hessians,
-                                        left_rows, self._max_bins)
+            left_hist = self._builder.build(
+                self._gradients, self._hessians, left_rows,
+                self._column_subset,
+            )
             right_hist = node.histogram.subtract(left_hist)
         else:
-            right_hist = build_histogram(binned, gradients, hessians,
-                                         right_rows, self._max_bins)
+            right_hist = self._builder.build(
+                self._gradients, self._hessians, right_rows,
+                self._column_subset,
+            )
             left_hist = node.histogram.subtract(right_hist)
 
         left = _Node(node_id=len(self._nodes), depth=node.depth + 1,
@@ -274,41 +451,29 @@ class DecisionTree:
                 node.sample_indices = np.empty(0, dtype=np.int64)
         self._n_leaves = leaf_counter
 
-    def predict_leaf(self, binned: np.ndarray) -> np.ndarray:
+    def predict_leaf(
+        self, binned: np.ndarray, columns: np.ndarray | None = None
+    ) -> np.ndarray:
         """Route rows to leaves; returns the dense leaf index per row.
 
         Args:
-            binned: ``(n, d)`` bin-index matrix from the same binner.
+            binned: ``(n, d)`` bin-index matrix from the same binner — the
+                tree's own feature space, or the full matrix together with
+                ``columns``.
+            columns: Optional tree-local-feature → column map, so callers
+                with feature-bagged trees never slice the binned matrix.
 
         Returns:
             ``(n,)`` int array of leaf indices in ``[0, n_leaves)``.
         """
-        if not self._nodes:
-            raise RuntimeError("tree is not fitted")
-        n = binned.shape[0]
-        current = np.zeros(n, dtype=np.int64)
-        # Children always have larger ids than their parent, so a single
-        # in-order pass routes every row to its leaf.
-        for node in self._nodes:
-            if node.is_leaf:
-                continue
-            here = current == node.node_id
-            if not np.any(here):
-                continue
-            goes_left = binned[here, node.feature] <= node.bin_threshold
-            dest = np.where(goes_left, node.left, node.right)
-            current[here] = dest
-        leaf_index_of_node = np.array(
-            [node.leaf_index for node in self._nodes], dtype=np.int64
-        )
-        return leaf_index_of_node[current]
+        flat = self.flat
+        return flat.leaf_index[flat.route(binned, columns)]
 
-    def predict_value(self, binned: np.ndarray) -> np.ndarray:
+    def predict_value(
+        self, binned: np.ndarray, columns: np.ndarray | None = None
+    ) -> np.ndarray:
         """Raw leaf values (pre-shrinkage contribution of this tree)."""
-        leaf_values = np.array(
-            [node.value for node in self._nodes if node.is_leaf]
-        )
-        return leaf_values[self.predict_leaf(binned)]
+        return self.flat.value[self.predict_leaf(binned, columns)]
 
     def feature_importance(self, n_features: int) -> np.ndarray:
         """Total split gain attributed to each feature.

@@ -20,31 +20,11 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.numerics import binary_cross_entropy, sigmoid
+
 __all__ = ["LogisticModel", "sigmoid", "binary_cross_entropy"]
 
 Matrix = np.ndarray | sparse.spmatrix
-
-
-def sigmoid(z: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    z = np.asarray(z, dtype=np.float64)
-    out = np.empty_like(z)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    exp_z = np.exp(z[~pos])
-    out[~pos] = exp_z / (1.0 + exp_z)
-    return out
-
-
-def binary_cross_entropy(labels: np.ndarray, probabilities: np.ndarray) -> float:
-    """Mean BCE with probability clipping for numerical safety."""
-    probabilities = np.clip(probabilities, 1e-12, 1.0 - 1e-12)
-    return float(
-        -np.mean(
-            labels * np.log(probabilities)
-            + (1.0 - labels) * np.log(1.0 - probabilities)
-        )
-    )
 
 
 class LogisticModel:

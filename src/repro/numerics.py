@@ -1,0 +1,39 @@
+"""Shared numerically-stable scalar kernels.
+
+The logistic function and the binary cross-entropy appear in three places
+(the GBDT boosting objective, the LR head, and the synthetic label model);
+this module is the single implementation all of them import, so the exact
+clipping/branching behaviour cannot drift between components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sigmoid", "binary_cross_entropy"]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function.
+
+    Splits on the sign of ``z`` so neither branch ever exponentiates a
+    positive argument — no overflow for any finite input.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    exp_z = np.exp(z[~pos])
+    out[~pos] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def binary_cross_entropy(labels: np.ndarray, probabilities: np.ndarray) -> float:
+    """Mean BCE with probability clipping for numerical safety."""
+    probabilities = np.clip(probabilities, 1e-12, 1.0 - 1e-12)
+    return float(
+        -np.mean(
+            labels * np.log(probabilities)
+            + (1.0 - labels) * np.log(1.0 - probabilities)
+        )
+    )

@@ -1,0 +1,25 @@
+"""Tracked GBDT performance microbenchmarks.
+
+This package keeps the repo's perf story honest in two ways:
+
+* :mod:`repro.perfbench.reference` preserves the pre-vectorisation *seed*
+  kernels (per-feature histogram loops, per-node mask routing, COO leaf
+  encoding, per-round matrix copies) verbatim.  They are the baseline the
+  golden-equivalence tests compare against bit-for-bit, and the
+  denominator of every reported speedup.
+* :mod:`repro.perfbench.suites` times the live kernels against those seed
+  kernels (median-of-k, see :func:`repro.timing.measure`) and writes
+  ``BENCH_gbdt.json`` so the trajectory is visible PR-over-PR.
+
+Run via ``python -m repro bench`` (or ``python -m benchmarks.perf`` from
+the repo root).
+"""
+
+from repro.perfbench.suites import (
+    BenchConfig,
+    run_suite,
+    summarize,
+    write_bench_json,
+)
+
+__all__ = ["BenchConfig", "run_suite", "summarize", "write_bench_json"]

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.gbdt.binning import QuantileBinner
 from repro.gbdt.boosting import GBDTClassifier, GBDTParams
-from repro.gbdt.tree import DecisionTree, TreeParams, _Node
+from repro.gbdt.tree import DecisionTree, FlatTree, TreeParams, _Node
 
 __all__ = [
     "binner_to_dict",
@@ -77,7 +77,34 @@ def tree_to_dict(tree: DecisionTree) -> dict:
             for node in tree._nodes
         ],
         "n_leaves": tree.n_leaves,
+        "flat": _flat_to_dict(tree.flat),
     }
+
+
+def _flat_to_dict(flat: FlatTree) -> dict:
+    """Encode the struct-of-arrays prediction form."""
+    return {
+        "feature": flat.feature.tolist(),
+        "threshold": flat.threshold.tolist(),
+        "left": flat.left.tolist(),
+        "right": flat.right.tolist(),
+        "leaf_index": flat.leaf_index.tolist(),
+        "value": flat.value.tolist(),
+        "depth": flat.depth,
+    }
+
+
+def _flat_from_dict(payload: dict) -> FlatTree:
+    """Restore the struct-of-arrays prediction form."""
+    return FlatTree(
+        feature=np.asarray(payload["feature"], dtype=np.int32),
+        threshold=np.asarray(payload["threshold"], dtype=np.int32),
+        left=np.asarray(payload["left"], dtype=np.int32),
+        right=np.asarray(payload["right"], dtype=np.int32),
+        leaf_index=np.asarray(payload["leaf_index"], dtype=np.int64),
+        value=np.asarray(payload["value"], dtype=np.float64),
+        depth=int(payload["depth"]),
+    )
 
 
 def tree_from_dict(payload: dict) -> DecisionTree:
@@ -98,6 +125,10 @@ def tree_from_dict(payload: dict) -> DecisionTree:
         for node in payload["nodes"]
     ]
     tree._n_leaves = payload["n_leaves"]
+    # Older payloads lack the flattened arrays; the tree rebuilds them
+    # lazily from the node list on first prediction.
+    if "flat" in payload:
+        tree._flat = _flat_from_dict(payload["flat"])
     return tree
 
 

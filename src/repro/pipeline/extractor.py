@@ -82,7 +82,9 @@ class GBDTFeatureExtractor:
     def transform(self, dataset: LoanDataset) -> sparse.csr_matrix:
         """Encode all rows of a dataset into the multi-hot leaf space."""
         self._check_fitted()
-        return self.encoder_.transform(dataset.features)
+        # Bin once, then route + encode from the shared binned matrix.
+        binned = self.model_.bin_features(dataset.features)
+        return self.encoder_.transform_binned(binned)
 
     def encode_environments(self, dataset: LoanDataset) -> list[EnvironmentData]:
         """Per-province environments in the encoded space, sorted by name."""

@@ -9,11 +9,13 @@ steps can be measured on our substrate.
 
 from __future__ import annotations
 
+import statistics
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Callable
 
-__all__ = ["StepTimer", "StepStats", "STEP_NAMES"]
+__all__ = ["StepTimer", "StepStats", "STEP_NAMES", "Measurement", "measure"]
 
 #: Canonical step names, in Table III row order.
 STEP_NAMES = (
@@ -109,3 +111,47 @@ class StepTimer:
     def as_table_row(self) -> dict[str, float]:
         """Mean per-step seconds keyed by the canonical Table III names."""
         return {name: self.mean_step_seconds(name) for name in STEP_NAMES}
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Repeated wall-clock timings of one callable.
+
+    Attributes:
+        seconds: Per-repeat wall times, in run order (warmup excluded).
+    """
+
+    seconds: tuple[float, ...]
+
+    @property
+    def median_seconds(self) -> float:
+        """Median of the repeats — robust to scheduler noise."""
+        return statistics.median(self.seconds)
+
+    @property
+    def best_seconds(self) -> float:
+        """Fastest repeat — the least-perturbed observation."""
+        return min(self.seconds)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.seconds)
+
+
+def measure(fn: Callable[[], object], repeats: int = 5,
+            warmup: int = 1) -> Measurement:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` discarded calls.
+
+    The perf microbenchmarks report :attr:`Measurement.median_seconds`
+    (median-of-k) so one preempted run cannot skew a tracked number.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    seconds = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        seconds.append(time.perf_counter() - start)
+    return Measurement(seconds=tuple(seconds))

@@ -1,0 +1,337 @@
+"""Golden equivalence: vectorised GBDT kernels vs the preserved seed code.
+
+The vectorised kernels (per-feature/fused histogram builder, flattened
+struct-of-arrays tree routing, direct-CSR leaf encoding) are required to
+reproduce the seed implementations in :mod:`repro.perfbench.reference`
+*bit for bit* when given identical inputs: identical histogram sums,
+identical splits and leaf values, identical probabilities.
+
+The one deliberate behaviour change this PR made is sorting bagged row
+subsets before histogram building (cache-friendly gathers).  Sorting
+reorders float additions, which is mathematically a no-op but not
+bitwise-guaranteed — so ensembles with ``subsample < 1`` are compared
+structurally (identical splits and leaf routes) with probabilities at
+tight tolerance, while every same-input comparison is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.boosting import GBDTClassifier, GBDTParams
+from repro.gbdt.histogram import HistogramBuilder, build_histogram
+from repro.gbdt.tree import DecisionTree, TreeParams
+from repro.gbdt.leaf_encoder import encode_leaf_matrix
+from repro.perfbench import reference
+from repro.persist.codec import gbdt_from_dict, gbdt_to_dict
+
+
+def _problem(seed: int, n: int, d: int, max_bins: int,
+             constant_cols: tuple[int, ...] = ()):
+    """Binned matrix plus logloss-shaped gradient statistics."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    for c in constant_cols:
+        x[:, c] = 1.37
+    logit = x @ (rng.standard_normal(d) * 0.5)
+    y = (rng.random(n) < 1.0 / (1.0 + np.exp(-logit))).astype(float)
+    binned = QuantileBinner(max_bins=max_bins).fit(x).transform(x)
+    prob = np.full(n, float(y.mean()))
+    gradients = prob - y
+    hessians = np.maximum(prob * (1.0 - prob), 1e-12)
+    return binned, gradients, hessians, x, y
+
+
+def _assert_histograms_identical(ours, seed):
+    np.testing.assert_array_equal(ours.grad, seed.grad)
+    np.testing.assert_array_equal(ours.hess, seed.hess)
+    np.testing.assert_array_equal(
+        ours.count.astype(np.float64), seed.count.astype(np.float64)
+    )
+
+
+def _assert_trees_identical(ours: DecisionTree,
+                            seed: reference.SeedDecisionTree):
+    assert ours.n_leaves == seed.n_leaves
+    assert len(ours._nodes) == len(seed._nodes)
+    for a, b in zip(ours._nodes, seed._nodes):
+        assert a.feature == b.feature
+        assert a.bin_threshold == b.bin_threshold
+        assert a.left == b.left and a.right == b.right
+        assert a.leaf_index == b.leaf_index
+        assert a.value == b.value  # bitwise: exact float equality
+
+
+class TestHistogramKernel:
+    """Same (rows, columns) inputs in, bit-identical sums out."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "n,d,max_bins",
+        [
+            (400, 5, 16),     # small node: fused-index kernel
+            (9_000, 7, 32),   # large node: per-feature kernel
+            (300, 1, 8),      # single feature
+            (500, 4, 2),      # minimal bin budget
+        ],
+    )
+    def test_full_matrix(self, seed, n, d, max_bins):
+        binned, g, h, _, _ = _problem(seed, n, d, max_bins)
+        rows = np.arange(n)
+        ours = build_histogram(binned, g, h, rows, max_bins)
+        golden = reference.build_histogram_seed(binned, g, h, rows, max_bins)
+        _assert_histograms_identical(ours, golden)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("k", [3, 200, 4_000, 8_500])
+    def test_row_subsets_in_any_order(self, seed, k):
+        # k spans both kernels (fused below 8192 rows, per-feature above);
+        # the unsorted subset checks accumulation follows the given order.
+        binned, g, h, _, _ = _problem(seed, 9_000, 6, 32)
+        rng = np.random.default_rng(seed + 100)
+        rows = rng.choice(9_000, size=k, replace=False)
+        builder = HistogramBuilder(binned, 32)
+        for subset in (rows, np.sort(rows)):
+            ours = builder.build(g, h, subset)
+            golden = reference.build_histogram_seed(binned, g, h, subset, 32)
+            _assert_histograms_identical(ours, golden)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_column_subsets(self, seed):
+        binned, g, h, _, _ = _problem(seed, 2_000, 8, 16)
+        cols = np.array([0, 2, 3, 7])
+        rows = np.random.default_rng(seed).choice(2_000, 900, replace=False)
+        builder = HistogramBuilder(binned, 16)
+        ours = builder.build(g, h, rows, column_subset=cols)
+        golden = reference.build_histogram_seed(
+            binned[:, cols], g, h, rows, 16
+        )
+        _assert_histograms_identical(ours, golden)
+
+    def test_constant_columns(self):
+        binned, g, h, _, _ = _problem(3, 1_000, 5, 16,
+                                      constant_cols=(1, 4))
+        assert binned[:, 1].max() == binned[:, 1].min()  # truly constant
+        rows = np.arange(1_000)
+        ours = build_histogram(binned, g, h, rows, 16)
+        golden = reference.build_histogram_seed(binned, g, h, rows, 16)
+        _assert_histograms_identical(ours, golden)
+
+    def test_full_row_fast_path_matches_explicit_arange(self):
+        binned, g, h, _, _ = _problem(4, 9_500, 4, 32)
+        builder = HistogramBuilder(binned, 32)
+        via_arange = builder.build(g, h, np.arange(9_500))
+        via_none = builder.build(g, h, None)
+        _assert_histograms_identical(via_arange, via_none)
+
+    def test_count_is_int64(self):
+        binned, g, h, _, _ = _problem(5, 500, 3, 8)
+        hist = build_histogram(binned, g, h, np.arange(500), 8)
+        assert hist.count.dtype == np.int64
+
+
+class TestTreeGrowth:
+    """Identical inputs grow identical trees, node by node."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_full_rows(self, seed):
+        binned, g, h, _, _ = _problem(seed, 3_000, 6, 16)
+        params = TreeParams(max_leaves=15, min_child_samples=20)
+        ours = DecisionTree(params).fit(binned, g, h, max_bins=16)
+        golden = reference.SeedDecisionTree(params).fit(binned, g, h,
+                                                        max_bins=16)
+        _assert_trees_identical(ours, golden)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("k", [1_200, 8_600])
+    def test_same_row_subset_any_order(self, seed, k):
+        binned, g, h, _, _ = _problem(seed, 9_000, 6, 32)
+        rows = np.random.default_rng(seed + 7).choice(
+            9_000, size=k, replace=False
+        )
+        params = TreeParams(max_leaves=12, min_child_samples=25)
+        ours = DecisionTree(params).fit(binned, g, h, max_bins=32,
+                                        sample_indices=rows)
+        golden = reference.SeedDecisionTree(params).fit(
+            binned, g, h, max_bins=32, sample_indices=rows
+        )
+        _assert_trees_identical(ours, golden)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_column_subset_matches_sliced_fit(self, seed):
+        binned, g, h, _, _ = _problem(seed, 2_500, 8, 16)
+        cols = np.array([1, 2, 5, 6])
+        params = TreeParams(max_leaves=10, min_child_samples=20)
+        ours = DecisionTree(params).fit(binned, g, h, max_bins=16,
+                                        column_subset=cols)
+        golden = reference.SeedDecisionTree(params).fit(
+            binned[:, cols], g, h, max_bins=16
+        )
+        _assert_trees_identical(ours, golden)
+        # Column-subset routing on the full matrix == routing the slice.
+        np.testing.assert_array_equal(
+            ours.predict_leaf(binned, columns=cols),
+            golden.predict_leaf(binned[:, cols]),
+        )
+
+    def test_edge_problems_grow_identically(self):
+        for n, d, mb, const in [(600, 1, 8, ()), (700, 5, 2, ()),
+                                (800, 4, 16, (0, 2))]:
+            binned, g, h, _, _ = _problem(11, n, d, mb, constant_cols=const)
+            params = TreeParams(max_leaves=8, min_child_samples=10)
+            ours = DecisionTree(params).fit(binned, g, h, max_bins=mb)
+            golden = reference.SeedDecisionTree(params).fit(binned, g, h,
+                                                            max_bins=mb)
+            _assert_trees_identical(ours, golden)
+
+
+class TestLeafRouting:
+    """Flattened O(depth × n) descent == per-node mask loop."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_routes_match_seed_loop(self, seed):
+        binned, g, h, _, _ = _problem(seed, 4_000, 6, 32)
+        tree = DecisionTree(TreeParams(max_leaves=20)).fit(binned, g, h,
+                                                           max_bins=32)
+        np.testing.assert_array_equal(
+            tree.predict_leaf(binned),
+            reference.predict_leaf_seed(tree, binned),
+        )
+
+    def test_values_match_seed_loop(self):
+        binned, g, h, _, _ = _problem(9, 2_000, 5, 16)
+        tree = DecisionTree(TreeParams(max_leaves=12)).fit(binned, g, h,
+                                                           max_bins=16)
+        seed_tree = reference.SeedDecisionTree(
+            TreeParams(max_leaves=12)
+        ).fit(binned, g, h, max_bins=16)
+        np.testing.assert_array_equal(tree.predict_value(binned),
+                                      seed_tree.predict_value(binned))
+
+    def test_single_leaf_tree_routes_everything_to_leaf_zero(self):
+        # min_split_gain too high for any split: depth-0 flat tree.
+        binned, g, h, _, _ = _problem(10, 300, 3, 8)
+        params = TreeParams(max_leaves=2, min_split_gain=1e12)
+        tree = DecisionTree(params).fit(binned, g, h, max_bins=8)
+        assert tree.n_leaves == 1
+        np.testing.assert_array_equal(tree.predict_leaf(binned),
+                                      np.zeros(300, dtype=np.int64))
+
+
+class TestEnsembleEquivalence:
+    """GBDTClassifier (copy-free) vs the seed boosting loop."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("colsample", [1.0, 0.6])
+    def test_exact_without_row_subsampling(self, seed, colsample):
+        _, _, _, x, y = _problem(seed, 2_500, 8, 16)
+        params = GBDTParams(n_trees=8, max_bins=16, colsample=colsample,
+                            seed=seed)
+        ours = GBDTClassifier(params).fit(x, y)
+        golden = reference.SeedGBDT(params).fit(x, y)
+        assert ours.base_score_ == golden.base_score_
+        np.testing.assert_array_equal(ours.train_losses_,
+                                      golden.train_losses_)
+        np.testing.assert_array_equal(ours.predict_proba(x),
+                                      golden.predict_proba(x))
+        np.testing.assert_array_equal(ours.predict_leaves(x),
+                                      golden.predict_leaves(x))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_exact_with_validation_and_early_stopping(self, seed):
+        _, _, _, x, y = _problem(seed, 3_000, 8, 16)
+        params = GBDTParams(n_trees=25, max_bins=16, colsample=0.7,
+                            early_stopping_rounds=3, seed=seed)
+        ours = GBDTClassifier(params).fit(x[:2400], y[:2400],
+                                          valid_features=x[2400:],
+                                          valid_labels=y[2400:])
+        golden = reference.SeedGBDT(params).fit(x[:2400], y[:2400],
+                                                valid_features=x[2400:],
+                                                valid_labels=y[2400:])
+        assert len(ours.trees_) == len(golden.trees_)  # same stop round
+        np.testing.assert_array_equal(ours.valid_losses_,
+                                      golden.valid_losses_)
+        np.testing.assert_array_equal(ours.predict_proba(x),
+                                      golden.predict_proba(x))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_row_subsampling_same_structure_tight_probabilities(self, seed):
+        # Sorted bagging visits the same rows in a different order, so
+        # sums agree mathematically but not bitwise; splits and routes
+        # must still be identical.
+        _, _, _, x, y = _problem(seed, 2_500, 8, 16)
+        params = GBDTParams(n_trees=8, max_bins=16, subsample=0.75,
+                            seed=seed)
+        ours = GBDTClassifier(params).fit(x, y)
+        golden = reference.SeedGBDT(params).fit(x, y)
+        for a, b in zip(ours.trees_, golden.trees_):
+            assert [(n.feature, n.bin_threshold, n.left, n.right)
+                    for n in a._nodes] == \
+                   [(n.feature, n.bin_threshold, n.left, n.right)
+                    for n in b._nodes]
+        np.testing.assert_array_equal(ours.predict_leaves(x),
+                                      golden.predict_leaves(x))
+        np.testing.assert_allclose(ours.predict_proba(x),
+                                   golden.predict_proba(x),
+                                   rtol=1e-12, atol=1e-14)
+
+    def test_row_subsampling_is_deterministic(self):
+        _, _, _, x, y = _problem(6, 1_500, 6, 16)
+        params = GBDTParams(n_trees=5, max_bins=16, subsample=0.8, seed=3)
+        first = GBDTClassifier(params).fit(x, y)
+        second = GBDTClassifier(params).fit(x, y)
+        np.testing.assert_array_equal(first.predict_proba(x),
+                                      second.predict_proba(x))
+        np.testing.assert_array_equal(first.train_losses_,
+                                      second.train_losses_)
+
+
+class TestLeafEncoding:
+    """Direct-CSR multi-hot == COO round-trip."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matrices_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        leaves_per_tree = rng.integers(2, 9, size=6)
+        offsets = np.concatenate(([0], np.cumsum(leaves_per_tree)))
+        leaf_matrix = np.column_stack(
+            [rng.integers(0, c, size=500) for c in leaves_per_tree]
+        )
+        ours = encode_leaf_matrix(leaf_matrix, offsets)
+        golden = reference.encode_leaves_seed(leaf_matrix, offsets)
+        assert ours.shape == golden.shape
+        np.testing.assert_array_equal(ours.toarray(), golden.toarray())
+        # Canonical structure, small dtype: n_trees nonzeros per row.
+        assert ours.data.dtype == np.float32
+        np.testing.assert_array_equal(
+            ours.indptr, np.arange(501) * len(leaves_per_tree)
+        )
+
+
+class TestPersistedFlatTrees:
+    """Round-trip keeps the flattened arrays and exact predictions."""
+
+    def test_round_trip_preserves_flat_routing(self):
+        _, _, _, x, y = _problem(8, 1_500, 6, 16)
+        params = GBDTParams(n_trees=4, max_bins=16, colsample=0.8, seed=8)
+        model = GBDTClassifier(params).fit(x, y)
+        restored = gbdt_from_dict(gbdt_to_dict(model))
+        for tree in restored.trees_:
+            assert tree._flat is not None  # flat arrays persisted
+        np.testing.assert_array_equal(model.predict_proba(x),
+                                      restored.predict_proba(x))
+        np.testing.assert_array_equal(model.predict_leaves(x),
+                                      restored.predict_leaves(x))
+
+    def test_payload_without_flat_rebuilds_lazily(self):
+        _, _, _, x, y = _problem(8, 1_200, 5, 16)
+        params = GBDTParams(n_trees=3, max_bins=16, seed=8)
+        model = GBDTClassifier(params).fit(x, y)
+        payload = gbdt_to_dict(model)
+        for tree_payload in payload["trees"]:
+            tree_payload.pop("flat", None)
+        restored = gbdt_from_dict(payload)
+        np.testing.assert_array_equal(model.predict_proba(x),
+                                      restored.predict_proba(x))
