@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro evaluate --model model.json --data platform.npz
     python -m repro experiment table1
     python -m repro bench --out BENCH_gbdt.json
+    python -m repro verify --out VERIFY_invariance.json
     python -m repro list
 
 ``experiment`` runs one of the paper's tables/figures at a configurable
@@ -96,6 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override benchmark histogram bins")
     bench.add_argument("--only", nargs="+", metavar="NAME",
                        help="run a subset of benchmarks (see docs)")
+
+    verify = sub.add_parser(
+        "verify", help="run the invariance scorecard on the SEM bed"
+    )
+    verify.add_argument("--out", default="VERIFY_invariance.json",
+                        help="output JSON path "
+                             "(default: VERIFY_invariance.json)")
+    verify.add_argument("--smoke", action="store_true",
+                        help="CI-sized bed instead of the tracked config")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="SEM bed seed (trainer seeds are fixed)")
+    verify.add_argument("--n-per-env", type=int,
+                        help="override rows per training environment")
+    verify.add_argument("--epochs", type=int,
+                        help="override trainer epochs")
 
     sub.add_parser("list", help="list trainers and experiments")
     return parser
@@ -197,6 +213,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.verify import (
+        SEMConfig, VerifyConfig, run_verification, summarize_verification,
+        write_verify_json,
+    )
+
+    config = (VerifyConfig.smoke(seed=args.seed) if args.smoke
+              else VerifyConfig(sem=SEMConfig(seed=args.seed)))
+    if args.n_per_env is not None:
+        config = dataclasses.replace(
+            config, sem=dataclasses.replace(config.sem,
+                                            n_per_env=args.n_per_env)
+        )
+    if args.epochs is not None:
+        config = dataclasses.replace(config, n_epochs=args.epochs)
+    payload = run_verification(config)
+    print(summarize_verification(payload))
+    write_verify_json(args.out, payload)
+    print(f"wrote {args.out}")
+    return 0 if payload["all_passed"] else 1
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("trainers:")
     for name in available_trainers():
@@ -214,6 +254,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
+    "verify": _cmd_verify,
     "list": _cmd_list,
 }
 

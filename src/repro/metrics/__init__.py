@@ -15,6 +15,11 @@ from repro.metrics.fairness import (
     evaluate_environments,
     scorable_environments,
 )
+from repro.metrics.invariance import (
+    coefficient_recovery,
+    cosine_similarity,
+    weight_mass,
+)
 from repro.metrics.ks import ks_curve, ks_score, two_sample_ks
 from repro.metrics.uncertainty import (
     BootstrapInterval,
@@ -47,6 +52,9 @@ __all__ = [
     "ks_score",
     "ks_curve",
     "two_sample_ks",
+    "coefficient_recovery",
+    "cosine_similarity",
+    "weight_mass",
     "EnvironmentScores",
     "FairnessReport",
     "evaluate_environments",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.train.base import Trainer
 
-__all__ = ["make_trainer", "available_trainers"]
+__all__ = ["make_trainer", "available_trainers", "penalty_parameter"]
 
 _TRAINER_NAMES = (
     "ERM",
@@ -22,10 +22,41 @@ _TRAINER_NAMES = (
     "LightMIRM",
 )
 
+#: Trainer -> name of the config field weighting its invariance penalty.
+#: Trainers absent from this map have no such knob (pure risk minimisers).
+_PENALTY_PARAMS = {
+    "IRMv1": "penalty_weight",
+    "V-REx": "variance_weight",
+    "meta-IRM": "lambda_penalty",
+    "LightMIRM": "lambda_penalty",
+}
+
 
 def available_trainers() -> list[str]:
     """Names accepted by :func:`make_trainer`, in Table I order."""
     return list(_TRAINER_NAMES)
+
+
+def penalty_parameter(name: str) -> str | None:
+    """Config field holding a trainer's invariance-penalty weight, if any.
+
+    The verification scorecard sweeps this field to test that larger
+    penalties shrink the spurious weight mass (penalty monotonicity).
+
+    Args:
+        name: A trainer name from :func:`available_trainers`.
+
+    Returns:
+        The dataclass field name, or ``None`` for penalty-free trainers.
+
+    Raises:
+        KeyError: For unknown trainer names.
+    """
+    if name not in _TRAINER_NAMES:
+        raise KeyError(
+            f"unknown trainer {name!r}; known: {available_trainers()}"
+        )
+    return _PENALTY_PARAMS.get(name)
 
 
 def make_trainer(name: str, **config_overrides) -> Trainer:

@@ -120,3 +120,49 @@ class TestQueueProperties:
             q.push(v)
         expected = ([0.0] * length + losses)[-length:]
         np.testing.assert_allclose(q.values, expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 8), st.floats(0.1, 1.0), st.floats(0.5, 10.0))
+    def test_warmup_undercounts_first_pushes(self, length, gamma, loss):
+        """During the first L-1 pushes the zero-initialised slots make the
+        decayed sum fall strictly short of its steady-state value — the
+        warm-up under-count of Algorithm 2."""
+        warm_value = loss * sum(gamma**k for k in range(length))
+        q = MetaLossReplayQueue(length=length, gamma=gamma)
+        for k in range(1, length):
+            q.push(loss)
+            partial = loss * sum(gamma**j for j in range(k))
+            assert q.decayed_sum() == pytest.approx(partial)
+            assert q.decayed_sum() < warm_value
+            assert not q.is_warm
+        q.push(loss)
+        assert q.is_warm
+        assert q.decayed_sum() == pytest.approx(warm_value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1,
+                    max_size=30), st.integers(1, 8))
+    def test_gamma_one_sums_last_l_losses(self, losses, length):
+        """gamma = 1 weights every slot equally (Table IV's worst row)."""
+        q = MetaLossReplayQueue(length=length, gamma=1.0)
+        for v in losses:
+            q.push(v)
+        assert q.decayed_sum() == pytest.approx(
+            sum(losses[-length:]), abs=1e-9
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1,
+                    max_size=30), st.integers(1, 8), st.floats(0.1, 1.0))
+    def test_decayed_sum_matches_explicit_formula(self, losses, length,
+                                                  gamma):
+        """Eq. 9 against an independent reference: Σ_{i=1..L} γ^{L-i} H[i]
+        with the queue contents reconstructed from the raw push sequence."""
+        q = MetaLossReplayQueue(length=length, gamma=gamma)
+        for v in losses:
+            q.push(v)
+        h = ([0.0] * length + losses)[-length:]
+        expected = sum(
+            gamma ** (length - i) * h[i - 1] for i in range(1, length + 1)
+        )
+        assert q.decayed_sum() == pytest.approx(expected, abs=1e-9)

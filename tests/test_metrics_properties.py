@@ -7,6 +7,11 @@ from hypothesis.extra import numpy as hnp
 
 from repro.metrics.auc import auc_score
 from repro.metrics.ks import ks_score, two_sample_ks
+from repro.verify.harness import (
+    assert_label_flip_symmetry,
+    assert_monotone_transform_invariant,
+    monotone_transforms,
+)
 
 
 def _labels_and_scores(min_size=4, max_size=120):
@@ -114,3 +119,33 @@ class TestKsProperties:
         y, s = data
         if auc_score(y, s) > 0.5 + 1e-9:
             assert ks_score(y, s) > 0.0
+
+
+class TestMetamorphicRelations:
+    """The shared `repro.verify.harness` relations over randomized fixtures.
+
+    These go beyond the single affine transform above: every transform in
+    the harness catalogue (affine, cubic, scaled exponential, rank) must
+    leave KS and AUC unchanged, and both label-flip identities must hold.
+    """
+
+    def test_transform_catalogue_is_nontrivial(self):
+        names = [name for name, _ in monotone_transforms()]
+        assert "affine" in names
+        assert len(names) >= 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(_labels_and_scores())
+    def test_ks_invariant_under_monotone_transforms(self, data):
+        assert_monotone_transform_invariant(ks_score, *data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_labels_and_scores())
+    def test_auc_invariant_under_monotone_transforms(self, data):
+        assert_monotone_transform_invariant(auc_score, *data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_labels_and_scores())
+    def test_label_flip_antisymmetry(self, data):
+        """AUC(1-y, s) = 1 - AUC(y, s) and KS(1-y, s) = KS(y, -s)."""
+        assert_label_flip_symmetry(*data)

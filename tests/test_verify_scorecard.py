@@ -1,0 +1,152 @@
+"""Tests for the invariance scorecard and the `repro verify` CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.train.registry import available_trainers, penalty_parameter
+from repro.verify.scorecard import (
+    VerifyConfig,
+    _is_monotone_decreasing,
+    _slug,
+    run_verification,
+    summarize_verification,
+    write_verify_json,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    """One CI-sized scorecard run shared by the schema/check tests."""
+    return run_verification(VerifyConfig.smoke())
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        VerifyConfig()
+
+    @pytest.mark.parametrize("bad", [
+        dict(n_epochs=0),
+        dict(penalty_sweep=(1.0,)),
+        dict(penalty_sweep=(2.0, 1.0)),
+        dict(monotone_tolerance=-0.1),
+    ])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            VerifyConfig(**bad)
+
+    def test_smoke_uses_smoke_bed(self):
+        cfg = VerifyConfig.smoke()
+        assert cfg.sem.n_per_env < VerifyConfig().sem.n_per_env
+
+
+class TestMonotoneCheck:
+    def test_strictly_decreasing_passes(self):
+        assert _is_monotone_decreasing([0.3, 0.2, 0.1], tolerance=0.0)
+
+    def test_small_bump_within_tolerance(self):
+        assert _is_monotone_decreasing([0.3, 0.10, 0.11], tolerance=0.02)
+
+    def test_large_bump_fails(self):
+        assert not _is_monotone_decreasing([0.3, 0.10, 0.20], tolerance=0.02)
+
+    def test_flat_fails(self):
+        """No reduction at all means the penalty does nothing."""
+        assert not _is_monotone_decreasing([0.2, 0.2, 0.2], tolerance=0.02)
+
+
+class TestSlug:
+    @pytest.mark.parametrize("name,expected", [
+        ("ERM", "erm"),
+        ("ERM + fine-tuning", "erm_fine_tuning"),
+        ("Group DRO", "group_dro"),
+        ("meta-IRM", "meta_irm"),
+        ("LightMIRM", "lightmirm"),
+    ])
+    def test_slugs(self, name, expected):
+        assert _slug(name) == expected
+
+
+class TestScorecardPayload:
+    def test_covers_every_registered_trainer(self, smoke_payload):
+        assert set(smoke_payload["trainers"]) == set(available_trainers())
+
+    def test_entry_schema(self, smoke_payload):
+        for entry in smoke_payload["trainers"].values():
+            for key in ("causal_cosine", "causal_mass", "spurious_mass",
+                        "spurious_to_causal", "iid_auc", "ood_auc",
+                        "ood_gap"):
+                assert np.isfinite(entry[key])
+            assert 0.0 <= entry["spurious_mass"] <= 1.0
+
+    def test_sweeps_cover_penalised_trainers(self, smoke_payload):
+        expected = {
+            name for name in available_trainers()
+            if penalty_parameter(name) is not None
+        }
+        assert set(smoke_payload["penalty_sweeps"]) == expected
+        for name, sweep in smoke_payload["penalty_sweeps"].items():
+            assert sweep["parameter"] == penalty_parameter(name)
+            assert len(sweep["spurious_mass"]) == len(sweep["values"])
+
+    def test_invariance_ordering_checks_pass(self, smoke_payload):
+        """The acceptance criterion: the IRM-family methods keep less mass
+        on the spurious block than ERM, with aligned causal weights."""
+        checks = smoke_payload["checks"]
+        assert checks["lightmirm_spurious_below_erm"]
+        assert checks["meta_irm_spurious_below_erm"]
+        assert checks["lightmirm_causal_alignment"]
+        assert checks["meta_irm_causal_alignment"]
+        assert smoke_payload["all_passed"]
+
+    def test_erm_exploits_the_shortcut(self, smoke_payload):
+        """The bed only verifies something if ERM actually falls for it."""
+        erm = smoke_payload["trainers"]["ERM"]
+        assert erm["spurious_mass"] > 0.1
+        assert erm["ood_gap"] > 0.1
+
+    def test_summary_renders_all_sections(self, smoke_payload):
+        text = summarize_verification(smoke_payload)
+        assert "LightMIRM" in text
+        assert "lambda_penalty" in text
+        assert "ALL CHECKS PASSED" in text
+
+    def test_json_round_trip(self, smoke_payload, tmp_path):
+        path = tmp_path / "VERIFY_invariance.json"
+        written = write_verify_json(path, smoke_payload)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        for key in ("format", "config", "machine", "trainers",
+                    "penalty_sweeps", "checks", "all_passed"):
+            assert key in loaded
+
+    def test_deterministic_given_config(self, smoke_payload):
+        again = run_verification(VerifyConfig.smoke())
+        assert again["trainers"] == smoke_payload["trainers"]
+
+
+class TestCli:
+    def test_verify_smoke_exit_code_and_artifact(self, tmp_path, capsys):
+        out = tmp_path / "VERIFY_invariance.json"
+        code = main(["verify", "--smoke", "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["all_passed"]
+        assert "invariance scorecard" in capsys.readouterr().out
+
+    def test_verify_overrides_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["verify", "--smoke", "--n-per-env", "200", "--epochs", "50"]
+        )
+        assert args.smoke and args.n_per_env == 200 and args.epochs == 50
+
+
+@pytest.mark.slow
+class TestTrackedScorecard:
+    def test_full_config_all_checks_pass(self):
+        payload = run_verification(VerifyConfig())
+        assert payload["all_passed"], payload["checks"]

@@ -1,0 +1,184 @@
+"""Tests for the closed-form SEM verification bed."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.train.registry import make_trainer
+from repro.verify.sem import SEMConfig, make_sem_bed
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return make_sem_bed(SEMConfig(n_per_env=1_000, seed=11))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SEMConfig()
+
+    def test_smoke_is_small(self):
+        cfg = SEMConfig.smoke()
+        assert cfg.n_per_env < SEMConfig().n_per_env
+        assert cfg.n_features < SEMConfig().n_features
+
+    def test_mixed_polarity_defaults(self):
+        """Majority-positive strengths with one flipped environment."""
+        strengths = np.array(SEMConfig().train_strengths)
+        assert strengths.mean() > 0
+        assert (strengths < 0).any()
+        assert SEMConfig().ood_strength < 0
+
+    @pytest.mark.parametrize("bad", [
+        dict(n_per_env=5),
+        dict(d_causal=0),
+        dict(d_spurious=0),
+        dict(d_noise=-1),
+        dict(train_strengths=(1.0,)),
+        dict(spurious_noise=0.0),
+        dict(w_causal=(1.0, 2.0), d_causal=3),
+    ])
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            SEMConfig(**bad)
+
+    def test_causal_coefficients_respect_explicit_vector(self):
+        cfg = SEMConfig(d_causal=2, w_causal=(0.5, -0.5))
+        np.testing.assert_array_equal(cfg.causal_coefficients(), [0.5, -0.5])
+
+    def test_causal_coefficients_tile_beyond_defaults(self):
+        cfg = SEMConfig(d_causal=8)
+        coefs = cfg.causal_coefficients()
+        assert coefs.shape == (8,)
+        np.testing.assert_array_equal(coefs[5:], coefs[:3])
+
+    def test_shortcut_coefficient_closed_form(self):
+        cfg = SEMConfig(spurious_noise=2.0)
+        assert cfg.shortcut_coefficient(1.5) == pytest.approx(
+            2.0 * 1.5 / 4.0
+        )
+
+    def test_invariant_theta_zero_outside_causal_block(self):
+        cfg = SEMConfig()
+        theta = cfg.invariant_theta()
+        np.testing.assert_array_equal(
+            theta[: cfg.d_causal], cfg.causal_coefficients()
+        )
+        np.testing.assert_array_equal(theta[cfg.d_causal:], 0.0)
+
+
+class TestBedStructure:
+    def test_deterministic_given_seed(self):
+        a = make_sem_bed(SEMConfig(n_per_env=200, seed=4))
+        b = make_sem_bed(SEMConfig(n_per_env=200, seed=4))
+        for env_a, env_b in zip(
+            a.train_environments + [a.iid_environment, a.ood_environment],
+            b.train_environments + [b.iid_environment, b.ood_environment],
+        ):
+            np.testing.assert_array_equal(env_a.features, env_b.features)
+            np.testing.assert_array_equal(env_a.labels, env_b.labels)
+
+    def test_different_seed_different_bed(self):
+        a = make_sem_bed(SEMConfig(n_per_env=200, seed=4))
+        b = make_sem_bed(SEMConfig(n_per_env=200, seed=5))
+        assert not np.array_equal(
+            a.train_environments[0].labels, b.train_environments[0].labels
+        )
+
+    def test_shapes_and_indices(self, bed):
+        cfg = bed.config
+        assert len(bed.train_environments) == len(cfg.train_strengths)
+        for env in bed.train_environments:
+            assert env.features.shape == (cfg.n_per_env, cfg.n_features)
+        blocks = np.concatenate(
+            [bed.causal_idx, bed.spurious_idx, bed.noise_idx]
+        )
+        np.testing.assert_array_equal(blocks, np.arange(cfg.n_features))
+
+    def test_both_classes_everywhere(self, bed):
+        for env in (*bed.train_environments, bed.iid_environment,
+                    bed.ood_environment):
+            assert 0 < env.labels.sum() < env.n_samples
+
+
+class TestClosedFormStructure:
+    def test_spurious_correlation_tracks_polarity(self, bed):
+        """corr(x_s, y) has the sign of beta_e in every environment."""
+        for env, strength in zip(
+            bed.train_environments, bed.config.train_strengths
+        ):
+            col = bed.spurious_idx[0]
+            corr = np.corrcoef(env.features[:, col], env.labels)[0, 1]
+            assert np.sign(corr) == np.sign(strength), (
+                f"{env.name}: corr {corr} vs strength {strength}"
+            )
+        ood_corr = np.corrcoef(
+            bed.ood_environment.features[:, bed.spurious_idx[0]],
+            bed.ood_environment.labels,
+        )[0, 1]
+        assert ood_corr < 0
+
+    def test_noise_block_uninformative(self, bed):
+        for col in bed.noise_idx:
+            pooled_x = np.concatenate(
+                [e.features[:, col] for e in bed.train_environments]
+            )
+            pooled_y = np.concatenate(
+                [e.labels for e in bed.train_environments]
+            )
+            assert abs(np.corrcoef(pooled_x, pooled_y)[0, 1]) < 0.05
+
+    def test_single_env_fit_recovers_bayes_shortcut(self):
+        """An unregularised per-env fit lands on the closed-form
+        coefficients: w_c on the causal block, ~2*beta/sigma_s^2 on each
+        spurious column."""
+        cfg = SEMConfig(n_per_env=8_000, seed=2)
+        bed = make_sem_bed(cfg)
+        env_idx = 1  # beta = 0.8
+        beta = cfg.train_strengths[env_idx]
+        result = make_trainer("ERM", n_epochs=400, l2=0.0, seed=0).fit(
+            [bed.train_environments[env_idx]]
+        )
+        shortcut = cfg.shortcut_coefficient(beta)
+        np.testing.assert_allclose(
+            result.theta[bed.spurious_idx], shortcut, rtol=0.25
+        )
+        np.testing.assert_allclose(
+            result.theta[bed.causal_idx], bed.w_causal, rtol=0.3, atol=0.15
+        )
+
+    def test_invariant_theta_generalises_to_ood(self):
+        """The closed-form invariant predictor ranks equally well on the
+        polarity-flipped environment — by construction it ignores x_s."""
+        from repro.metrics.auc import auc_score
+        from repro.models.logistic import LogisticModel
+
+        bed = make_sem_bed(SEMConfig(n_per_env=2_000, seed=7))
+        model = LogisticModel(bed.config.n_features)
+        theta = bed.invariant_theta
+        iid = auc_score(
+            bed.iid_environment.labels,
+            model.predict_proba(theta, bed.iid_environment.features),
+        )
+        ood = auc_score(
+            bed.ood_environment.labels,
+            model.predict_proba(theta, bed.ood_environment.features),
+        )
+        assert abs(iid - ood) < 0.05
+        assert min(iid, ood) > 0.75
+
+    def test_replacing_ood_strength_changes_only_ood(self):
+        base = make_sem_bed(SEMConfig(n_per_env=200, seed=9))
+        flipped = make_sem_bed(
+            dataclasses.replace(
+                SEMConfig(n_per_env=200, seed=9), ood_strength=-2.0
+            )
+        )
+        for env_a, env_b in zip(
+            base.train_environments, flipped.train_environments
+        ):
+            np.testing.assert_array_equal(env_a.features, env_b.features)
+        assert not np.array_equal(
+            base.ood_environment.features, flipped.ood_environment.features
+        )
