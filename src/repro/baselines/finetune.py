@@ -53,19 +53,25 @@ class FineTuneConfig(BaseTrainConfig):
 
 @dataclass(frozen=True)
 class FineTunedTrainResult(TrainResult):
-    """Train result carrying one parameter vector per seen environment."""
+    """Train result carrying one parameter vector per seen environment.
+
+    Satisfies the unified :class:`~repro.train.base.TrainResult` surface:
+    downstream scoring goes through ``predict_proba_grouped`` /
+    ``predict_proba_env`` with no type inspection.
+    """
 
     env_thetas: dict[str, np.ndarray] = None  # type: ignore[assignment]
+
+    @property
+    def is_per_environment(self) -> bool:
+        """True when at least one environment has fine-tuned parameters."""
+        return bool(self.env_thetas)
 
     def theta_for_environment(self, name: str) -> np.ndarray:
         """Fine-tuned parameters for a seen environment, else the base."""
         if self.env_thetas and name in self.env_thetas:
             return self.env_thetas[name]
         return self.theta
-
-    def predict_proba_env(self, name: str, features) -> np.ndarray:
-        """Score rows with the environment-specific parameters."""
-        return self.model.predict_proba(self.theta_for_environment(name), features)
 
 
 class FineTuneTrainer(Trainer):

@@ -4,9 +4,14 @@ Usage (after ``pip install -e .``)::
 
     python -m repro generate --n-samples 40000 --out platform.npz
     python -m repro train --method LightMIRM --data platform.npz --out model.json
+    python -m repro train --method LightMIRM --data platform.npz --registry reg/
     python -m repro evaluate --model model.json --data platform.npz
+    python -m repro registry list --root reg/
+    python -m repro registry promote --root reg/ --version v0002
+    python -m repro serve-score --registry reg/ --data platform.npz
     python -m repro experiment table1
     python -m repro bench --out BENCH_gbdt.json
+    python -m repro serve-bench --out BENCH_serving.json
     python -m repro verify --out VERIFY_invariance.json
     python -m repro list
 
@@ -24,9 +29,9 @@ from repro.data.generator import GeneratorConfig, LoanDataGenerator
 from repro.data.splits import temporal_split
 from repro.experiments.runner import ExperimentContext, ExperimentSettings
 from repro.metrics.fairness import evaluate_environments
-from repro.persist.artifacts import load_pipeline, save_pipeline
 from repro.pipeline.pipeline import LoanDefaultPipeline
-from repro.train.registry import available_trainers, make_trainer
+from repro.serve.registry import ModelRegistry
+from repro.train.registry import make_trainer, trainer_names
 
 __all__ = ["main", "build_parser"]
 
@@ -63,14 +68,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train a GBDT+LR pipeline")
     train.add_argument("--method", default="LightMIRM",
-                       help="trainer name (see `repro list`)")
+                       help="trainer name or alias (see `repro list`)")
     train.add_argument("--data", required=True, help="dataset .npz path")
     train.add_argument("--out", help="save the fitted model as JSON")
+    train.add_argument("--registry",
+                       help="save the fitted model as a new registry version")
+    train.add_argument("--slot", choices=("champion", "challenger"),
+                       help="promote the saved version into a slot "
+                            "(with --registry)")
     train.add_argument("--seed", type=int, default=0)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
     evaluate.add_argument("--model", required=True, help="model JSON path")
     evaluate.add_argument("--data", required=True, help="dataset .npz path")
+
+    registry = sub.add_parser(
+        "registry", help="inspect or mutate a model registry"
+    )
+    registry.add_argument("action",
+                          choices=("list", "promote", "rollback", "show"))
+    registry.add_argument("--root", required=True, help="registry directory")
+    registry.add_argument("--version", help="version id (promote/show)")
+    registry.add_argument("--slot", default="champion",
+                          choices=("champion", "challenger"),
+                          help="slot for promote/rollback")
+
+    serve = sub.add_parser(
+        "serve-score",
+        help="score a dataset through the micro-batched scoring service",
+    )
+    serve.add_argument("--registry", required=True, help="registry directory")
+    serve.add_argument("--data", required=True, help="dataset .npz path")
+    serve.add_argument("--batch-size", type=int, default=256)
+    serve.add_argument("--cache-size", type=int, default=0,
+                       help="leaf-pattern LRU entries (0 disables)")
+    serve.add_argument("--limit", type=int,
+                       help="score only the first N test rows")
+    serve.add_argument("--drift-threshold", type=float,
+                       help="enable the PSI drift guard at this threshold")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -97,6 +132,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override benchmark histogram bins")
     bench.add_argument("--only", nargs="+", metavar="NAME",
                        help="run a subset of benchmarks (see docs)")
+
+    serve_bench = sub.add_parser(
+        "serve-bench", help="run the tracked serving benchmarks"
+    )
+    serve_bench.add_argument("--out", default="BENCH_serving.json",
+                             help="output JSON path "
+                                  "(default: BENCH_serving.json)")
+    serve_bench.add_argument("--quick", action="store_true",
+                             help="tiny smoke sizes instead of the tracked "
+                                  "config")
+    serve_bench.add_argument("--only", nargs="+", metavar="NAME",
+                             help="run a subset of serving benchmarks")
 
     verify = sub.add_parser(
         "verify", help="run the invariance scorecard on the SEM bed"
@@ -141,15 +188,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
         + "  ".join(f"{k}={v:.4f}" for k, v in summary.items())
         + f"  (worst province: {report.worst_ks_environment})"
     )
+    metadata = {"method": args.method, "seed": args.seed}
     if args.out:
-        save_pipeline(pipeline, args.out,
-                      metadata={"method": args.method, "seed": args.seed})
+        ModelRegistry.save_file(pipeline, args.out, metadata=metadata)
         print(f"saved model to {args.out}")
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        version = registry.save(pipeline, metadata=metadata, slot=args.slot)
+        print(f"saved registry version {version} "
+              f"(slots: {registry.slots()})")
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    scorer = load_pipeline(args.model)
+    scorer = ModelRegistry.load_file(args.model)
     dataset = LoanDataset.load(args.data)
     test = temporal_split(dataset).test
     scores = scorer.predict_proba(test)
@@ -213,6 +265,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_registry(args: argparse.Namespace) -> int:
+    registry = ModelRegistry(args.root)
+    if args.action == "list":
+        slots = registry.slots()
+        by_version = {v: s for s, v in slots.items()}
+        for entry in registry.versions():
+            marker = f"  <- {by_version[entry.version]}" \
+                if entry.version in by_version else ""
+            print(f"{entry.version}  {entry.trainer_name:20s} "
+                  f"{entry.metadata}{marker}")
+        if not registry.versions():
+            print("(empty registry)")
+        return 0
+    if args.action == "show":
+        if not args.version:
+            print("--version is required for show", file=sys.stderr)
+            return 2
+        entry = registry.describe(args.version)
+        print(f"version:  {entry.version}")
+        print(f"trainer:  {entry.trainer_name}")
+        print(f"path:     {entry.path}")
+        print(f"metadata: {entry.metadata}")
+        return 0
+    if args.action == "promote":
+        if not args.version:
+            print("--version is required for promote", file=sys.stderr)
+            return 2
+        registry.promote(args.version, slot=args.slot)
+        print(f"promoted {args.version} to {args.slot} "
+              f"(slots: {registry.slots()})")
+        return 0
+    registry_version = registry.rollback(slot=args.slot)
+    print(f"rolled back {args.slot} to {registry_version} "
+          f"(slots: {registry.slots()})")
+    return 0
+
+
+def _cmd_serve_score(args: argparse.Namespace) -> int:
+    from repro.serve.degradation import DriftGuard
+    from repro.serve.service import ScoringService, ServiceConfig
+
+    registry = ModelRegistry(args.registry)
+    dataset = LoanDataset.load(args.data)
+    split = temporal_split(dataset)
+    rows = split.test.features
+    if args.limit is not None:
+        rows = rows[: args.limit]
+
+    guard = None
+    if args.drift_threshold is not None:
+        from repro.monitor.streaming import StreamingPSI
+
+        guard = DriftGuard(
+            StreamingPSI.from_dataset(split.train),
+            psi_threshold=args.drift_threshold,
+        )
+    service = ScoringService.from_registry(
+        registry,
+        config=ServiceConfig(max_batch_size=args.batch_size,
+                             cache_size=args.cache_size),
+        drift_guard=guard,
+    )
+    tickets = [service.submit(row) for row in rows]
+    service.flush()
+    scores = [t.score for t in tickets]
+    print(f"scored {len(scores)} rows "
+          f"(mean p={sum(scores) / len(scores):.4f}, "
+          f"serving slot: {service.snapshot()['serving']})")
+    print(service.telemetry.summary())
+    if guard is not None:
+        state = guard.snapshot()
+        print(f"drift guard     max_psi={state['max_psi']:.4f} "
+              f"tripped={state['tripped']}")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.perfbench import (
+        ServingBenchConfig, run_serving_suite, summarize_serving,
+        write_serving_bench_json,
+    )
+
+    config = (ServingBenchConfig.smoke() if args.quick
+              else ServingBenchConfig())
+    results = run_serving_suite(config, only=args.only)
+    print(summarize_serving(results))
+    write_serving_bench_json(args.out, results, config)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -239,8 +382,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_list(_: argparse.Namespace) -> int:
     print("trainers:")
-    for name in available_trainers():
-        print(f"  {name}")
+    for info in trainer_names():
+        line = f"  {info.name:20s} config={info.config_class}"
+        if info.penalty_parameter:
+            line += f"  penalty={info.penalty_parameter}"
+        if info.aliases:
+            line += f"  aliases: {', '.join(info.aliases)}"
+        print(line)
     print('  meta-IRM(S)  # sampled variant, e.g. "meta-IRM(5)"')
     print("experiments:")
     for key in sorted(EXPERIMENTS):
@@ -252,8 +400,11 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
+    "registry": _cmd_registry,
+    "serve-score": _cmd_serve_score,
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_serve_bench,
     "verify": _cmd_verify,
     "list": _cmd_list,
 }

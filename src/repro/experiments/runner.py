@@ -15,7 +15,6 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.baselines.finetune import FineTunedTrainResult
 from repro.data.dataset import EnvironmentData, LoanDataset
 from repro.data.generator import GeneratorConfig, LoanDataGenerator
 from repro.data.splits import TrainTestSplit, iid_split, temporal_split
@@ -139,16 +138,10 @@ class ExperimentContext:
         """Per-province report of a trained head on the test environments."""
         environments = list(test_environments or self.test_environments)
         labels = {e.name: e.labels for e in environments}
-        if isinstance(result, FineTunedTrainResult):
-            scores = {
-                e.name: result.predict_proba_env(e.name, e.features)
-                for e in environments
-            }
-        else:
-            scores = {
-                e.name: result.model.predict_proba(result.theta, e.features)
-                for e in environments
-            }
+        scores = {
+            e.name: result.predict_proba_env(e.name, e.features)
+            for e in environments
+        }
         return evaluate_environments(labels, scores)
 
     def score_method(
@@ -174,13 +167,7 @@ class ExperimentContext:
                               dataset: LoanDataset) -> dict[str, np.ndarray]:
         """Model scores grouped by province for an arbitrary dataset slice."""
         encoded = self.extractor.transform(dataset)
-        if isinstance(result, FineTunedTrainResult):
-            out = {}
-            for name in dataset.province_names():
-                rows = encoded[np.flatnonzero(dataset.provinces == name)]
-                out[name] = result.predict_proba_env(name, rows)
-            return out
-        scores = result.predict_proba(encoded)
+        scores = result.predict_proba_grouped(encoded, dataset.provinces)
         return {
             name: scores[dataset.provinces == name]
             for name in dataset.province_names()

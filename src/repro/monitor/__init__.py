@@ -1,4 +1,4 @@
-"""Drift monitoring: PSI-based stability reports."""
+"""Drift monitoring: PSI-based stability reports and streaming accumulation."""
 
 from repro.monitor.drift import (
     ConceptDrift,
@@ -8,11 +8,13 @@ from repro.monitor.drift import (
     drift_report,
     population_stability_index,
 )
+from repro.monitor.streaming import StreamingPSI
 
 __all__ = [
     "ConceptDrift",
     "DriftReport",
     "FeatureDrift",
+    "StreamingPSI",
     "concept_drift_report",
     "drift_report",
     "population_stability_index",

@@ -10,11 +10,20 @@ This package keeps the repo's perf story honest in two ways:
 * :mod:`repro.perfbench.suites` times the live kernels against those seed
   kernels (median-of-k, see :func:`repro.timing.measure`) and writes
   ``BENCH_gbdt.json`` so the trajectory is visible PR-over-PR.
+* :mod:`repro.perfbench.serving` times the request path — micro-batched
+  vs row-at-a-time scoring (bit-identity asserted), warm-cache scoring,
+  registry load latency — and writes ``BENCH_serving.json``.
 
-Run via ``python -m repro bench`` (or ``python -m benchmarks.perf`` from
-the repo root).
+Run via ``python -m repro bench`` / ``python -m repro serve-bench`` (or
+``python -m benchmarks.perf`` from the repo root).
 """
 
+from repro.perfbench.serving import (
+    ServingBenchConfig,
+    run_serving_suite,
+    summarize_serving,
+    write_serving_bench_json,
+)
 from repro.perfbench.suites import (
     BenchConfig,
     run_suite,
@@ -22,4 +31,13 @@ from repro.perfbench.suites import (
     write_bench_json,
 )
 
-__all__ = ["BenchConfig", "run_suite", "summarize", "write_bench_json"]
+__all__ = [
+    "BenchConfig",
+    "ServingBenchConfig",
+    "run_suite",
+    "run_serving_suite",
+    "summarize",
+    "summarize_serving",
+    "write_bench_json",
+    "write_serving_bench_json",
+]

@@ -1,0 +1,286 @@
+"""Tracked serving benchmarks: micro-batching, caching, registry latency.
+
+Three tracked numbers, written to ``BENCH_serving.json`` (run via
+``python -m repro serve-bench``):
+
+* ``micro_batching`` — scoring the same rows through the
+  :class:`~repro.serve.service.ScoringService` micro-batch queue vs a
+  row-at-a-time ``predict_proba`` loop on the same artifact.  Reports the
+  throughput ratio and asserts the scores are **bit-identical** — the
+  speedup is free of numerical drift by construction.
+* ``cache_hot`` — re-scoring a recurring traffic pattern with the leaf
+  cache warm vs cold (exactness again checked).
+* ``registry_load`` — wall time of ``ModelRegistry.load("champion")``,
+  the cost of a serving process (re)start or a promote-triggered reload.
+
+The fixture artifact is a real (small) GBDT+LR pipeline trained on the
+synthetic platform, stored in a temporary :class:`ModelRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timing import measure
+
+__all__ = [
+    "ServingBenchConfig",
+    "run_serving_suite",
+    "summarize_serving",
+    "write_serving_bench_json",
+]
+
+#: Format version of BENCH_serving.json.
+SERVING_BENCH_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ServingBenchConfig:
+    """Sizes and repetition counts of one serving-suite run.
+
+    The default is the tracked configuration; :meth:`smoke` shrinks
+    everything for CI rot-protection.
+
+    Attributes:
+        n_train: Rows of the synthetic platform the fixture model trains on.
+        n_score: Request rows scored by each scenario.
+        n_patterns: Distinct rows in the recurring-traffic cache scenario.
+        batch_size: Micro-batch auto-flush threshold.
+        n_epochs: LR-head epochs of the fixture model (quality irrelevant).
+        repeats: Timing repeats per scenario (median reported).
+        seed: Data/trainer seed.
+    """
+
+    n_train: int = 8_000
+    n_score: int = 2_000
+    n_patterns: int = 64
+    batch_size: int = 256
+    n_epochs: int = 10
+    repeats: int = 3
+    warmup: int = 1
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "ServingBenchConfig":
+        """Tiny sizes: every scenario exercised once, nothing timed long."""
+        return cls(n_train=1_500, n_score=200, n_patterns=16, batch_size=32,
+                   n_epochs=2, repeats=1, warmup=0)
+
+
+def _fixture(config: ServingBenchConfig, root: pathlib.Path):
+    """Train a small pipeline, store it in a registry, return the pieces."""
+    from repro.baselines.erm import ERMTrainer
+    from repro.data.generator import GeneratorConfig, LoanDataGenerator
+    from repro.data.splits import temporal_split
+    from repro.pipeline.pipeline import LoanDefaultPipeline
+    from repro.serve.registry import ModelRegistry
+    from repro.train.base import BaseTrainConfig
+
+    dataset = LoanDataGenerator(
+        GeneratorConfig(n_samples=config.n_train, total_features=40,
+                        n_spurious=4, seed=config.seed)
+    ).generate()
+    split = temporal_split(dataset)
+    pipeline = LoanDefaultPipeline(
+        ERMTrainer(BaseTrainConfig(n_epochs=config.n_epochs))
+    )
+    pipeline.fit(split.train)
+    registry = ModelRegistry(root)
+    registry.save(pipeline, metadata={"bench": "serving"})
+
+    rng = np.random.default_rng(config.seed)
+    rows = split.test.features
+    take = rng.choice(rows.shape[0], size=config.n_score, replace=True)
+    return registry, np.ascontiguousarray(rows[take])
+
+
+def bench_micro_batching(config: ServingBenchConfig, registry,
+                         request_rows: np.ndarray) -> dict:
+    """Micro-batched service throughput vs a row-at-a-time loop."""
+    from repro.serve.service import ScoringService, ServiceConfig
+
+    model = registry.load("champion")
+
+    def rows_loop() -> np.ndarray:
+        return np.array(
+            [model.predict_proba(row[None, :])[0] for row in request_rows]
+        )
+
+    def batched() -> np.ndarray:
+        service = ScoringService(
+            model, config=ServiceConfig(max_batch_size=config.batch_size)
+        )
+        tickets = [service.submit(row) for row in request_rows]
+        service.flush()
+        return np.array([t.score for t in tickets])
+
+    row_scores = rows_loop()
+    batch_scores = batched()
+    bit_identical = bool(np.array_equal(row_scores, batch_scores))
+
+    row_time = measure(rows_loop, repeats=config.repeats,
+                       warmup=config.warmup)
+    batch_time = measure(batched, repeats=config.repeats,
+                         warmup=config.warmup)
+    n = request_rows.shape[0]
+    return {
+        "n_rows": n,
+        "batch_size": config.batch_size,
+        "row_at_a_time_s": row_time.median_seconds,
+        "micro_batched_s": batch_time.median_seconds,
+        "row_at_a_time_rows_per_s": n / row_time.median_seconds,
+        "micro_batched_rows_per_s": n / batch_time.median_seconds,
+        "speedup_batched_vs_rows": (
+            row_time.median_seconds / batch_time.median_seconds
+            if batch_time.median_seconds > 0 else float("inf")
+        ),
+        "bit_identical": bit_identical,
+        "repeats": config.repeats,
+    }
+
+
+def bench_cache_hot(config: ServingBenchConfig, registry,
+                    request_rows: np.ndarray) -> dict:
+    """Warm leaf-pattern cache vs cold scoring on recurring traffic."""
+    from repro.serve.service import ScoringService, ServiceConfig
+
+    model = registry.load("champion")
+    # Recurring traffic: the request stream cycles over a few patterns.
+    patterns = request_rows[:config.n_patterns]
+    stream = patterns[
+        np.tile(np.arange(config.n_patterns),
+                max(1, config.n_score // config.n_patterns))
+    ]
+
+    def cold() -> np.ndarray:
+        return model.predict_proba(stream)
+
+    cached_service = ScoringService(
+        model,
+        config=ServiceConfig(max_batch_size=config.batch_size,
+                             cache_size=4 * config.n_patterns),
+    )
+    cached_service.score_batch(stream)  # warm the cache
+
+    def warm() -> np.ndarray:
+        return cached_service.score_batch(stream)
+
+    identical = bool(np.array_equal(cold(), warm()))
+    cold_time = measure(cold, repeats=config.repeats, warmup=config.warmup)
+    warm_time = measure(warm, repeats=config.repeats, warmup=config.warmup)
+    return {
+        "n_rows": int(stream.shape[0]),
+        "n_patterns": config.n_patterns,
+        "cold_s": cold_time.median_seconds,
+        "warm_s": warm_time.median_seconds,
+        "speedup_warm_vs_cold": (
+            cold_time.median_seconds / warm_time.median_seconds
+            if warm_time.median_seconds > 0 else float("inf")
+        ),
+        "bit_identical": identical,
+        "hit_rate": cached_service._caches["champion"].hit_rate,
+        "repeats": config.repeats,
+    }
+
+
+def bench_registry_load(config: ServingBenchConfig, registry,
+                        request_rows: np.ndarray) -> dict:
+    """Champion load latency: the cost of a serving (re)start."""
+    del request_rows
+    load_time = measure(lambda: registry.load("champion"),
+                        repeats=max(config.repeats, 3),
+                        warmup=config.warmup)
+    return {
+        "median_s": load_time.median_seconds,
+        "best_s": load_time.best_seconds,
+        "repeats": load_time.repeats,
+    }
+
+
+#: Scenario id -> runner, in report order.
+SERVING_BENCHMARKS = {
+    "micro_batching": bench_micro_batching,
+    "cache_hot": bench_cache_hot,
+    "registry_load": bench_registry_load,
+}
+
+
+def run_serving_suite(config: ServingBenchConfig | None = None,
+                      only: list[str] | None = None) -> dict:
+    """Run the serving benchmarks and return JSON-compatible results.
+
+    Args:
+        config: Sizes/repeats; defaults to the tracked configuration.
+        only: Optional subset of :data:`SERVING_BENCHMARKS` keys.
+
+    Returns:
+        Mapping scenario id -> result entry.
+    """
+    config = config or ServingBenchConfig()
+    names = list(SERVING_BENCHMARKS) if only is None else list(only)
+    unknown = set(names) - set(SERVING_BENCHMARKS)
+    if unknown:
+        raise ValueError(f"unknown serving benchmarks: {sorted(unknown)}")
+    with tempfile.TemporaryDirectory() as tmp:
+        registry, request_rows = _fixture(config, pathlib.Path(tmp) / "reg")
+        return {
+            name: SERVING_BENCHMARKS[name](config, registry, request_rows)
+            for name in names
+        }
+
+
+def write_serving_bench_json(
+    path: str | pathlib.Path,
+    results: dict,
+    config: ServingBenchConfig,
+) -> dict:
+    """Write the tracked ``BENCH_serving.json`` payload and return it."""
+    from repro.perfbench.suites import machine_info
+
+    payload = {
+        "format": SERVING_BENCH_FORMAT,
+        "config": {
+            "n_train": config.n_train,
+            "n_score": config.n_score,
+            "n_patterns": config.n_patterns,
+            "batch_size": config.batch_size,
+            "repeats": config.repeats,
+        },
+        "machine": machine_info(),
+        "benchmarks": results,
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def summarize_serving(results: dict) -> str:
+    """Human-readable one-line-per-scenario rendering."""
+    lines = []
+    if "micro_batching" in results:
+        entry = results["micro_batching"]
+        lines.append(
+            f"micro_batching   "
+            f"{entry['micro_batched_rows_per_s']:10.0f} rows/s batched"
+            f"   {entry['row_at_a_time_rows_per_s']:8.0f} rows/s looped"
+            f"   speedup {entry['speedup_batched_vs_rows']:6.2f}x"
+            f"   bit_identical={entry['bit_identical']}"
+        )
+    if "cache_hot" in results:
+        entry = results["cache_hot"]
+        lines.append(
+            f"cache_hot        {entry['warm_s'] * 1e3:10.3f} ms warm"
+            f"   {entry['cold_s'] * 1e3:8.3f} ms cold"
+            f"   speedup {entry['speedup_warm_vs_cold']:6.2f}x"
+            f"   bit_identical={entry['bit_identical']}"
+        )
+    if "registry_load" in results:
+        entry = results["registry_load"]
+        lines.append(
+            f"registry_load    {entry['median_s'] * 1e3:10.3f} ms median"
+        )
+    return "\n".join(lines)

@@ -1,6 +1,17 @@
-"""Model persistence: JSON codecs and full-pipeline artifacts."""
+"""Model persistence: JSON codecs and full-pipeline artifacts.
 
-from repro.persist.artifacts import ScoringModel, load_pipeline, save_pipeline
+The canonical save/load surface for whole pipelines is
+:class:`repro.serve.registry.ModelRegistry`; :func:`save_pipeline` /
+:func:`load_pipeline` remain as deprecation shims.
+"""
+
+from repro.persist.artifacts import (
+    ScoringModel,
+    load_pipeline,
+    pipeline_to_payload,
+    save_pipeline,
+    scoring_model_from_payload,
+)
 from repro.persist.codec import (
     binner_from_dict,
     binner_to_dict,
@@ -14,6 +25,8 @@ __all__ = [
     "ScoringModel",
     "load_pipeline",
     "save_pipeline",
+    "pipeline_to_payload",
+    "scoring_model_from_payload",
     "binner_from_dict",
     "binner_to_dict",
     "gbdt_from_dict",

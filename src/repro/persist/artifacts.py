@@ -4,12 +4,20 @@ The deployed object is the composition (GBDT -> leaf one-hot -> LR head);
 this module persists all three stages plus metadata, and restores a
 :class:`ScoringModel` whose ``predict_proba`` matches the training pipeline
 bit for bit.
+
+The canonical persistence surface is
+:class:`repro.serve.registry.ModelRegistry` (``save``/``load`` for versioned
+registries, ``save_file``/``load_file`` for bare artifact files).  The
+module-level :func:`save_pipeline` / :func:`load_pipeline` are kept as thin
+deprecation shims so existing callers and artifacts keep working; the
+payload codecs below are what both surfaces share.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,7 +28,13 @@ from repro.models.logistic import LogisticModel
 from repro.persist.codec import _FORMAT_VERSION, gbdt_from_dict, gbdt_to_dict
 from repro.pipeline.pipeline import LoanDefaultPipeline
 
-__all__ = ["ScoringModel", "save_pipeline", "load_pipeline"]
+__all__ = [
+    "ScoringModel",
+    "pipeline_to_payload",
+    "scoring_model_from_payload",
+    "save_pipeline",
+    "load_pipeline",
+]
 
 
 @dataclass(frozen=True)
@@ -40,18 +54,34 @@ class ScoringModel:
         encoded = self.encoder.transform(np.asarray(features))
         return self.model.predict_proba(self.theta, encoded)
 
+    def predict_leaves(self, features: np.ndarray | LoanDataset) -> np.ndarray:
+        """Dense ``(n, n_trees)`` per-tree leaf indices for raw rows.
 
-def save_pipeline(
-    pipeline: LoanDefaultPipeline,
-    path: str | pathlib.Path,
-    metadata: dict | None = None,
-) -> None:
-    """Persist a fitted pipeline to a JSON file.
+        The leaf pattern fully determines the score (the LR head only sees
+        the one-hot encoding of these indices), which is what the serving
+        cache keys on.
+        """
+        if isinstance(features, LoanDataset):
+            features = features.features
+        return self.encoder.model.predict_leaves(np.asarray(features))
+
+    def predict_proba_leaves(self, leaf_matrix: np.ndarray) -> np.ndarray:
+        """Score precomputed leaf patterns (see :meth:`predict_leaves`)."""
+        encoded = self.encoder.encode_leaves(leaf_matrix)
+        return self.model.predict_proba(self.theta, encoded)
+
+
+def pipeline_to_payload(
+    pipeline: LoanDefaultPipeline, metadata: dict | None = None
+) -> dict:
+    """Encode a fitted pipeline as a JSON-compatible artifact payload.
 
     Args:
         pipeline: A fitted :class:`LoanDefaultPipeline`.
-        path: Destination file.
         metadata: Optional free-form JSON-compatible run metadata.
+
+    Returns:
+        A dict that round-trips through :func:`scoring_model_from_payload`.
 
     Raises:
         RuntimeError: If the pipeline is not fitted.
@@ -61,12 +91,12 @@ def save_pipeline(
     if not pipeline.is_fitted:
         raise RuntimeError("cannot save an unfitted pipeline")
     result = pipeline.result_
-    if hasattr(result, "env_thetas") and getattr(result, "env_thetas"):
+    if result.is_per_environment:
         raise ValueError(
             "per-environment fine-tuned heads are not supported by the "
             "single-parameter artifact format"
         )
-    payload = {
+    return {
         "version": _FORMAT_VERSION,
         "trainer_name": result.trainer_name,
         "gbdt": gbdt_to_dict(pipeline.extractor.model_),
@@ -74,13 +104,10 @@ def save_pipeline(
         "l2": result.model.l2,
         "metadata": metadata or {},
     }
-    path = pathlib.Path(path)
-    path.write_text(json.dumps(payload))
 
 
-def load_pipeline(path: str | pathlib.Path) -> ScoringModel:
-    """Restore a :class:`ScoringModel` from a saved artifact."""
-    payload = json.loads(pathlib.Path(path).read_text())
+def scoring_model_from_payload(payload: dict) -> ScoringModel:
+    """Restore a :class:`ScoringModel` from an artifact payload dict."""
     if payload.get("version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported artifact version {payload.get('version')!r}"
@@ -96,3 +123,45 @@ def load_pipeline(path: str | pathlib.Path) -> ScoringModel:
         trainer_name=payload["trainer_name"],
         metadata=payload["metadata"],
     )
+
+
+def save_pipeline(
+    pipeline: LoanDefaultPipeline,
+    path: str | pathlib.Path,
+    metadata: dict | None = None,
+) -> None:
+    """Persist a fitted pipeline to a JSON file.
+
+    .. deprecated::
+        Use :meth:`repro.serve.registry.ModelRegistry.save_file` (or a
+        versioned :meth:`~repro.serve.registry.ModelRegistry.save`) instead.
+        This shim delegates and will be removed in a future release.
+    """
+    warnings.warn(
+        "save_pipeline is deprecated; use ModelRegistry.save_file "
+        "(repro.serve) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.serve.registry import ModelRegistry
+
+    ModelRegistry.save_file(pipeline, path, metadata=metadata)
+
+
+def load_pipeline(path: str | pathlib.Path) -> ScoringModel:
+    """Restore a :class:`ScoringModel` from a saved artifact.
+
+    .. deprecated::
+        Use :meth:`repro.serve.registry.ModelRegistry.load_file` (or a
+        versioned :meth:`~repro.serve.registry.ModelRegistry.load`) instead.
+        This shim delegates and will be removed in a future release.
+    """
+    warnings.warn(
+        "load_pipeline is deprecated; use ModelRegistry.load_file "
+        "(repro.serve) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.serve.registry import ModelRegistry
+
+    return ModelRegistry.load_file(path)

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.finetune import FineTunedTrainResult
 from repro.data.dataset import EnvironmentData, LoanDataset
 from repro.gbdt.boosting import GBDTParams
 from repro.metrics.fairness import FairnessReport, evaluate_environments
@@ -75,7 +74,18 @@ class LoanDefaultPipeline:
 
         Returns:
             self.
+
+        Raises:
+            RuntimeError: If the pipeline is already fitted.  Re-fitting
+                silently discarded the previous head (while keeping the old
+                GBDT, so the two stages could come from different data);
+                call :meth:`reset` first to refit deliberately.
         """
+        if self.is_fitted:
+            raise RuntimeError(
+                "pipeline is already fitted; call reset() before fitting "
+                "again, or build a fresh pipeline"
+            )
         timer = timer or StepTimer(enabled=False)
         if not self.extractor.is_fitted:
             self.extractor.fit(train)
@@ -89,23 +99,27 @@ class LoanDefaultPipeline:
         """Per-province environments in the encoded (leaf one-hot) space."""
         return self.extractor.encode_environments(dataset)
 
+    def reset(self) -> "LoanDefaultPipeline":
+        """Discard the trained LR head so the pipeline can be refit.
+
+        The fitted GBDT extraction stage is kept — it is method-independent
+        and deliberately shareable between heads; pass a fresh pipeline if
+        the extractor itself must be retrained.
+        """
+        self.result_ = None
+        return self
+
     def predict_proba(self, dataset: LoanDataset) -> np.ndarray:
         """Default probabilities for every row, in dataset order.
 
-        For the fine-tuning baseline, rows from provinces seen at training
-        time are scored with that province's fine-tuned parameters.
+        For per-environment results (the fine-tuning baseline), rows from
+        provinces seen at training time are scored with that province's
+        fine-tuned parameters — routed through the unified
+        :meth:`~repro.train.base.TrainResult.predict_proba_grouped` surface.
         """
         self._check_fitted()
         encoded = self.extractor.transform(dataset)
-        result = self.result_
-        if isinstance(result, FineTunedTrainResult):
-            scores = np.empty(dataset.n_samples)
-            for name in dataset.province_names():
-                mask = dataset.provinces == name
-                rows = encoded[np.flatnonzero(mask)]
-                scores[mask] = result.predict_proba_env(name, rows)
-            return scores
-        return result.predict_proba(encoded)
+        return self.result_.predict_proba_grouped(encoded, dataset.provinces)
 
     def evaluate(self, test: LoanDataset) -> FairnessReport:
         """Per-province KS/AUC report on a test dataset."""

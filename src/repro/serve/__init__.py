@@ -1,0 +1,52 @@
+"""Production scoring service over persisted GBDT+LR artifacts.
+
+The ROADMAP's north star is serving heavy traffic, not just training and
+offline evaluation; this package is the request path.  It turns the JSON
+artifacts :mod:`repro.persist` writes into an operated service:
+
+* :mod:`~repro.serve.registry` — versioned model storage with
+  champion/challenger slots and atomic promote/rollback (the canonical
+  save/load surface; the old ``save_pipeline``/``load_pipeline`` are
+  deprecation shims over it).
+* :mod:`~repro.serve.batching` — micro-batching queue coalescing requests
+  into one vectorized call (bit-identical scores, see
+  ``BENCH_serving.json`` for the throughput win).
+* :mod:`~repro.serve.cache` — exact LRU score cache keyed on leaf
+  patterns.
+* :mod:`~repro.serve.degradation` — streaming-PSI drift guard and
+  challenger-failure fallback rules.
+* :mod:`~repro.serve.telemetry` — latency histograms, throughput,
+  fallback and cache counters.
+* :mod:`~repro.serve.service` — :class:`ScoringService`, the composition.
+
+See ``docs/serving.md`` for the registry layout, service lifecycle,
+degradation policy and telemetry schema.
+"""
+
+from repro.serve.batching import MicroBatcher, Ticket
+from repro.serve.cache import LeafPatternCache
+from repro.serve.degradation import DriftGuard, GuardDecision
+from repro.serve.registry import (
+    CHALLENGER,
+    CHAMPION,
+    ModelRegistry,
+    ModelVersion,
+)
+from repro.serve.service import ScoringService, ServiceConfig
+from repro.serve.telemetry import LatencyHistogram, ServingTelemetry
+
+__all__ = [
+    "CHALLENGER",
+    "CHAMPION",
+    "DriftGuard",
+    "GuardDecision",
+    "LatencyHistogram",
+    "LeafPatternCache",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "ScoringService",
+    "ServiceConfig",
+    "ServingTelemetry",
+    "Ticket",
+]

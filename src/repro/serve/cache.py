@@ -1,0 +1,83 @@
+"""LRU score cache keyed on encoded leaf patterns.
+
+The LR head sees nothing but the one-hot encoding of the per-tree leaf
+indices, so two raw rows landing in the same leaves score *identically* —
+the ``(n_trees,)`` leaf pattern is a perfect cache key.  With tens of trees
+and ~31 leaves each, real traffic collapses onto a modest set of patterns
+(loan applicants cluster), making this a high-hit-rate cache that skips the
+CSR assembly and the LR dot product, while remaining exact: hits return a
+score produced by the same computation as misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["LeafPatternCache"]
+
+
+class LeafPatternCache:
+    """Bounded LRU mapping leaf patterns to scores, with hit/miss counters.
+
+    Args:
+        maxsize: Maximum number of cached patterns (>= 1).
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._store: OrderedDict[bytes, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(leaf_row: np.ndarray) -> bytes:
+        """Stable bytes key of one ``(n_trees,)`` leaf-index row."""
+        return np.ascontiguousarray(leaf_row, dtype=np.int64).tobytes()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: bytes) -> float | None:
+        """Cached score for a pattern, refreshing its recency; else None."""
+        score = self._store.get(key)
+        if score is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return score
+
+    def put(self, key: bytes, score: float) -> None:
+        """Insert (or refresh) a pattern's score, evicting the LRU entry."""
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = score
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-compatible counter state."""
+        return {
+            "size": len(self._store),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._store.clear()

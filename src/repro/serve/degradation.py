@@ -1,0 +1,99 @@
+"""Graceful-degradation policy: drift guard + challenger fallback rules.
+
+The paper's core motivation is that shift arrives *after* deployment
+(Guangdong covariate shift, Hubei concept shift) — so the serving path must
+notice drift and degrade predictably rather than score blindly.  Two
+mechanisms, both falling back to the champion and both counted in
+telemetry:
+
+* **Drift guard** — a :class:`~repro.monitor.streaming.StreamingPSI`
+  accumulator over incoming rows; once the rolling max per-feature PSI
+  crosses the threshold, challenger scoring is suspended (the champion is
+  the known-good scorer that passed offline review for the current
+  traffic mix) until the guard is reset by an operator.
+* **Challenger failure** — any exception from the challenger scores the
+  batch with the champion instead; the error never reaches the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitor.streaming import StreamingPSI
+
+__all__ = ["DriftGuard", "GuardDecision"]
+
+
+@dataclass(frozen=True)
+class GuardDecision:
+    """Outcome of one drift-guard check."""
+
+    tripped: bool
+    max_psi: float
+    rows_seen: int
+
+
+class DriftGuard:
+    """Rolling PSI check over the rows a service scores.
+
+    Args:
+        stream: A baseline-frozen :class:`StreamingPSI` accumulator.
+        psi_threshold: Max per-feature PSI above which the guard trips
+            (0.25 = the conventional "major shift" reading).
+        min_rows: Rows to accumulate before the guard may trip — quantile
+            estimates on a handful of rows are noise.
+
+    A tripped guard latches until :meth:`reset_trip`; the accumulated
+    monitoring window is kept so an operator can inspect what drifted.
+    """
+
+    def __init__(
+        self,
+        stream: StreamingPSI,
+        psi_threshold: float = 0.25,
+        min_rows: int = 200,
+    ):
+        if psi_threshold <= 0:
+            raise ValueError("psi_threshold must be positive")
+        if min_rows < 1:
+            raise ValueError("min_rows must be >= 1")
+        self.stream = stream
+        self.psi_threshold = psi_threshold
+        self.min_rows = min_rows
+        self.tripped = False
+
+    def observe(self, rows: np.ndarray) -> GuardDecision:
+        """Accumulate a batch and re-evaluate the guard.
+
+        Args:
+            rows: ``(n, d)`` raw feature rows about to be scored.
+
+        Returns:
+            The current :class:`GuardDecision` (sticky once tripped).
+        """
+        self.stream.update(rows)
+        max_psi = self.stream.max_psi()
+        if (not self.tripped and self.stream.n_rows_seen >= self.min_rows
+                and max_psi > self.psi_threshold):
+            self.tripped = True
+        return GuardDecision(
+            tripped=self.tripped,
+            max_psi=max_psi,
+            rows_seen=self.stream.n_rows_seen,
+        )
+
+    def reset_trip(self) -> None:
+        """Un-latch the guard and restart the monitoring window."""
+        self.tripped = False
+        self.stream.reset()
+
+    def snapshot(self) -> dict:
+        """JSON-compatible guard state (for serving telemetry)."""
+        return {
+            "tripped": self.tripped,
+            "psi_threshold": self.psi_threshold,
+            "min_rows": self.min_rows,
+            **self.stream.snapshot(),
+        }

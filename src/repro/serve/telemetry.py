@@ -1,0 +1,169 @@
+"""Serving telemetry: latency histograms, throughput and event counters.
+
+A scoring service is operated by its numbers: request/row counts, batch
+sizes, per-batch latency distribution, fallbacks by reason, cache
+effectiveness and the current drift level.  Everything here is cheap
+enough to update on every request and renders to one JSON-compatible
+``snapshot()`` — the schema ``docs/serving.md`` documents and
+``repro serve-score`` prints.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "ServingTelemetry"]
+
+#: Default latency bucket upper bounds, seconds (log-spaced 10µs → 10s).
+DEFAULT_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with exact count/sum and percentiles.
+
+    Args:
+        buckets: Increasing upper bounds in seconds; observations above the
+            last bound land in a +Inf overflow bucket.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be non-empty and increasing")
+        self.bounds = bounds
+        self.counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self.total_seconds = 0.0
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.total_seconds += seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        n = self.count
+        return self.total_seconds / n if n else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket bound covering the q-th percentile (0 < q <= 100).
+
+        Bucketed percentiles are conservative: the true latency is at most
+        the returned bound (+Inf overflow reports the last finite bound).
+        """
+        if not 0 < q <= 100:
+            raise ValueError("q must be in (0, 100]")
+        n = self.count
+        if n == 0:
+            return 0.0
+        rank = int(np.ceil(q / 100.0 * n))
+        cumulative = np.cumsum(self.counts)
+        bucket = int(np.searchsorted(cumulative, rank))
+        return self.bounds[min(bucket, len(self.bounds) - 1)]
+
+    def snapshot(self) -> dict:
+        """JSON-compatible histogram state."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean_seconds,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+            "buckets": {
+                f"le_{bound:g}": int(c)
+                for bound, c in zip(self.bounds, self.counts)
+            } | {"overflow": int(self.counts[-1])},
+        }
+
+
+class ServingTelemetry:
+    """Counters + latency for one :class:`~repro.serve.service.ScoringService`.
+
+    Attributes:
+        batch_latency: Histogram over per-batch scoring wall times.
+        request_latency: Histogram over per-request (single-row) wall times.
+    """
+
+    def __init__(self) -> None:
+        self.batch_latency = LatencyHistogram()
+        self.request_latency = LatencyHistogram()
+        self.rows_scored = 0
+        self.batches = 0
+        self.requests = 0
+        self.fallbacks: dict[str, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._busy_seconds = 0.0
+
+    def record_batch(self, n_rows: int, seconds: float) -> None:
+        """Account one scored batch."""
+        self.rows_scored += n_rows
+        self.batches += 1
+        self._busy_seconds += seconds
+        self.batch_latency.observe(seconds)
+
+    def record_request(self, seconds: float) -> None:
+        """Account one single-row request."""
+        self.requests += 1
+        self.request_latency.observe(seconds)
+
+    def record_fallback(self, reason: str) -> None:
+        """Count one champion fallback by reason."""
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        """Accumulate cache lookup outcomes from one batch."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    @property
+    def throughput_rows_per_s(self) -> float:
+        """Rows scored per second of scoring busy time."""
+        if self._busy_seconds == 0:
+            return 0.0
+        return self.rows_scored / self._busy_seconds
+
+    def snapshot(self) -> dict:
+        """The full JSON-compatible telemetry payload (docs/serving.md)."""
+        return {
+            "rows_scored": self.rows_scored,
+            "batches": self.batches,
+            "requests": self.requests,
+            "throughput_rows_per_s": self.throughput_rows_per_s,
+            "fallbacks": dict(self.fallbacks),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "batch_latency": self.batch_latency.snapshot(),
+            "request_latency": self.request_latency.snapshot(),
+        }
+
+    def summary(self) -> str:
+        """One human-readable line per headline number."""
+        snap = self.snapshot()
+        lines = [
+            f"rows scored     {snap['rows_scored']}",
+            f"batches         {snap['batches']}",
+            f"throughput      {snap['throughput_rows_per_s']:.0f} rows/s",
+            f"batch p95       {snap['batch_latency']['p95_s'] * 1e3:.3g} ms",
+        ]
+        if snap["fallbacks"]:
+            reasons = ", ".join(f"{k}={v}" for k, v in
+                                sorted(snap["fallbacks"].items()))
+            lines.append(f"fallbacks       {reasons}")
+        total_lookups = self.cache_hits + self.cache_misses
+        if total_lookups:
+            lines.append(
+                f"cache hit rate  {self.cache_hits / total_lookups:.1%}"
+            )
+        return "\n".join(lines)

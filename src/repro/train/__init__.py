@@ -8,15 +8,26 @@ from repro.train.base import (
     TrainResult,
     stack_environments,
 )
-from repro.train.registry import available_trainers, make_trainer
+from repro.train.registry import (
+    TrainerInfo,
+    available_trainers,
+    make_trainer,
+    penalty_parameter,
+    resolve_trainer_name,
+    trainer_names,
+)
 
 __all__ = [
     "BaseTrainConfig",
     "EpochCallback",
     "Trainer",
+    "TrainerInfo",
     "TrainingHistory",
     "TrainResult",
     "stack_environments",
     "available_trainers",
     "make_trainer",
+    "penalty_parameter",
+    "resolve_trainer_name",
+    "trainer_names",
 ]

@@ -97,7 +97,16 @@ class TrainingHistory:
 
 @dataclass(frozen=True)
 class TrainResult:
-    """Outcome of one training run."""
+    """Outcome of one training run.
+
+    This is the *unified result surface*: every trainer — including the
+    per-environment fine-tuning baseline — returns an instance of this
+    class (or a subclass) and downstream code scores through the methods
+    below without type inspection.  Subclasses that carry per-environment
+    parameters override :attr:`is_per_environment` and
+    :meth:`theta_for_environment`; the grouped scoring path then routes
+    each row through its environment's parameters automatically.
+    """
 
     trainer_name: str
     theta: np.ndarray
@@ -105,9 +114,52 @@ class TrainResult:
     history: TrainingHistory
     timer: StepTimer
 
+    @property
+    def is_per_environment(self) -> bool:
+        """Whether scoring depends on the row's environment (default no)."""
+        return False
+
+    def theta_for_environment(self, name: str) -> np.ndarray:
+        """Parameters used to score rows from a named environment."""
+        del name
+        return self.theta
+
     def predict_proba(self, features) -> np.ndarray:
         """Score new rows with the trained parameters."""
         return self.model.predict_proba(self.theta, features)
+
+    def predict_proba_env(self, name: str, features) -> np.ndarray:
+        """Score rows known to come from one environment."""
+        return self.model.predict_proba(self.theta_for_environment(name),
+                                        features)
+
+    def predict_proba_grouped(self, features, groups: np.ndarray) -> np.ndarray:
+        """Score rows grouped by environment, in input order.
+
+        For plain results this is a single vectorized call; for
+        per-environment results each group is scored with its own
+        parameters.  ``groups`` must have one entry per feature row.
+
+        Args:
+            features: Dense or CSR design matrix, one row per sample.
+            groups: Environment name per row (e.g. province labels).
+
+        Returns:
+            Probability per row, aligned with the input order.
+        """
+        if not self.is_per_environment:
+            return self.predict_proba(features)
+        groups = np.asarray(groups)
+        if groups.shape[0] != features.shape[0]:
+            raise ValueError(
+                f"{groups.shape[0]} group labels for {features.shape[0]} rows"
+            )
+        scores = np.empty(features.shape[0])
+        for name in np.unique(groups):
+            mask = groups == name
+            rows = features[np.flatnonzero(mask)]
+            scores[mask] = self.predict_proba_env(str(name), rows)
+        return scores
 
 
 class Trainer(abc.ABC):

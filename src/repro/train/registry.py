@@ -1,5 +1,11 @@
 """Name -> trainer factory registry used by the experiment harness.
 
+Lookup is case-insensitive and alias-tolerant: ``"lightmirm"``,
+``"meta-irm"``, ``"group_dro"`` and friends all resolve to their canonical
+Table I names, and unknown names fail with a did-you-mean suggestion.
+:func:`trainer_names` exposes per-trainer metadata (canonical name,
+aliases, penalty field, config class) for the CLI ``list`` command.
+
 Imports of the concrete trainers happen inside the factory functions: the
 trainers themselves import :mod:`repro.train.base`, so importing them at
 module scope would make ``repro.train`` circular.
@@ -7,34 +13,116 @@ module scope would make ``repro.train`` circular.
 
 from __future__ import annotations
 
+import difflib
+import re
+from dataclasses import dataclass
+
 from repro.train.base import Trainer
 
-__all__ = ["make_trainer", "available_trainers", "penalty_parameter"]
+__all__ = [
+    "make_trainer",
+    "available_trainers",
+    "penalty_parameter",
+    "resolve_trainer_name",
+    "trainer_names",
+    "TrainerInfo",
+]
 
-_TRAINER_NAMES = (
-    "ERM",
-    "ERM + fine-tuning",
-    "Up Sampling",
-    "Group DRO",
-    "V-REx",
-    "IRMv1",
-    "meta-IRM",
-    "LightMIRM",
+
+@dataclass(frozen=True)
+class TrainerInfo:
+    """Registry metadata of one trainer.
+
+    Attributes:
+        name: Canonical Table I name (what :func:`available_trainers`
+            lists and ``Trainer.name`` reports).
+        aliases: Extra accepted spellings (already-normalised forms of
+            the canonical name need not be listed).
+        penalty_parameter: Config field weighting the trainer's invariance
+            penalty, or ``None`` for pure risk minimisers.
+        config_class: Name of the trainer's config dataclass.
+    """
+
+    name: str
+    aliases: tuple[str, ...]
+    penalty_parameter: str | None
+    config_class: str
+
+
+_TRAINERS = (
+    TrainerInfo("ERM", (), None, "BaseTrainConfig"),
+    TrainerInfo(
+        "ERM + fine-tuning",
+        ("fine-tuning", "finetune", "erm-finetune"),
+        None,
+        "FineTuneConfig",
+    ),
+    TrainerInfo("Up Sampling", ("upsample",), None, "UpSamplingConfig"),
+    TrainerInfo("Group DRO", ("dro",), None, "GroupDROConfig"),
+    TrainerInfo("V-REx", ("rex",), "variance_weight", "VRExConfig"),
+    TrainerInfo("IRMv1", ("irm",), "penalty_weight", "IRMv1Config"),
+    TrainerInfo("meta-IRM", (), "lambda_penalty", "MetaIRMConfig"),
+    TrainerInfo("LightMIRM", ("light-mirm",), "lambda_penalty",
+                "LightMIRMConfig"),
 )
 
-#: Trainer -> name of the config field weighting its invariance penalty.
-#: Trainers absent from this map have no such knob (pure risk minimisers).
-_PENALTY_PARAMS = {
-    "IRMv1": "penalty_weight",
-    "V-REx": "variance_weight",
-    "meta-IRM": "lambda_penalty",
-    "LightMIRM": "lambda_penalty",
-}
+_BY_NAME = {info.name: info for info in _TRAINERS}
+
+
+def _normalize(name: str) -> str:
+    """Fold case and separators so alias matching is spelling-tolerant."""
+    return re.sub(r"[\s\-_+]", "", name.lower())
+
+
+_LOOKUP: dict[str, str] = {}
+for _info in _TRAINERS:
+    for _spelling in (_info.name, *_info.aliases):
+        _LOOKUP[_normalize(_spelling)] = _info.name
+
+#: Matches the sampled meta-IRM(S) syntax after normalisation.
+_SAMPLED_RE = re.compile(r"^metairm\((-?\d+)\)$")
+
+
+def trainer_names() -> list[TrainerInfo]:
+    """Per-trainer registry metadata, in Table I order."""
+    return list(_TRAINERS)
 
 
 def available_trainers() -> list[str]:
-    """Names accepted by :func:`make_trainer`, in Table I order."""
-    return list(_TRAINER_NAMES)
+    """Canonical names accepted by :func:`make_trainer`, in Table I order."""
+    return [info.name for info in _TRAINERS]
+
+
+def resolve_trainer_name(name: str) -> str:
+    """Canonical trainer name for any accepted (case/alias) spelling.
+
+    Args:
+        name: A canonical name, an alias, or ``"meta-IRM(S)"`` in any
+            casing/separator style.
+
+    Returns:
+        The canonical name (the sampled syntax resolves to
+        ``"meta-IRM(S)"`` with its integer preserved).
+
+    Raises:
+        KeyError: For unknown names, with a did-you-mean suggestion when
+            one is close enough.
+    """
+    normalized = _normalize(name)
+    if normalized in _LOOKUP:
+        return _LOOKUP[normalized]
+    sampled = _SAMPLED_RE.match(normalized)
+    if sampled:
+        return f"meta-IRM({sampled.group(1)})"
+    candidates = list(_LOOKUP) + [info.name for info in _TRAINERS]
+    close = difflib.get_close_matches(normalized, candidates, n=1)
+    hint = ""
+    if close:
+        canonical = _LOOKUP.get(close[0], close[0])
+        hint = f"; did you mean {canonical!r}?"
+    raise KeyError(
+        f"unknown trainer {name!r}{hint} (known: {available_trainers()})"
+    )
 
 
 def penalty_parameter(name: str) -> str | None:
@@ -44,7 +132,7 @@ def penalty_parameter(name: str) -> str | None:
     penalties shrink the spurious weight mass (penalty monotonicity).
 
     Args:
-        name: A trainer name from :func:`available_trainers`.
+        name: Any spelling :func:`resolve_trainer_name` accepts.
 
     Returns:
         The dataclass field name, or ``None`` for penalty-free trainers.
@@ -52,26 +140,26 @@ def penalty_parameter(name: str) -> str | None:
     Raises:
         KeyError: For unknown trainer names.
     """
-    if name not in _TRAINER_NAMES:
-        raise KeyError(
-            f"unknown trainer {name!r}; known: {available_trainers()}"
-        )
-    return _PENALTY_PARAMS.get(name)
+    canonical = resolve_trainer_name(name)
+    if canonical.startswith("meta-IRM("):
+        canonical = "meta-IRM"
+    return _BY_NAME[canonical].penalty_parameter
 
 
 def make_trainer(name: str, **config_overrides) -> Trainer:
-    """Instantiate a trainer by its paper name.
+    """Instantiate a trainer by its paper name (or any accepted alias).
 
     Args:
-        name: One of :func:`available_trainers`, or ``"meta-IRM(S)"`` with an
-            integer S for the sampled variants of Table II.
+        name: Any spelling :func:`resolve_trainer_name` accepts, including
+            ``"meta-IRM(S)"`` with an integer S for the sampled variants
+            of Table II.
         **config_overrides: Forwarded to the trainer's config dataclass.
 
     Returns:
         A ready-to-fit :class:`~repro.train.base.Trainer`.
 
     Raises:
-        KeyError: For unknown names.
+        KeyError: For unknown names (with a did-you-mean suggestion).
     """
     from repro.baselines.erm import ERMTrainer
     from repro.baselines.finetune import FineTuneConfig, FineTuneTrainer
@@ -85,7 +173,15 @@ def make_trainer(name: str, **config_overrides) -> Trainer:
     from repro.train.base import BaseTrainConfig
 
     if name.startswith("meta-IRM(") and name.endswith(")"):
+        # Legacy exact syntax kept on the fast path so the ValueError for a
+        # malformed count (e.g. "meta-IRM(five)") is preserved verbatim.
         n_sampled = int(name[len("meta-IRM("):-1])
+        return MetaIRMTrainer(
+            MetaIRMConfig(n_sampled_envs=n_sampled, **config_overrides)
+        )
+    canonical = resolve_trainer_name(name)
+    if canonical.startswith("meta-IRM(") and canonical.endswith(")"):
+        n_sampled = int(canonical[len("meta-IRM("):-1])
         return MetaIRMTrainer(
             MetaIRMConfig(n_sampled_envs=n_sampled, **config_overrides)
         )
@@ -105,8 +201,4 @@ def make_trainer(name: str, **config_overrides) -> Trainer:
             LightMIRMConfig(**config_overrides)
         ),
     }
-    if name not in factories:
-        raise KeyError(
-            f"unknown trainer {name!r}; known: {available_trainers()}"
-        )
-    return factories[name]()
+    return factories[canonical]()

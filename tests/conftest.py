@@ -37,6 +37,20 @@ def test_envs(fitted_extractor, small_split):
     return fitted_extractor.encode_environments(small_split.test)
 
 
+@pytest.fixture(scope="session")
+def fitted_pipeline(small_split, fitted_extractor):
+    """An ERM pipeline fitted once, shared read-only by serving tests."""
+    from repro.baselines.erm import ERMTrainer
+    from repro.pipeline.pipeline import LoanDefaultPipeline
+    from repro.train.base import BaseTrainConfig
+
+    pipeline = LoanDefaultPipeline(
+        ERMTrainer(BaseTrainConfig(n_epochs=10)),
+        extractor=fitted_extractor,
+    )
+    return pipeline.fit(small_split.train)
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)

@@ -1,0 +1,93 @@
+"""Tests for the streaming PSI accumulator (repro.monitor.streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.drift import population_stability_index
+from repro.monitor.streaming import StreamingPSI
+
+
+@pytest.fixture()
+def baseline(rng):
+    return rng.standard_normal((1000, 3))
+
+
+class TestMatchesBatchPSI:
+    def test_identical_to_batch_function(self, baseline, rng):
+        monitoring = rng.standard_normal((400, 3)) + 0.3
+        stream = StreamingPSI.from_baseline(baseline)
+        stream.update(monitoring)
+        expected = [
+            population_stability_index(baseline[:, j], monitoring[:, j])
+            for j in range(3)
+        ]
+        np.testing.assert_allclose(stream.psi_per_feature(), expected,
+                                   rtol=0, atol=0)
+
+    def test_incremental_equals_one_shot(self, baseline, rng):
+        monitoring = rng.standard_normal((300, 3)) * 2.0
+        one_shot = StreamingPSI.from_baseline(baseline)
+        one_shot.update(monitoring)
+        incremental = StreamingPSI.from_baseline(baseline)
+        for chunk in np.array_split(monitoring, 7):
+            incremental.update(chunk)
+        np.testing.assert_array_equal(incremental.psi_per_feature(),
+                                      one_shot.psi_per_feature())
+
+    def test_identical_distribution_is_near_zero(self, baseline):
+        stream = StreamingPSI.from_baseline(baseline)
+        stream.update(baseline)
+        assert stream.max_psi() < 0.01
+
+    def test_shifted_distribution_is_large(self, baseline, rng):
+        stream = StreamingPSI.from_baseline(baseline)
+        stream.update(rng.standard_normal((400, 3)) + 10.0)
+        assert stream.max_psi() > 1.0
+
+
+class TestAccumulatorMechanics:
+    def test_single_row_update_accepted(self, baseline):
+        stream = StreamingPSI.from_baseline(baseline)
+        stream.update(baseline[0])
+        assert stream.n_rows_seen == 1
+
+    def test_zero_rows_means_zero_psi(self, baseline):
+        stream = StreamingPSI.from_baseline(baseline)
+        np.testing.assert_array_equal(stream.psi_per_feature(), np.zeros(3))
+        assert stream.max_psi() == 0.0
+
+    def test_reset_drops_window_keeps_baseline(self, baseline, rng):
+        stream = StreamingPSI.from_baseline(baseline)
+        stream.update(rng.standard_normal((100, 3)) + 5.0)
+        assert stream.max_psi() > 0
+        stream.reset()
+        assert stream.n_rows_seen == 0
+        assert stream.max_psi() == 0.0
+        stream.update(baseline)
+        assert stream.max_psi() < 0.01
+
+    def test_wrong_width_rejected(self, baseline):
+        stream = StreamingPSI.from_baseline(baseline)
+        with pytest.raises(ValueError):
+            stream.update(np.zeros((5, 7)))
+
+    def test_from_dataset_carries_names(self, small_dataset):
+        stream = StreamingPSI.from_dataset(small_dataset)
+        assert stream.names == list(small_dataset.schema.names)
+        assert stream.n_features == small_dataset.n_features
+
+    def test_snapshot_schema(self, baseline):
+        stream = StreamingPSI.from_baseline(baseline, names=["a", "b", "c"])
+        stream.update(baseline[:50])
+        snap = stream.snapshot()
+        assert snap["n_rows_seen"] == 50
+        assert set(snap["psi"]) == {"a", "b", "c"}
+        assert snap["max_psi"] == max(snap["psi"].values())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StreamingPSI([np.array([0.0])], [])
+        with pytest.raises(ValueError):
+            StreamingPSI.from_baseline(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            StreamingPSI.from_baseline(np.zeros((10, 2)), n_bins=1)

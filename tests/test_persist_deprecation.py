@@ -1,0 +1,90 @@
+"""Tests for the save_pipeline/load_pipeline deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.baselines.finetune import FineTuneConfig, FineTuneTrainer
+from repro.persist import (
+    load_pipeline,
+    pipeline_to_payload,
+    save_pipeline,
+    scoring_model_from_payload,
+)
+from repro.pipeline.pipeline import LoanDefaultPipeline
+from repro.serve.registry import ModelRegistry
+
+
+class TestShimsWarnButWork:
+    def test_save_pipeline_warns(self, tmp_path, fitted_pipeline):
+        with pytest.warns(DeprecationWarning, match="save_pipeline"):
+            save_pipeline(fitted_pipeline, tmp_path / "m.json")
+        assert (tmp_path / "m.json").exists()
+
+    def test_load_pipeline_warns(self, tmp_path, fitted_pipeline):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            save_pipeline(fitted_pipeline, tmp_path / "m.json")
+        with pytest.warns(DeprecationWarning, match="load_pipeline"):
+            load_pipeline(tmp_path / "m.json")
+
+    def test_shim_scores_match_canonical_surface(self, tmp_path,
+                                                 fitted_pipeline,
+                                                 small_split):
+        path = tmp_path / "m.json"
+        with pytest.warns(DeprecationWarning):
+            save_pipeline(fitted_pipeline, path, metadata={"via": "shim"})
+        with pytest.warns(DeprecationWarning):
+            via_shim = load_pipeline(path)
+        via_registry = ModelRegistry.load_file(path)
+        assert via_shim.metadata == via_registry.metadata == {"via": "shim"}
+        np.testing.assert_array_equal(
+            via_shim.predict_proba(small_split.test.features),
+            via_registry.predict_proba(small_split.test.features),
+        )
+
+    def test_old_artifact_loads_on_new_surface(self, tmp_path,
+                                               fitted_pipeline, small_split):
+        """Files written pre-registry keep working (format unchanged)."""
+        old_path = tmp_path / "legacy.json"
+        with pytest.warns(DeprecationWarning):
+            save_pipeline(fitted_pipeline, old_path)
+        model = ModelRegistry.load_file(old_path)
+        np.testing.assert_array_equal(
+            model.predict_proba(small_split.test.features),
+            fitted_pipeline.predict_proba(small_split.test),
+        )
+
+
+class TestPayloadCodecs:
+    def test_payload_round_trip(self, fitted_pipeline, small_split):
+        payload = pipeline_to_payload(fitted_pipeline, metadata={"k": "v"})
+        model = scoring_model_from_payload(payload)
+        assert model.metadata == {"k": "v"}
+        np.testing.assert_array_equal(
+            model.predict_proba(small_split.test.features),
+            fitted_pipeline.predict_proba(small_split.test),
+        )
+
+    def test_unfitted_pipeline_rejected(self, fitted_pipeline):
+        fresh = LoanDefaultPipeline(fitted_pipeline.trainer,
+                                    extractor=fitted_pipeline.extractor)
+        with pytest.raises(RuntimeError):
+            pipeline_to_payload(fresh)
+
+    def test_per_environment_head_rejected(self, small_split,
+                                           fitted_extractor):
+        pipeline = LoanDefaultPipeline(
+            FineTuneTrainer(FineTuneConfig(n_epochs=2)),
+            extractor=fitted_extractor,
+        )
+        pipeline.fit(small_split.train)
+        with pytest.raises(ValueError, match="per-environment"):
+            pipeline_to_payload(pipeline)
+
+    def test_bad_version_rejected(self, fitted_pipeline):
+        payload = pipeline_to_payload(fitted_pipeline)
+        payload["version"] = -1
+        with pytest.raises(ValueError):
+            scoring_model_from_payload(payload)

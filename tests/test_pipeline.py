@@ -97,6 +97,31 @@ class TestPipelineFit:
         with pytest.raises(RuntimeError):
             pipeline.evaluate(small_split.test)
 
+    def test_refit_without_reset_raises(self, small_split, fitted_extractor):
+        pipeline = LoanDefaultPipeline(
+            ERMTrainer(BaseTrainConfig(n_epochs=2)),
+            extractor=fitted_extractor,
+        )
+        pipeline.fit(small_split.train)
+        with pytest.raises(RuntimeError, match="already fitted"):
+            pipeline.fit(small_split.train)
+
+    def test_reset_allows_deliberate_refit(self, small_split,
+                                           fitted_extractor):
+        pipeline = LoanDefaultPipeline(
+            ERMTrainer(BaseTrainConfig(n_epochs=2)),
+            extractor=fitted_extractor,
+        )
+        pipeline.fit(small_split.train)
+        first = pipeline.predict_proba(small_split.test)
+        assert pipeline.reset() is pipeline
+        assert not pipeline.is_fitted
+        assert pipeline.extractor.is_fitted   # extraction stage survives
+        pipeline.fit(small_split.train)
+        np.testing.assert_array_equal(
+            pipeline.predict_proba(small_split.test), first
+        )
+
     def test_timer_records_transform_step(self, small_split,
                                           fitted_extractor):
         from repro.timing import StepTimer

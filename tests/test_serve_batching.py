@@ -1,0 +1,82 @@
+"""Tests for the micro-batching queue (repro.serve.batching)."""
+
+import numpy as np
+import pytest
+
+from repro.serve.batching import MicroBatcher, Ticket
+
+
+def _sum_scorer(rows: np.ndarray) -> np.ndarray:
+    return rows.sum(axis=1)
+
+
+class TestTicket:
+    def test_starts_unresolved(self):
+        ticket = Ticket()
+        assert not ticket.done
+        with pytest.raises(RuntimeError):
+            ticket.score
+
+    def test_resolves_once_flushed(self):
+        batcher = MicroBatcher(_sum_scorer, max_batch_size=8)
+        ticket = batcher.submit(np.array([1.0, 2.0]))
+        assert not ticket.done
+        batcher.flush()
+        assert ticket.done
+        assert ticket.score == 3.0
+
+
+class TestMicroBatcher:
+    def test_scores_match_vectorized_call(self, rng):
+        rows = rng.standard_normal((17, 4))
+        batcher = MicroBatcher(_sum_scorer, max_batch_size=100)
+        tickets = [batcher.submit(row) for row in rows]
+        batcher.flush()
+        got = np.array([t.score for t in tickets])
+        np.testing.assert_array_equal(got, _sum_scorer(rows))
+
+    def test_auto_flush_at_max_batch_size(self, rng):
+        calls = []
+
+        def scorer(rows):
+            calls.append(rows.shape[0])
+            return _sum_scorer(rows)
+
+        batcher = MicroBatcher(scorer, max_batch_size=4)
+        tickets = [batcher.submit(row)
+                   for row in rng.standard_normal((10, 3))]
+        assert calls == [4, 4]          # two automatic flushes
+        assert batcher.pending == 2
+        assert all(t.done for t in tickets[:8])
+        batcher.flush()
+        assert calls == [4, 4, 2]
+        assert all(t.done for t in tickets)
+
+    def test_flush_empty_queue_returns_zero(self):
+        batcher = MicroBatcher(_sum_scorer)
+        assert batcher.flush() == 0
+        assert batcher.batches_flushed == 0
+
+    def test_counters(self, rng):
+        batcher = MicroBatcher(_sum_scorer, max_batch_size=5)
+        for row in rng.standard_normal((7, 2)):
+            batcher.submit(row)
+        batcher.flush()
+        assert batcher.batches_flushed == 2
+        assert batcher.rows_scored == 7
+        assert batcher.pending == 0
+
+    def test_rejects_non_row_input(self):
+        batcher = MicroBatcher(_sum_scorer)
+        with pytest.raises(ValueError):
+            batcher.submit(np.zeros((2, 2)))
+
+    def test_rejects_bad_scorer_shape(self):
+        batcher = MicroBatcher(lambda rows: np.zeros(99), max_batch_size=8)
+        batcher.submit(np.zeros(3))
+        with pytest.raises(RuntimeError):
+            batcher.flush()
+
+    def test_rejects_bad_max_batch_size(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(_sum_scorer, max_batch_size=0)

@@ -1,0 +1,58 @@
+"""Smoke tests for the tracked serving benchmark suite."""
+
+import json
+
+import pytest
+
+from repro.perfbench.serving import (
+    SERVING_BENCH_FORMAT,
+    ServingBenchConfig,
+    run_serving_suite,
+    summarize_serving,
+    write_serving_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    """One smoke-sized suite run shared by every assertion below."""
+    return run_serving_suite(ServingBenchConfig.smoke())
+
+
+class TestServingSuite:
+    def test_all_scenarios_present(self, smoke_results):
+        assert set(smoke_results) == {"micro_batching", "cache_hot",
+                                      "registry_load"}
+
+    def test_micro_batching_is_bit_identical(self, smoke_results):
+        entry = smoke_results["micro_batching"]
+        assert entry["bit_identical"] is True
+        assert entry["micro_batched_s"] > 0
+        assert entry["row_at_a_time_s"] > 0
+        assert entry["speedup_batched_vs_rows"] > 0
+
+    def test_cache_hot_is_bit_identical(self, smoke_results):
+        entry = smoke_results["cache_hot"]
+        assert entry["bit_identical"] is True
+        assert 0 < entry["hit_rate"] <= 1
+
+    def test_registry_load_timed(self, smoke_results):
+        assert smoke_results["registry_load"]["median_s"] > 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_serving_suite(ServingBenchConfig.smoke(), only=["nope"])
+
+    def test_written_payload_schema(self, smoke_results, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        config = ServingBenchConfig.smoke()
+        payload = write_serving_bench_json(path, smoke_results, config)
+        assert payload["format"] == SERVING_BENCH_FORMAT
+        assert payload["config"]["n_train"] == config.n_train
+        assert "machine" in payload
+        assert json.loads(path.read_text()) == payload
+
+    def test_summary_mentions_each_scenario(self, smoke_results):
+        summary = summarize_serving(smoke_results)
+        for name in ("micro_batching", "cache_hot", "registry_load"):
+            assert name in summary

@@ -1,0 +1,78 @@
+"""Tests for the leaf-pattern LRU score cache (repro.serve.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import LeafPatternCache
+
+
+class TestKey:
+    def test_same_pattern_same_key(self):
+        a = LeafPatternCache.key(np.array([1, 5, 3]))
+        b = LeafPatternCache.key(np.array([1, 5, 3], dtype=np.int32))
+        assert a == b
+
+    def test_different_patterns_differ(self):
+        assert (LeafPatternCache.key(np.array([1, 2]))
+                != LeafPatternCache.key(np.array([2, 1])))
+
+
+class TestLRU:
+    def test_hit_and_miss_counters(self):
+        cache = LeafPatternCache(maxsize=4)
+        key = LeafPatternCache.key(np.array([1, 2, 3]))
+        assert cache.get(key) is None
+        cache.put(key, 0.25)
+        assert cache.get(key) == 0.25
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LeafPatternCache(maxsize=2)
+        k1, k2, k3 = (LeafPatternCache.key(np.array([i])) for i in range(3))
+        cache.put(k1, 0.1)
+        cache.put(k2, 0.2)
+        cache.get(k1)            # refresh k1: k2 is now the LRU entry
+        cache.put(k3, 0.3)       # evicts k2
+        assert cache.get(k2) is None
+        assert cache.get(k1) == 0.1
+        assert cache.get(k3) == 0.3
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        cache = LeafPatternCache(maxsize=2)
+        k1, k2, k3 = (LeafPatternCache.key(np.array([i])) for i in range(3))
+        cache.put(k1, 0.1)
+        cache.put(k2, 0.2)
+        cache.put(k1, 0.15)      # refresh, not insert: no eviction
+        assert cache.evictions == 0
+        cache.put(k3, 0.3)       # now k2 is evicted, not k1
+        assert cache.get(k1) == 0.15
+        assert cache.get(k2) is None
+
+    def test_hit_rate_zero_before_lookups(self):
+        assert LeafPatternCache().hit_rate == 0.0
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LeafPatternCache(maxsize=0)
+
+    def test_snapshot_schema(self):
+        cache = LeafPatternCache(maxsize=8)
+        cache.put(LeafPatternCache.key(np.array([7])), 0.5)
+        snap = cache.snapshot()
+        assert snap == {
+            "size": 1, "maxsize": 8, "hits": 0, "misses": 0,
+            "evictions": 0, "hit_rate": 0.0,
+        }
+
+    def test_clear_keeps_counters(self):
+        cache = LeafPatternCache()
+        key = LeafPatternCache.key(np.array([1]))
+        cache.put(key, 0.5)
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1

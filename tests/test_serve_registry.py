@@ -1,0 +1,141 @@
+"""Tests for the versioned model registry (repro.serve.registry)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.registry import CHALLENGER, CHAMPION, ModelRegistry
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "reg")
+
+
+class TestSaveLoad:
+    def test_first_save_auto_promotes_champion(self, registry,
+                                               fitted_pipeline):
+        version = registry.save(fitted_pipeline)
+        assert version == "v0001"
+        assert registry.slots() == {CHAMPION: "v0001"}
+
+    def test_versions_are_sequential(self, registry, fitted_pipeline):
+        assert registry.save(fitted_pipeline) == "v0001"
+        assert registry.save(fitted_pipeline) == "v0002"
+        assert [v.version for v in registry.versions()] == ["v0001", "v0002"]
+
+    def test_round_trip_scores_bit_identical(self, registry, fitted_pipeline,
+                                             small_split):
+        registry.save(fitted_pipeline)
+        model = registry.load(CHAMPION)
+        restored = model.predict_proba(small_split.test.features)
+        original = fitted_pipeline.predict_proba(small_split.test)
+        np.testing.assert_array_equal(restored, original)
+
+    def test_load_by_version_id(self, registry, fitted_pipeline, small_split):
+        version = registry.save(fitted_pipeline)
+        by_slot = registry.load(CHAMPION)
+        by_version = registry.load(version)
+        np.testing.assert_array_equal(
+            by_slot.predict_proba(small_split.test.features),
+            by_version.predict_proba(small_split.test.features),
+        )
+
+    def test_save_into_challenger_slot(self, registry, fitted_pipeline):
+        registry.save(fitted_pipeline)
+        registry.save(fitted_pipeline, slot=CHALLENGER)
+        assert registry.slots() == {CHAMPION: "v0001", CHALLENGER: "v0002"}
+
+    def test_metadata_round_trips(self, registry, fitted_pipeline):
+        version = registry.save(fitted_pipeline, metadata={"run": "weekly"})
+        assert registry.describe(version).metadata == {"run": "weekly"}
+        assert registry.load(version).metadata == {"run": "weekly"}
+
+    def test_unknown_ref_raises(self, registry, fitted_pipeline):
+        registry.save(fitted_pipeline)
+        with pytest.raises(KeyError):
+            registry.load("v0099")
+
+    def test_empty_slot_raises(self, registry, fitted_pipeline):
+        registry.save(fitted_pipeline)
+        with pytest.raises(KeyError):
+            registry.load(CHALLENGER)
+
+    def test_bad_slot_name_rejected(self, registry, fitted_pipeline):
+        with pytest.raises(ValueError):
+            registry.save(fitted_pipeline, slot="production")
+
+
+class TestLifecycle:
+    def test_promote_then_rollback(self, registry, fitted_pipeline):
+        registry.save(fitted_pipeline)  # v0001, auto champion
+        v2 = registry.save(fitted_pipeline)
+        registry.promote(v2)
+        assert registry.slots()[CHAMPION] == "v0002"
+        assert registry.rollback() == "v0001"
+        assert registry.slots()[CHAMPION] == "v0001"
+
+    def test_rollback_without_history_raises(self, registry, fitted_pipeline):
+        registry.save(fitted_pipeline)
+        with pytest.raises(KeyError):
+            registry.rollback()
+
+    def test_rollback_walks_history_backwards(self, registry,
+                                              fitted_pipeline):
+        for _ in range(3):
+            registry.save(fitted_pipeline)
+        registry.promote("v0002")
+        registry.promote("v0003")
+        assert registry.rollback() == "v0002"
+        assert registry.rollback() == "v0001"
+
+    def test_promote_unknown_version_raises(self, registry, fitted_pipeline):
+        registry.save(fitted_pipeline)
+        with pytest.raises(KeyError):
+            registry.promote("v0042")
+
+    def test_repeated_promote_same_version_no_history(self, registry,
+                                                      fitted_pipeline):
+        registry.save(fitted_pipeline)
+        registry.promote("v0001")
+        with pytest.raises(KeyError):
+            registry.rollback()
+
+
+class TestOnDisk:
+    def test_layout_and_no_temp_leftovers(self, registry, fitted_pipeline):
+        registry.save(fitted_pipeline)
+        registry.save(fitted_pipeline, slot=CHALLENGER)
+        assert (registry.root / "registry.json").exists()
+        assert (registry.root / "models" / "v0001.json").exists()
+        assert not list(registry.root.rglob("*.tmp"))
+
+    def test_unsupported_index_format_rejected(self, registry,
+                                               fitted_pipeline):
+        registry.save(fitted_pipeline)
+        index = json.loads(registry.index_path.read_text())
+        index["format"] = 99
+        registry.index_path.write_text(json.dumps(index))
+        with pytest.raises(ValueError):
+            registry.slots()
+
+
+class TestSingleFileSurface:
+    def test_save_file_load_file_round_trip(self, tmp_path, fitted_pipeline,
+                                            small_split):
+        path = tmp_path / "model.json"
+        ModelRegistry.save_file(fitted_pipeline, path, metadata={"a": 1})
+        model = ModelRegistry.load_file(path)
+        assert model.metadata == {"a": 1}
+        np.testing.assert_array_equal(
+            model.predict_proba(small_split.test.features),
+            fitted_pipeline.predict_proba(small_split.test),
+        )
+
+    def test_file_and_registry_artifacts_interchange(self, tmp_path, registry,
+                                                     fitted_pipeline):
+        version = registry.save(fitted_pipeline)
+        entry = registry.describe(version)
+        model = ModelRegistry.load_file(registry.root / entry.path)
+        assert model.trainer_name == entry.trainer_name

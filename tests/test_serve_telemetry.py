@@ -1,0 +1,111 @@
+"""Tests for serving telemetry (repro.serve.telemetry)."""
+
+import pytest
+
+from repro.serve.telemetry import (
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    ServingTelemetry,
+)
+
+
+class TestLatencyHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        hist = LatencyHistogram(buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            hist.observe(value)
+        assert list(hist.counts) == [1, 2, 1, 1]   # last = overflow
+        assert hist.count == 5
+
+    def test_boundary_value_goes_to_lower_bucket(self):
+        hist = LatencyHistogram(buckets=(0.001, 0.01))
+        hist.observe(0.001)   # le_0.001 is inclusive
+        assert hist.counts[0] == 1
+
+    def test_mean_is_exact(self):
+        hist = LatencyHistogram()
+        hist.observe(0.1)
+        hist.observe(0.3)
+        assert hist.mean_seconds == pytest.approx(0.2)
+
+    def test_percentile_is_conservative_upper_bound(self):
+        hist = LatencyHistogram(buckets=(0.001, 0.01, 0.1))
+        for _ in range(99):
+            hist.observe(0.0005)
+        hist.observe(0.05)
+        assert hist.percentile(50) == 0.001
+        assert hist.percentile(100) == 0.1
+
+    def test_percentile_empty_is_zero(self):
+        assert LatencyHistogram().percentile(95) == 0.0
+
+    def test_percentile_validates_q(self):
+        hist = LatencyHistogram()
+        for q in (0, -1, 101):
+            with pytest.raises(ValueError):
+                hist.percentile(q)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().observe(-1e-9)
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(0.1, 0.1))
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=())
+
+    def test_snapshot_schema(self):
+        hist = LatencyHistogram()
+        hist.observe(0.002)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert set(snap) == {"count", "mean_s", "p50_s", "p95_s", "p99_s",
+                             "buckets"}
+        assert len(snap["buckets"]) == len(DEFAULT_BUCKETS) + 1
+        assert sum(snap["buckets"].values()) == 1
+
+
+class TestServingTelemetry:
+    def test_batch_accounting_and_throughput(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_batch(100, 0.5)
+        telemetry.record_batch(300, 0.5)
+        assert telemetry.rows_scored == 400
+        assert telemetry.batches == 2
+        assert telemetry.throughput_rows_per_s == pytest.approx(400.0)
+
+    def test_throughput_zero_before_traffic(self):
+        assert ServingTelemetry().throughput_rows_per_s == 0.0
+
+    def test_fallbacks_counted_by_reason(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_fallback("challenger_error")
+        telemetry.record_fallback("challenger_error")
+        telemetry.record_fallback("drift_guard")
+        assert telemetry.fallbacks == {"challenger_error": 2,
+                                       "drift_guard": 1}
+
+    def test_snapshot_schema(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_batch(10, 0.01)
+        telemetry.record_request(0.001)
+        telemetry.record_cache(hits=3, misses=7)
+        snap = telemetry.snapshot()
+        assert set(snap) == {
+            "rows_scored", "batches", "requests", "throughput_rows_per_s",
+            "fallbacks", "cache", "batch_latency", "request_latency",
+        }
+        assert snap["cache"] == {"hits": 3, "misses": 7}
+        assert snap["batch_latency"]["count"] == 1
+        assert snap["request_latency"]["count"] == 1
+
+    def test_summary_mentions_headline_numbers(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_batch(42, 0.01)
+        telemetry.record_fallback("drift_guard")
+        telemetry.record_cache(hits=1, misses=1)
+        summary = telemetry.summary()
+        assert "rows scored     42" in summary
+        assert "drift_guard=1" in summary
+        assert "cache hit rate  50.0%" in summary
