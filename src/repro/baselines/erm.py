@@ -61,5 +61,10 @@ class ERMTrainer(Trainer):
                 env.name: model.loss(theta, env.features, env.labels)
                 for env in environments
             }
-            self._record(history, loss, env_losses, epoch, theta, callback)
+            extra = (
+                {"grad_norm": float(np.linalg.norm(grad))}
+                if self._tracer.enabled else {}
+            )
+            self._record(history, loss, env_losses, epoch, theta, callback,
+                         **extra)
         return theta

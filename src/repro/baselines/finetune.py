@@ -17,6 +17,7 @@ import numpy as np
 from repro.baselines.erm import ERMTrainer
 from repro.data.dataset import EnvironmentData
 from repro.models.logistic import LogisticModel
+from repro.obs.tracer import Tracer
 from repro.timing import StepTimer
 from repro.train.base import (
     BaseTrainConfig,
@@ -89,17 +90,33 @@ class FineTuneTrainer(Trainer):
         environments,
         callback: EpochCallback | None = None,
         timer: StepTimer | None = None,
+        tracer: Tracer | None = None,
     ) -> FineTunedTrainResult:
-        base = ERMTrainer(self.config).fit(environments, callback=callback,
-                                           timer=timer)
+        # The base phase runs under this trainer's name so that a traced
+        # run attributes its epochs/steps to "ERM + fine-tuning", not ERM.
+        base_trainer = ERMTrainer(self.config)
+        base_trainer.name = self.name
+        base = base_trainer.fit(environments, callback=callback,
+                                timer=timer, tracer=tracer)
         cfg = self.config
+        tracer = base_trainer._tracer
         env_thetas: dict[str, np.ndarray] = {}
-        for env in environments:
-            theta = base.theta.copy()
-            for _ in range(cfg.finetune_epochs):
-                grad = base.model.gradient(theta, env.features, env.labels)
-                theta = theta - cfg.finetune_lr * grad
-            env_thetas[env.name] = theta
+        with tracer.span("finetune", trainer=self.name):
+            for env in environments:
+                theta = base.theta.copy()
+                for _ in range(cfg.finetune_epochs):
+                    grad = base.model.gradient(theta, env.features, env.labels)
+                    theta = theta - cfg.finetune_lr * grad
+                env_thetas[env.name] = theta
+                if tracer.enabled:
+                    tracer.event(
+                        "finetune_env",
+                        trainer=self.name,
+                        environment=env.name,
+                        final_loss=float(
+                            base.model.loss(theta, env.features, env.labels)
+                        ),
+                    )
         return FineTunedTrainResult(
             trainer_name=self.name,
             theta=base.theta,

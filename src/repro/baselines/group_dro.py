@@ -93,6 +93,17 @@ class GroupDROTrainer(Trainer):
                 theta = self._optimizer.step(theta, grad)
             timer.end_epoch()
             objective = float(q @ losses)
-            self._record(history, objective, env_losses, epoch, theta, callback)
+            extra = {}
+            if self._tracer.enabled:
+                extra = {
+                    "grad_norm": float(np.linalg.norm(grad)),
+                    "group_weights": {
+                        env.name: float(q[e])
+                        for e, env in enumerate(environments)
+                    },
+                    "worst_group_loss": float(losses.max()),
+                }
+            self._record(history, objective, env_losses, epoch, theta,
+                         callback, **extra)
         self.group_weights_ = q
         return theta

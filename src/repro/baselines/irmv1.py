@@ -105,6 +105,7 @@ class IRMv1Trainer(Trainer):
             timer.begin_epoch()
             epoch_envs = self._epoch_environments(environments)
             objective = 0.0
+            penalty = 0.0
             grad = np.zeros_like(theta)
             env_losses: dict[str, float] = {}
             with timer.step("inner_optimization"):
@@ -116,10 +117,21 @@ class IRMv1Trainer(Trainer):
                         model, theta, env
                     )
                     env_losses[env.name] = loss_e
+                    penalty += cfg.penalty_weight * dummy**2
                     objective += loss_e + cfg.penalty_weight * dummy**2
                     grad += grad_e + cfg.penalty_weight * penalty_grad
             with timer.step("backward_propagation"):
                 theta = self._optimizer.step(theta, grad / len(environments))
             timer.end_epoch()
-            self._record(history, objective, env_losses, epoch, theta, callback)
+            extra = (
+                {
+                    "penalty": float(penalty),
+                    "grad_norm": float(
+                        np.linalg.norm(grad / len(environments))
+                    ),
+                }
+                if self._tracer.enabled else {}
+            )
+            self._record(history, objective, env_losses, epoch, theta,
+                         callback, **extra)
         return theta

@@ -92,7 +92,12 @@ class UpSamplingTrainer(Trainer):
             with timer.step("backward_propagation"):
                 theta = self._optimizer.step(theta, grad)
             timer.end_epoch()
-            self._record(history, objective, env_losses, epoch, theta, callback)
+            extra = (
+                {"grad_norm": float(np.linalg.norm(grad))}
+                if self._tracer.enabled else {}
+            )
+            self._record(history, objective, env_losses, epoch, theta,
+                         callback, **extra)
         return theta
 
     def _weighted_loss_and_gradient(

@@ -93,5 +93,12 @@ class VRExTrainer(Trainer):
                 theta = self._optimizer.step(theta, grad)
             timer.end_epoch()
             objective = float(mean_loss + cfg.variance_weight * losses.var())
-            self._record(history, objective, env_losses, epoch, theta, callback)
+            extra = {}
+            if self._tracer.enabled:
+                extra = {
+                    "penalty": float(cfg.variance_weight * losses.var()),
+                    "grad_norm": float(np.linalg.norm(grad)),
+                }
+            self._record(history, objective, env_losses, epoch, theta,
+                         callback, **extra)
         return theta

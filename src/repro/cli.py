@@ -13,10 +13,15 @@ Usage (after ``pip install -e .``)::
     python -m repro bench --out BENCH_gbdt.json
     python -m repro serve-bench --out BENCH_serving.json
     python -m repro verify --out VERIFY_invariance.json
+    python -m repro train --method LightMIRM --data platform.npz --trace run.jsonl
+    python -m repro obs report run.jsonl
     python -m repro list
 
 ``experiment`` runs one of the paper's tables/figures at a configurable
-scale and prints the same rows/series the paper reports.
+scale and prints the same rows/series the paper reports.  ``--trace PATH``
+(on ``train``, ``verify``, ``serve-bench`` and ``experiment``) records a
+structured JSONL run log; ``repro obs report|summary|diff`` renders it
+offline (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ from repro.data.generator import GeneratorConfig, LoanDataGenerator
 from repro.data.splits import temporal_split
 from repro.experiments.runner import ExperimentContext, ExperimentSettings
 from repro.metrics.fairness import evaluate_environments
+from repro.obs.runlog import run_manifest_fields
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pipeline.pipeline import LoanDefaultPipeline
 from repro.serve.registry import ModelRegistry
 from repro.train.registry import make_trainer, trainer_names
@@ -77,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="promote the saved version into a slot "
                             "(with --registry)")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--epochs", type=int,
+                       help="override the trainer's epoch count")
+    train.add_argument("--trace", metavar="PATH",
+                       help="write a structured JSONL run log")
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
     evaluate.add_argument("--model", required=True, help="model JSON path")
@@ -115,6 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--data-seed", type=int, default=7)
     experiment.add_argument("--trainer-seeds", type=int, nargs="+",
                             default=[0, 1, 2])
+    experiment.add_argument("--trace", metavar="PATH",
+                            help="write a structured JSONL run log")
 
     bench = sub.add_parser(
         "bench", help="run the tracked GBDT perf microbenchmarks"
@@ -144,6 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
                                   "config")
     serve_bench.add_argument("--only", nargs="+", metavar="NAME",
                              help="run a subset of serving benchmarks")
+    serve_bench.add_argument("--trace", metavar="PATH",
+                             help="write a structured JSONL run log")
 
     verify = sub.add_parser(
         "verify", help="run the invariance scorecard on the SEM bed"
@@ -159,9 +174,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override rows per training environment")
     verify.add_argument("--epochs", type=int,
                         help="override trainer epochs")
+    verify.add_argument("--trace", metavar="PATH",
+                        help="write a structured JSONL run log")
+
+    obs = sub.add_parser(
+        "obs", help="render a structured run log (report/summary/diff)"
+    )
+    obs.add_argument("action", choices=("report", "summary", "diff"))
+    obs.add_argument("paths", nargs="+", metavar="RUNLOG",
+                     help="run log path (diff takes exactly two)")
+    obs.add_argument("--max-curve-rows", type=int, default=20,
+                     help="rows per convergence-curve table in `report`")
 
     sub.add_parser("list", help="list trainers and experiments")
     return parser
+
+
+def _make_tracer(args: argparse.Namespace, command: str, **fields) -> Tracer:
+    """Tracer for a CLI run: opens ``--trace`` and writes the manifest."""
+    if getattr(args, "trace", None) is None:
+        return NULL_TRACER
+    tracer = Tracer(path=args.trace)
+    tracer.write_manifest(**run_manifest_fields(command, **fields))
+    return tracer
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -179,8 +214,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     dataset = LoanDataset.load(args.data)
     split = temporal_split(dataset)
-    pipeline = LoanDefaultPipeline(make_trainer(args.method, seed=args.seed))
-    pipeline.fit(split.train)
+    overrides = {} if args.epochs is None else {"n_epochs": args.epochs}
+    trainer = make_trainer(args.method, seed=args.seed, **overrides)
+    tracer = _make_tracer(
+        args, "train",
+        config={"method": args.method, **overrides},
+        seed=args.seed,
+        dataset=split.train,
+        method=args.method,
+        data=args.data,
+    )
+    pipeline = LoanDefaultPipeline(trainer)
+    pipeline.fit(split.train, tracer=tracer)
+    tracer.write_metrics()
+    tracer.close()
+    if args.trace:
+        print(f"wrote run log to {args.trace}")
     report = pipeline.evaluate(split.test)
     summary = report.summary()
     print(
@@ -230,15 +279,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     run = getattr(module, run_name)
     formatter = getattr(module, format_name)
     split = "iid" if args.id == "table6" else "temporal"
+    tracer = _make_tracer(
+        args, "experiment",
+        config={"id": args.id, "n_samples": args.n_samples, "split": split},
+        seed=args.data_seed,
+    )
     context = ExperimentContext(
         ExperimentSettings(
             n_samples=args.n_samples,
             data_seed=args.data_seed,
             trainer_seeds=tuple(args.trainer_seeds),
             split=split,
-        )
+        ),
+        tracer=tracer,
     )
     result = run(context.dataset if input_kind == "dataset" else context)
+    tracer.close()
+    if getattr(args, "trace", None):
+        print(f"wrote run log to {args.trace}")
     print(formatter(result))
     return 0
 
@@ -349,7 +407,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     config = (ServingBenchConfig.smoke() if args.quick
               else ServingBenchConfig())
-    results = run_serving_suite(config, only=args.only)
+    tracer = _make_tracer(
+        args, "serve-bench",
+        config={"quick": bool(args.quick)},
+        seed=config.seed,
+    )
+    results = run_serving_suite(config, only=args.only, tracer=tracer)
+    tracer.close()
+    if args.trace:
+        print(f"wrote run log to {args.trace}")
     print(summarize_serving(results))
     write_serving_bench_json(args.out, results, config)
     print(f"wrote {args.out}")
@@ -373,11 +439,42 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         )
     if args.epochs is not None:
         config = dataclasses.replace(config, n_epochs=args.epochs)
-    payload = run_verification(config)
+    tracer = _make_tracer(
+        args, "verify",
+        config={"smoke": bool(args.smoke), "n_epochs": config.n_epochs},
+        seed=args.seed,
+    )
+    payload = run_verification(config, tracer=tracer)
+    tracer.close()
+    if args.trace:
+        print(f"wrote run log to {args.trace}")
     print(summarize_verification(payload))
     write_verify_json(args.out, payload)
     print(f"wrote {args.out}")
     return 0 if payload["all_passed"] else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import format_diff, format_report, format_summary, load_run
+
+    if args.action == "diff":
+        if len(args.paths) != 2:
+            print("obs diff takes exactly two run logs", file=sys.stderr)
+            return 2
+        run_a, run_b = (load_run(p) for p in args.paths)
+        print(format_diff(run_a, run_b,
+                          label_a=args.paths[0], label_b=args.paths[1]))
+        return 0
+    if len(args.paths) != 1:
+        print(f"obs {args.action} takes exactly one run log",
+              file=sys.stderr)
+        return 2
+    run = load_run(args.paths[0])
+    if args.action == "report":
+        print(format_report(run, max_curve_rows=args.max_curve_rows))
+    else:
+        print(format_summary(run))
+    return 0
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -406,6 +503,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
     "verify": _cmd_verify,
+    "obs": _cmd_obs,
     "list": _cmd_list,
 }
 

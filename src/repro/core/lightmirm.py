@@ -60,6 +60,7 @@ class LightMIRMTrainer(Trainer):
         ]
         self.queues_ = queues
 
+        trace = self._tracer.enabled
         for epoch in range(cfg.n_epochs):
             timer.begin_epoch()
             with timer.step("loading_data"):
@@ -72,6 +73,7 @@ class LightMIRMTrainer(Trainer):
             meta_losses = np.zeros(n_envs)
             sampled_grads_at_adapted: list[np.ndarray] = []
             adapted_unused: list[np.ndarray] = []
+            sampled_names: list[str] = []
 
             for m in env_order:
                 env = epoch_envs[m]
@@ -92,6 +94,8 @@ class LightMIRMTrainer(Trainer):
                     queues[m].push(loss_s)
                     meta_losses[m] = queues[m].decayed_sum()
                     sampled_grads_at_adapted.append(grad_s)
+                if trace:
+                    sampled_names.append(environments[s_m].name)
 
             with timer.step("backward_propagation"):
                 sigma, weights = sigma_and_weights(
@@ -114,7 +118,26 @@ class LightMIRMTrainer(Trainer):
             timer.end_epoch()
 
             objective = float(meta_losses.sum() + cfg.lambda_penalty * sigma)
-            self._record(history, objective, env_losses, epoch, theta, callback)
+            extra = {}
+            if trace:
+                extra = {
+                    "penalty": float(cfg.lambda_penalty * sigma),
+                    "meta_loss_total": float(meta_losses.sum()),
+                    "meta_losses": {
+                        environments[m].name: float(meta_losses[m])
+                        for m in env_order
+                    },
+                    "sampled_envs": sampled_names,
+                    "mrq_occupancy": float(
+                        sum(q.occupancy for q in queues) / n_envs
+                    ),
+                    "mrq_decay_mass": float(
+                        sum(q.decay_mass() for q in queues) / n_envs
+                    ),
+                    "grad_norm": float(np.linalg.norm(outer_grad)),
+                }
+            self._record(history, objective, env_losses, epoch, theta,
+                         callback, **extra)
         return theta
 
     @staticmethod

@@ -115,7 +115,19 @@ class MetaIRMTrainer(Trainer):
             timer.end_epoch()
 
             objective = float(meta_losses.sum() + cfg.lambda_penalty * sigma)
-            self._record(history, objective, env_losses, epoch, theta, callback)
+            extra = {}
+            if self._tracer.enabled:
+                extra = {
+                    "penalty": float(cfg.lambda_penalty * sigma),
+                    "meta_loss_total": float(meta_losses.sum()),
+                    "meta_losses": {
+                        environments[m].name: float(meta_losses[m])
+                        for m in env_order
+                    },
+                    "grad_norm": float(np.linalg.norm(outer_grad)),
+                }
+            self._record(history, objective, env_losses, epoch, theta,
+                         callback, **extra)
         return theta
 
     def _meta_environments(

@@ -59,6 +59,30 @@ class MetaLossReplayQueue:
         """True once every slot holds a real (pushed) loss."""
         return self._n_pushed >= self.length
 
+    @property
+    def occupancy(self) -> float:
+        """Fraction of slots holding real (pushed) losses, in [0, 1].
+
+        Below 1.0 the queue is still warming up and the decayed sum
+        under-counts the meta-loss — the observability layer charts this
+        per epoch so warm-up effects are visible in run logs.
+        """
+        return min(self._n_pushed, self.length) / self.length
+
+    def decay_mass(self) -> float:
+        """Total Eq. 9 weight carried by the occupied (pushed) slots.
+
+        The newest entry weighs ``γ⁰ = 1`` and each older real entry one
+        power of ``γ`` more, so a warm queue reports the full geometric
+        mass ``Σ_{i=0}^{L-1} γ^i`` and an empty one reports 0.
+        """
+        occupied = min(self._n_pushed, self.length)
+        if occupied == 0:
+            return 0.0
+        return float(
+            np.sum(self.gamma ** np.arange(occupied, dtype=np.float64))
+        )
+
     def push(self, loss: float) -> None:
         """Shift the queue forward and place ``loss`` at the back (Eq. 8)."""
         if not np.isfinite(loss):

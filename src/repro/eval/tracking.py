@@ -9,6 +9,7 @@ import numpy as np
 from repro.data.dataset import EnvironmentData
 from repro.metrics.fairness import evaluate_environments, scorable_environments
 from repro.models.logistic import LogisticModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["KSTrackingCallback"]
 
@@ -26,6 +27,8 @@ class KSTrackingCallback:
         statistic: "mean" for mKS (Fig 6/8 plots the test KS evolution) or
             "worst" for wKS.
         every: Compute only every N epochs to bound tracking overhead.
+        tracer: Optional run tracer; each tracked epoch additionally emits
+            a ``ks_tracking`` event into the run log.
     """
 
     def __init__(
@@ -34,6 +37,7 @@ class KSTrackingCallback:
         test_environments: Sequence[EnvironmentData],
         statistic: str = "mean",
         every: int = 1,
+        tracer: Tracer | None = None,
     ):
         if statistic not in ("mean", "worst"):
             raise ValueError("statistic must be 'mean' or 'worst'")
@@ -47,6 +51,7 @@ class KSTrackingCallback:
         self.environments = [e for e in test_environments if e.name in usable]
         if not self.environments:
             raise ValueError("no test environment has both classes present")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: (epoch, ks) pairs accumulated during training.
         self.curve: list[tuple[int, float]] = []
 
@@ -61,6 +66,9 @@ class KSTrackingCallback:
         report = evaluate_environments(labels_by_env, scores_by_env)
         value = report.mean_ks if self.statistic == "mean" else report.worst_ks
         self.curve.append((epoch, value))
+        self.tracer.event(
+            "ks_tracking", epoch=epoch, statistic=self.statistic, ks=value
+        )
         return value
 
     def best(self) -> tuple[int, float]:

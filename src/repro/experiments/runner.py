@@ -19,6 +19,7 @@ from repro.data.dataset import EnvironmentData, LoanDataset
 from repro.data.generator import GeneratorConfig, LoanDataGenerator
 from repro.data.splits import TrainTestSplit, iid_split, temporal_split
 from repro.metrics.fairness import FairnessReport, evaluate_environments
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pipeline.extractor import GBDTFeatureExtractor
 from repro.timing import StepTimer
 from repro.train.base import EpochCallback, Trainer, TrainResult
@@ -82,10 +83,22 @@ class MethodScores:
 
 
 class ExperimentContext:
-    """Caches data generation, splitting and GBDT encoding for experiments."""
+    """Caches data generation, splitting and GBDT encoding for experiments.
 
-    def __init__(self, settings: ExperimentSettings | None = None):
+    Args:
+        settings: Experiment knobs (defaults reproduce the paper setup).
+        tracer: Optional run tracer; every :meth:`fit_trainer` call is
+            traced, so an experiment sweep leaves one log with a ``fit``
+            span per trained head.
+    """
+
+    def __init__(
+        self,
+        settings: ExperimentSettings | None = None,
+        tracer: Tracer | None = None,
+    ):
         self.settings = settings or ExperimentSettings()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @cached_property
     def generator_config(self) -> GeneratorConfig:
@@ -128,7 +141,7 @@ class ExperimentContext:
     ) -> TrainResult:
         """Train one LR head on the encoded training environments."""
         return trainer.fit(self.train_environments, callback=callback,
-                           timer=timer)
+                           timer=timer, tracer=self.tracer)
 
     def evaluate_result(
         self,

@@ -15,6 +15,7 @@ reuse it across scores, leaf indices, and staged probabilities.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -24,6 +25,7 @@ from repro.gbdt.binning import QuantileBinner
 from repro.gbdt.histogram import HistogramBuilder
 from repro.gbdt.tree import DecisionTree, TreeParams
 from repro.numerics import binary_cross_entropy, sigmoid
+from repro.obs.profile import active as _active_profiler
 
 __all__ = ["GBDTParams", "GBDTClassifier"]
 
@@ -157,44 +159,52 @@ class GBDTClassifier:
         rounds_since_best = 0
 
         for _ in range(params.n_trees):
-            prob = sigmoid(raw)
-            gradients = prob - labels
-            hessians = np.maximum(prob * (1.0 - prob), 1e-12)
+            profiler = _active_profiler()
+            round_section = (
+                profiler.section("boosting_round", rows=n)
+                if profiler is not None else nullcontext()
+            )
+            with round_section:
+                prob = sigmoid(raw)
+                gradients = prob - labels
+                hessians = np.maximum(prob * (1.0 - prob), 1e-12)
 
-            row_subset = None
-            if params.subsample < 1.0:
-                size = max(1, int(round(params.subsample * n)))
-                row_subset = rng.choice(n, size=size, replace=False)
-                # Sorted rows make the histogram gathers sequential in
-                # memory; set-based statistics are order-invariant, so
-                # fitted trees are unchanged.
-                row_subset.sort()
-            col_subset = None
-            if params.colsample < 1.0:
-                size = max(1, int(round(params.colsample * d)))
-                col_subset = np.sort(rng.choice(d, size=size, replace=False))
+                row_subset = None
+                if params.subsample < 1.0:
+                    size = max(1, int(round(params.subsample * n)))
+                    row_subset = rng.choice(n, size=size, replace=False)
+                    # Sorted rows make the histogram gathers sequential in
+                    # memory; set-based statistics are order-invariant, so
+                    # fitted trees are unchanged.
+                    row_subset.sort()
+                col_subset = None
+                if params.colsample < 1.0:
+                    size = max(1, int(round(params.colsample * d)))
+                    col_subset = np.sort(
+                        rng.choice(d, size=size, replace=False)
+                    )
 
-            tree = DecisionTree(params.tree)
-            tree.fit(
-                binned,
-                gradients,
-                hessians,
-                max_bins=params.max_bins,
-                sample_indices=row_subset,
-                column_subset=col_subset,
-                builder=builder,
-            )
-            self.trees_.append(tree)
-            self.tree_feature_subsets_.append(
-                col_subset if col_subset is not None else np.arange(d)
-            )
+                tree = DecisionTree(params.tree)
+                tree.fit(
+                    binned,
+                    gradients,
+                    hessians,
+                    max_bins=params.max_bins,
+                    sample_indices=row_subset,
+                    column_subset=col_subset,
+                    builder=builder,
+                )
+                self.trees_.append(tree)
+                self.tree_feature_subsets_.append(
+                    col_subset if col_subset is not None else np.arange(d)
+                )
 
-            raw += params.learning_rate * tree.predict_value(
-                binned, columns=col_subset
-            )
-            self.train_losses_.append(
-                binary_cross_entropy(labels, sigmoid(raw))
-            )
+                raw += params.learning_rate * tree.predict_value(
+                    binned, columns=col_subset
+                )
+                self.train_losses_.append(
+                    binary_cross_entropy(labels, sigmoid(raw))
+                )
 
             if use_valid:
                 valid_raw += params.learning_rate * tree.predict_value(

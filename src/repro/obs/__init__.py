@@ -1,0 +1,63 @@
+"""Unified observability layer: tracing, metrics, kernel profiling.
+
+Four pieces, all zero-dependency (stdlib + numpy) and disabled-by-default:
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` producing hierarchical spans
+  and point events; the disabled tracer is a null object threaded through
+  every training loop at near-zero cost.
+* :mod:`repro.obs.runlog` — the documented JSONL schema, writer/reader
+  and run manifest (config, seed, git describe, dataset fingerprint).
+* :mod:`repro.obs.metrics` — counters/gauges/histograms shared with the
+  serving telemetry.
+* :mod:`repro.obs.profile` — aggregate profiling hooks inside the GBDT
+  hot paths (histogram build, leaf encode, boosting rounds), with opt-in
+  tracemalloc allocation tracking.
+
+``repro obs report|summary|diff`` renders a run log offline — per-step
+Table III timings and convergence curves without re-running training.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import KernelProfiler, profiled
+from repro.obs.report import (
+    format_diff,
+    format_report,
+    format_summary,
+    load_run,
+    timing_tables,
+)
+from repro.obs.runlog import (
+    SCHEMA_VERSION,
+    RunLog,
+    RunLogReader,
+    RunLogWriter,
+    SchemaError,
+    dataset_fingerprint,
+    run_manifest_fields,
+    validate_record,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "KernelProfiler",
+    "profiled",
+    "format_diff",
+    "format_report",
+    "format_summary",
+    "load_run",
+    "timing_tables",
+    "SCHEMA_VERSION",
+    "RunLog",
+    "RunLogReader",
+    "RunLogWriter",
+    "SchemaError",
+    "dataset_fingerprint",
+    "run_manifest_fields",
+    "validate_record",
+    "NULL_TRACER",
+    "Tracer",
+]

@@ -1,0 +1,347 @@
+"""Rendering run logs: step-timing tables, convergence curves, run diffs.
+
+The read side of the observability layer.  Everything here works from a
+validated :class:`~repro.obs.runlog.RunLog` alone — no re-training, no
+live objects — which is the point: a traced ``repro train`` leaves behind
+enough to reconstruct the paper's Table III per-step timings and the
+Fig 8-style convergence curves offline (``repro obs report run.jsonl``).
+
+When one log contains several fits (``repro verify --trace``, experiment
+sweeps), step spans are attributed to their owning trainer by walking the
+span parent chain to the enclosing ``fit`` span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.reports import format_table
+from repro.obs.runlog import RunLog, RunLogReader
+from repro.timing import STEP_NAMES
+
+__all__ = [
+    "TimingTable",
+    "load_run",
+    "timing_tables",
+    "format_report",
+    "format_summary",
+    "format_diff",
+]
+
+#: Label used when a record cannot be attributed to a specific fit.
+_UNATTRIBUTED = "(run)"
+
+
+def load_run(path) -> RunLog:
+    """Read + validate a run log (thin alias of :meth:`RunLogReader.read`)."""
+    return RunLogReader.read(path)
+
+
+@dataclass(frozen=True)
+class TimingTable:
+    """Per-step timing of one trainer's fit — one Table III column.
+
+    Attributes:
+        label: Trainer name (or :data:`_UNATTRIBUTED`).
+        n_epochs: Epoch events attributed to the fit.
+        mean_step_seconds: Mean per-epoch seconds per canonical step.
+        mean_epoch_seconds: Mean whole-epoch wall time.
+    """
+
+    label: str
+    n_epochs: int
+    mean_step_seconds: dict[str, float]
+    mean_epoch_seconds: float
+
+
+def _span_index(run: RunLog) -> dict[int, dict]:
+    return {record["id"]: record for record in run.spans()}
+
+
+def _owning_fit_label(span_id, index: dict[int, dict]) -> str:
+    """Trainer of the nearest enclosing ``fit`` span, else unattributed."""
+    seen = set()
+    while span_id is not None and span_id not in seen:
+        seen.add(span_id)
+        record = index.get(span_id)
+        if record is None:
+            break
+        if record["name"] == "fit":
+            return str(record["fields"].get("trainer", _UNATTRIBUTED))
+        span_id = record["parent"]
+    return _UNATTRIBUTED
+
+
+def timing_tables(run: RunLog) -> list[TimingTable]:
+    """Reconstruct per-trainer Table III step timings from the log.
+
+    Per-step means divide the accumulated ``step:<name>`` span durations
+    by the number of ``epoch`` events of the same fit; whole-epoch times
+    average the ``epoch_time`` events.  Fits appear in first-seen order.
+    """
+    index = _span_index(run)
+
+    step_totals: dict[str, dict[str, float]] = {}
+    order: list[str] = []
+
+    def bucket(label: str) -> dict[str, float]:
+        if label not in step_totals:
+            step_totals[label] = {}
+            order.append(label)
+        return step_totals[label]
+
+    for span in run.spans():
+        if not span["name"].startswith("step:"):
+            continue
+        label = _owning_fit_label(span["parent"], index)
+        totals = bucket(label)
+        step = span["name"][len("step:"):]
+        totals[step] = totals.get(step, 0.0) + span["dur_s"]
+
+    epochs: dict[str, int] = {}
+    for event in run.events("epoch"):
+        label = str(event["fields"].get("trainer", _UNATTRIBUTED))
+        bucket(label)
+        epochs[label] = epochs.get(label, 0) + 1
+
+    epoch_times: dict[str, list[float]] = {}
+    for event in run.events("epoch_time"):
+        label = _owning_fit_label(event["span"], index)
+        epoch_times.setdefault(label, []).append(
+            float(event["fields"]["seconds"])
+        )
+
+    tables = []
+    for label in order:
+        n_epochs = epochs.get(label, 0)
+        totals = step_totals[label]
+        mean_steps = {
+            step: totals.get(step, 0.0) / (n_epochs or 1)
+            for step in STEP_NAMES
+        }
+        times = epoch_times.get(label, [])
+        tables.append(
+            TimingTable(
+                label=label,
+                n_epochs=n_epochs,
+                mean_step_seconds=mean_steps,
+                mean_epoch_seconds=(sum(times) / len(times)) if times else 0.0,
+            )
+        )
+    return tables
+
+
+def _format_timing(tables: list[TimingTable]) -> str:
+    rows = []
+    for step in STEP_NAMES:
+        row: dict[str, object] = {"step": step}
+        for table in tables:
+            row[table.label] = table.mean_step_seconds.get(step, 0.0)
+        rows.append(row)
+    epoch_row: dict[str, object] = {"step": "the whole epoch"}
+    for table in tables:
+        epoch_row[table.label] = table.mean_epoch_seconds
+    rows.append(epoch_row)
+    return format_table(
+        rows,
+        columns=("step",) + tuple(t.label for t in tables),
+        title="Per-epoch time cost of operation steps (seconds, Table III "
+              "format)",
+        float_format="{:.4f}",
+    )
+
+
+def _downsample(points: list[tuple[int, float]],
+                max_rows: int) -> list[tuple[int, float]]:
+    """Evenly thin a curve to at most ``max_rows`` points (endpoints kept)."""
+    if max_rows <= 0 or len(points) <= max_rows:
+        return points
+    stride = (len(points) - 1) / (max_rows - 1)
+    picked = {round(i * stride) for i in range(max_rows)}
+    return [p for i, p in enumerate(points) if i in picked]
+
+
+#: Epoch-event fields rendered as convergence curves, in column order.
+_CURVE_FIELDS = ("objective", "penalty", "meta_loss_total", "grad_norm",
+                 "tracked")
+
+
+def _trainer_curves(run: RunLog, trainer: str) -> dict[str, dict[int, float]]:
+    curves: dict[str, dict[int, float]] = {}
+    for event in run.events("epoch"):
+        fields = event["fields"]
+        if str(fields.get("trainer", _UNATTRIBUTED)) != trainer:
+            continue
+        if "epoch" not in fields:
+            continue
+        epoch = int(fields["epoch"])
+        for name in _CURVE_FIELDS:
+            if name in fields and isinstance(fields[name], (int, float)):
+                curves.setdefault(name, {})[epoch] = float(fields[name])
+    return curves
+
+
+def _format_curves(run: RunLog, trainer: str, max_rows: int) -> str | None:
+    curves = _trainer_curves(run, trainer)
+    if not curves:
+        return None
+    columns = [name for name in _CURVE_FIELDS if name in curves]
+    epochs = sorted({e for curve in curves.values() for e in curve})
+    points = _downsample([(e, 0.0) for e in epochs], max_rows)
+    rows = []
+    for epoch, _ in points:
+        row: dict[str, object] = {"epoch": epoch}
+        for name in columns:
+            value = curves[name].get(epoch)
+            row[name] = value if value is not None else float("nan")
+        rows.append(row)
+    return format_table(
+        rows,
+        columns=("epoch",) + tuple(columns),
+        title=f"Convergence of {trainer} "
+              f"({len(epochs)} epochs, {len(rows)} shown)",
+        float_format="{:.6f}",
+    )
+
+
+def _manifest_lines(run: RunLog) -> list[str]:
+    manifest = run.manifest
+    if manifest is None:
+        return ["(no manifest record)"]
+    lines = [f"run {manifest['run_id']} (schema v{manifest['schema']})"]
+    fields = manifest["fields"]
+    for key in ("command", "method", "seed", "git", "data"):
+        if key in fields and fields[key] is not None:
+            lines.append(f"  {key:8s} {fields[key]}")
+    dataset = fields.get("dataset")
+    if isinstance(dataset, dict):
+        lines.append(
+            f"  dataset  {dataset.get('n_samples')} rows x "
+            f"{dataset.get('n_features')} features "
+            f"(sha256 {dataset.get('sha256')})"
+        )
+    return lines
+
+
+def format_report(run: RunLog, max_curve_rows: int = 20) -> str:
+    """Full rendering: manifest, Table III timings, convergence curves."""
+    sections = ["\n".join(_manifest_lines(run))]
+    tables = timing_tables(run)
+    if tables:
+        sections.append(_format_timing(tables))
+        for table in tables:
+            curves = _format_curves(run, table.label, max_curve_rows)
+            if curves is not None:
+                sections.append(curves)
+    else:
+        sections.append("(no training events in this log)")
+    profiles = run.events("gbdt_profile")
+    if profiles:
+        lines = ["GBDT kernel profile:"]
+        for section, stats in sorted(
+            profiles[-1]["fields"].get("sections", {}).items()
+        ):
+            lines.append(
+                f"  {section:18s} calls={stats['calls']:<7d} "
+                f"{stats['seconds']:.4f}s  "
+                f"{stats['rows_per_s']:,.0f} rows/s"
+            )
+        peak = profiles[-1]["fields"].get("alloc_peak_bytes")
+        if peak is not None:
+            lines.append(f"  alloc high-water  {peak / 1e6:.1f} MB")
+        sections.append("\n".join(lines))
+    snapshots = run.metrics_snapshots()
+    if snapshots:
+        counters = snapshots[-1]["fields"].get("counters", {})
+        if counters:
+            rendered = "  ".join(f"{k}={v}" for k, v in counters.items())
+            sections.append(f"counters: {rendered}")
+    return "\n\n".join(sections)
+
+
+def format_summary(run: RunLog) -> str:
+    """Headline numbers of one run, a few lines per fit."""
+    lines = _manifest_lines(run)
+    lines.append(f"records  {len(run)} "
+                 f"({len(run.spans())} spans, {len(run.events())} events)")
+    for table in timing_tables(run):
+        dominant = max(
+            table.mean_step_seconds,
+            key=lambda s: table.mean_step_seconds[s],
+            default=None,
+        )
+        objective = [
+            float(e["fields"]["objective"])
+            for e in run.events("epoch")
+            if str(e["fields"].get("trainer")) == table.label
+            and "objective" in e["fields"]
+        ]
+        parts = [f"{table.label}: {table.n_epochs} epochs"]
+        if table.mean_epoch_seconds:
+            parts.append(f"{table.mean_epoch_seconds * 1e3:.2f} ms/epoch")
+        if dominant and table.mean_step_seconds[dominant] > 0:
+            parts.append(f"dominant step {dominant}")
+        if objective:
+            parts.append(
+                f"objective {objective[0]:.4f} -> {objective[-1]:.4f}"
+            )
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def format_diff(run_a: RunLog, run_b: RunLog,
+                label_a: str = "A", label_b: str = "B") -> str:
+    """Compare two runs: per-step timing ratios and final objectives.
+
+    Fits are matched by trainer label; steps present in only one run show
+    the other side as zero.
+    """
+    tables_a = {t.label: t for t in timing_tables(run_a)}
+    tables_b = {t.label: t for t in timing_tables(run_b)}
+    shared = [label for label in tables_a if label in tables_b]
+    only_a = [label for label in tables_a if label not in tables_b]
+    only_b = [label for label in tables_b if label not in tables_a]
+
+    sections = []
+    for label in shared:
+        a, b = tables_a[label], tables_b[label]
+        rows = []
+        for step in STEP_NAMES + ("the whole epoch",):
+            if step == "the whole epoch":
+                va, vb = a.mean_epoch_seconds, b.mean_epoch_seconds
+            else:
+                va = a.mean_step_seconds.get(step, 0.0)
+                vb = b.mean_step_seconds.get(step, 0.0)
+            rows.append({
+                "step": step,
+                label_a: va,
+                label_b: vb,
+                "B/A": vb / va if va else float("inf") if vb else 1.0,
+            })
+        sections.append(format_table(
+            rows,
+            columns=("step", label_a, label_b, "B/A"),
+            title=f"{label}: per-epoch step seconds ({label_a} vs {label_b})",
+            float_format="{:.4f}",
+        ))
+
+        final = []
+        for side, run in ((label_a, run_a), (label_b, run_b)):
+            objective = [
+                float(e["fields"]["objective"])
+                for e in run.events("epoch")
+                if str(e["fields"].get("trainer")) == label
+                and "objective" in e["fields"]
+            ]
+            if objective:
+                final.append(f"{side} final objective {objective[-1]:.6f}")
+        if final:
+            sections.append("  ".join(final))
+
+    if only_a:
+        sections.append(f"only in {label_a}: {', '.join(only_a)}")
+    if only_b:
+        sections.append(f"only in {label_b}: {', '.join(only_b)}")
+    if not sections:
+        sections.append("(no fits found in either run)")
+    return "\n\n".join(sections)

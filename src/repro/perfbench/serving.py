@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.timing import measure
 
 __all__ = [
@@ -211,27 +212,38 @@ SERVING_BENCHMARKS = {
 
 
 def run_serving_suite(config: ServingBenchConfig | None = None,
-                      only: list[str] | None = None) -> dict:
+                      only: list[str] | None = None,
+                      tracer: Tracer | None = None) -> dict:
     """Run the serving benchmarks and return JSON-compatible results.
 
     Args:
         config: Sizes/repeats; defaults to the tracked configuration.
         only: Optional subset of :data:`SERVING_BENCHMARKS` keys.
+        tracer: Optional run tracer; each scenario runs inside a span and
+            its result lands in a ``serving_bench`` event.
 
     Returns:
         Mapping scenario id -> result entry.
     """
     config = config or ServingBenchConfig()
+    tracer = tracer if tracer is not None else NULL_TRACER
     names = list(SERVING_BENCHMARKS) if only is None else list(only)
     unknown = set(names) - set(SERVING_BENCHMARKS)
     if unknown:
         raise ValueError(f"unknown serving benchmarks: {sorted(unknown)}")
+    results: dict = {}
     with tempfile.TemporaryDirectory() as tmp:
-        registry, request_rows = _fixture(config, pathlib.Path(tmp) / "reg")
-        return {
-            name: SERVING_BENCHMARKS[name](config, registry, request_rows)
-            for name in names
-        }
+        with tracer.span("serving_fixture"):
+            registry, request_rows = _fixture(
+                config, pathlib.Path(tmp) / "reg"
+            )
+        for name in names:
+            with tracer.span(f"bench:{name}"):
+                results[name] = SERVING_BENCHMARKS[name](
+                    config, registry, request_rows
+                )
+            tracer.event("serving_bench", scenario=name, **results[name])
+    return results
 
 
 def write_serving_bench_json(

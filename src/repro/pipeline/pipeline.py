@@ -19,6 +19,8 @@ import numpy as np
 from repro.data.dataset import EnvironmentData, LoanDataset
 from repro.gbdt.boosting import GBDTParams
 from repro.metrics.fairness import FairnessReport, evaluate_environments
+from repro.obs.profile import profiled
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pipeline.extractor import GBDTFeatureExtractor
 from repro.timing import StepTimer
 from repro.train.base import EpochCallback, Trainer, TrainResult
@@ -62,6 +64,7 @@ class LoanDefaultPipeline:
         train: LoanDataset,
         callback: EpochCallback | None = None,
         timer: StepTimer | None = None,
+        tracer: Tracer | None = None,
     ) -> "LoanDefaultPipeline":
         """Fit the GBDT extractor (if needed), encode, train the LR head.
 
@@ -71,6 +74,10 @@ class LoanDefaultPipeline:
             callback: Per-epoch hook forwarded to the LR trainer.
             timer: Optional step timer; the one-off leaf encoding is charged
                 to the ``transforming_format`` step (Table III).
+            tracer: Optional run tracer.  The GBDT stage runs under kernel
+                profiling (histogram builds, boosting rounds, leaf encode)
+                and its aggregates land in a ``gbdt_profile`` event; the LR
+                stage is traced through the trainer.
 
         Returns:
             self.
@@ -86,13 +93,25 @@ class LoanDefaultPipeline:
                 "pipeline is already fitted; call reset() before fitting "
                 "again, or build a fresh pipeline"
             )
-        timer = timer or StepTimer(enabled=False)
-        if not self.extractor.is_fitted:
-            self.extractor.fit(train)
-        with timer.step("transforming_format"):
-            environments = self.extractor.encode_environments(train)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        timer = timer or StepTimer(enabled=tracer.enabled)
+        # Attach before the one-off encode so its transforming_format step
+        # is mirrored into the log (the trainer re-attaches harmlessly).
+        tracer.attach_timer(timer)
+        if tracer.enabled:
+            with tracer.span("gbdt_stage"), profiled() as profiler:
+                if not self.extractor.is_fitted:
+                    self.extractor.fit(train)
+                with timer.step("transforming_format"):
+                    environments = self.extractor.encode_environments(train)
+            tracer.event("gbdt_profile", **profiler.snapshot())
+        else:
+            if not self.extractor.is_fitted:
+                self.extractor.fit(train)
+            with timer.step("transforming_format"):
+                environments = self.extractor.encode_environments(train)
         self.result_ = self.trainer.fit(environments, callback=callback,
-                                        timer=timer)
+                                        timer=timer, tracer=tracer)
         return self
 
     def encode_environments(self, dataset: LoanDataset) -> list[EnvironmentData]:

@@ -6,13 +6,16 @@ effectiveness and the current drift level.  Everything here is cheap
 enough to update on every request and renders to one JSON-compatible
 ``snapshot()`` — the schema ``docs/serving.md`` documents and
 ``repro serve-score`` prints.
+
+The bucket machinery lives in :class:`repro.obs.metrics.Histogram` (the
+shared implementation behind the whole observability layer);
+:class:`LatencyHistogram` pins the latency bucket layout and keeps the
+``docs/serving.md`` snapshot schema byte-compatible.
 """
 
 from __future__ import annotations
 
-import bisect
-
-import numpy as np
+from repro.obs.metrics import Histogram
 
 __all__ = ["LatencyHistogram", "ServingTelemetry"]
 
@@ -22,8 +25,12 @@ DEFAULT_BUCKETS = (
 )
 
 
-class LatencyHistogram:
+class LatencyHistogram(Histogram):
     """Fixed-bucket latency histogram with exact count/sum and percentiles.
+
+    A :class:`~repro.obs.metrics.Histogram` specialised for latencies:
+    default log-spaced seconds buckets, negative observations rejected,
+    and the historical ``*_s``-suffixed snapshot keys preserved.
 
     Args:
         buckets: Increasing upper bounds in seconds; observations above the
@@ -31,57 +38,32 @@ class LatencyHistogram:
     """
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
-        bounds = tuple(float(b) for b in buckets)
-        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
-            raise ValueError("buckets must be non-empty and increasing")
-        self.bounds = bounds
-        self.counts = np.zeros(len(bounds) + 1, dtype=np.int64)
-        self.total_seconds = 0.0
-
-    @property
-    def count(self) -> int:
-        return int(self.counts.sum())
+        super().__init__(buckets)
 
     def observe(self, seconds: float) -> None:
         """Record one latency observation."""
         if seconds < 0:
             raise ValueError("latency cannot be negative")
-        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
-        self.total_seconds += seconds
+        super().observe(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        """Exact sum of all observations (alias of :attr:`total`)."""
+        return self.total
 
     @property
     def mean_seconds(self) -> float:
-        n = self.count
-        return self.total_seconds / n if n else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Upper bucket bound covering the q-th percentile (0 < q <= 100).
-
-        Bucketed percentiles are conservative: the true latency is at most
-        the returned bound (+Inf overflow reports the last finite bound).
-        """
-        if not 0 < q <= 100:
-            raise ValueError("q must be in (0, 100]")
-        n = self.count
-        if n == 0:
-            return 0.0
-        rank = int(np.ceil(q / 100.0 * n))
-        cumulative = np.cumsum(self.counts)
-        bucket = int(np.searchsorted(cumulative, rank))
-        return self.bounds[min(bucket, len(self.bounds) - 1)]
+        return self.mean
 
     def snapshot(self) -> dict:
-        """JSON-compatible histogram state."""
+        """JSON-compatible histogram state (docs/serving.md schema)."""
         return {
             "count": self.count,
             "mean_s": self.mean_seconds,
             "p50_s": self.percentile(50),
             "p95_s": self.percentile(95),
             "p99_s": self.percentile(99),
-            "buckets": {
-                f"le_{bound:g}": int(c)
-                for bound, c in zip(self.bounds, self.counts)
-            } | {"overflow": int(self.counts[-1])},
+            "buckets": self.bucket_counts(),
         }
 
 

@@ -50,12 +50,21 @@ class StepTimer:
 
     A disabled timer (``enabled=False``) keeps the same interface with
     near-zero overhead, so trainers always call it unconditionally.
+
+    The optional ``on_step``/``on_epoch`` hooks mirror measurements into
+    an external sink without the timer knowing about it — this is how a
+    :class:`~repro.obs.tracer.Tracer` turns timer steps into run-log
+    spans (``tracer.attach_timer(timer)``).
     """
 
     enabled: bool = True
     stats: dict[str, StepStats] = field(default_factory=dict)
     _epoch_start: float | None = None
     epoch_seconds: list[float] = field(default_factory=list)
+    #: Called with ``(step_name, elapsed_seconds)`` after every step.
+    on_step: Callable[[str, float], None] | None = None
+    #: Called with ``(elapsed_seconds)`` after every completed epoch.
+    on_epoch: Callable[[float], None] | None = None
 
     @contextmanager
     def step(self, name: str):
@@ -71,6 +80,8 @@ class StepTimer:
             entry = self.stats.setdefault(name, StepStats())
             entry.total_seconds += elapsed
             entry.count += 1
+            if self.on_step is not None:
+                self.on_step(name, elapsed)
 
     def begin_epoch(self) -> None:
         """Mark the start of an epoch (for whole-epoch timing)."""
@@ -80,13 +91,33 @@ class StepTimer:
     def end_epoch(self) -> None:
         """Mark the end of an epoch."""
         if self.enabled and self._epoch_start is not None:
-            self.epoch_seconds.append(time.perf_counter() - self._epoch_start)
+            elapsed = time.perf_counter() - self._epoch_start
+            self.epoch_seconds.append(elapsed)
             self._epoch_start = None
+            if self.on_epoch is not None:
+                self.on_epoch(elapsed)
+
+    @contextmanager
+    def epoch(self):
+        """Context-manager form of :meth:`begin_epoch`/:meth:`end_epoch`."""
+        self.begin_epoch()
+        try:
+            yield
+        finally:
+            self.end_epoch()
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of completed (begin/end-bracketed) epochs."""
+        return len(self.epoch_seconds)
 
     @property
     def mean_epoch_seconds(self) -> float:
         if not self.epoch_seconds:
-            return 0.0
+            # Epoch bookkeeping was never entered (a trainer timed steps
+            # but no epochs): estimate one epoch as the sum of per-step
+            # means instead of silently reporting zero.
+            return sum(s.mean_seconds for s in self.stats.values())
         return sum(self.epoch_seconds) / len(self.epoch_seconds)
 
     def mean_step_seconds(self, name: str) -> float:
@@ -111,6 +142,29 @@ class StepTimer:
     def as_table_row(self) -> dict[str, float]:
         """Mean per-step seconds keyed by the canonical Table III names."""
         return {name: self.mean_step_seconds(name) for name in STEP_NAMES}
+
+    def snapshot(self) -> dict:
+        """JSON-compatible timer state, emitted even without epochs.
+
+        ``epochs.estimated`` flags the no-epoch fallback of
+        :attr:`mean_epoch_seconds` so downstream consumers can tell a
+        measured whole-epoch time from a per-step reconstruction.
+        """
+        return {
+            "steps": {
+                name: {
+                    "total_seconds": entry.total_seconds,
+                    "count": entry.count,
+                    "mean_seconds": entry.mean_seconds,
+                }
+                for name, entry in self.stats.items()
+            },
+            "epochs": {
+                "count": self.n_epochs,
+                "mean_seconds": self.mean_epoch_seconds,
+                "estimated": not self.epoch_seconds and bool(self.stats),
+            },
+        }
 
 
 @dataclass(frozen=True)

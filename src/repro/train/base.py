@@ -19,6 +19,7 @@ from scipy import sparse
 
 from repro.data.dataset import EnvironmentData
 from repro.models.logistic import LogisticModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.timing import StepTimer
 
 __all__ = [
@@ -170,12 +171,14 @@ class Trainer(abc.ABC):
 
     def __init__(self, config: BaseTrainConfig):
         self.config = config
+        self._tracer: Tracer = NULL_TRACER
 
     def fit(
         self,
         environments: Sequence[EnvironmentData],
         callback: EpochCallback | None = None,
         timer: StepTimer | None = None,
+        tracer: Tracer | None = None,
     ) -> TrainResult:
         """Train on the given environments.
 
@@ -183,7 +186,12 @@ class Trainer(abc.ABC):
             environments: Non-empty list of per-province data slices; all
                 must share the feature dimension.
             callback: Optional per-epoch hook (e.g. test-KS tracking).
-            timer: Optional step timer; a disabled one is used when omitted.
+            timer: Optional step timer; when omitted, one is enabled only
+                if a live tracer is attached (so tracing alone yields the
+                Table III step spans).
+            tracer: Optional run tracer; the whole fit becomes a ``fit``
+                span, every epoch an ``epoch`` event, and the timer's
+                steps ``step:<name>`` spans.  Disabled by default.
 
         Returns:
             A :class:`TrainResult` with final parameters and history.
@@ -201,7 +209,9 @@ class Trainer(abc.ABC):
         model = LogisticModel(n_features, l2=self.config.l2)
         theta = model.init_params(seed=self.config.seed,
                                   scale=self.config.init_scale)
-        timer = timer or StepTimer(enabled=False)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        timer = timer or StepTimer(enabled=self._tracer.enabled)
+        self._tracer.attach_timer(timer)
         history = TrainingHistory()
         # Dedicated stream for mini-batch draws, decoupled from any
         # algorithm-internal sampling so batch_size=None reproduces the
@@ -215,7 +225,16 @@ class Trainer(abc.ABC):
             self.config.optimizer, self.config.learning_rate
         )
 
-        theta = self._run(environments, model, theta, history, callback, timer)
+        with self._tracer.span(
+            "fit",
+            trainer=self.name,
+            n_environments=len(environments),
+            n_epochs=self.config.n_epochs,
+            seed=self.config.seed,
+        ):
+            theta = self._run(
+                environments, model, theta, history, callback, timer
+            )
         return TrainResult(
             trainer_name=self.name,
             theta=theta,
@@ -261,22 +280,42 @@ class Trainer(abc.ABC):
             )
         return views
 
-    @staticmethod
     def _record(
+        self,
         history: TrainingHistory,
         objective: float,
         env_losses: dict[str, float],
         epoch: int,
         theta: np.ndarray,
         callback: EpochCallback | None,
+        **extra,
     ) -> None:
-        """Append one epoch's records and fire the callback."""
+        """Append one epoch's records, fire the callback, trace the epoch.
+
+        With a live tracer, one ``epoch`` event is emitted carrying the
+        objective, per-environment losses and any algorithm-specific
+        ``extra`` fields (IRM penalty, gradient norm, MRQ state, sampled
+        environments, ...).  Trainers should compute expensive extras only
+        when ``self._tracer.enabled``.
+        """
         history.objective.append(objective)
         history.env_losses.append(env_losses)
+        tracked = None
         if callback is not None:
             tracked = callback(epoch, theta)
             if tracked is not None:
                 history.tracked.append(tracked)
+        if self._tracer.enabled:
+            fields: dict = {
+                "trainer": self.name,
+                "epoch": epoch,
+                "objective": float(objective),
+                "env_losses": {k: float(v) for k, v in env_losses.items()},
+            }
+            if tracked is not None:
+                fields["tracked"] = float(tracked)
+            fields.update(extra)
+            self._tracer.event("epoch", **fields)
 
 
 def stack_environments(

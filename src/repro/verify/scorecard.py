@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.metrics.auc import auc_score
 from repro.metrics.invariance import coefficient_recovery
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.train.registry import (
     available_trainers,
     make_trainer,
@@ -107,11 +108,12 @@ class VerifyConfig:
 
 
 def _fit_and_score(
-    bed: SEMBed, name: str, n_epochs: int, seed: int, **overrides
+    bed: SEMBed, name: str, n_epochs: int, seed: int,
+    tracer: Tracer = NULL_TRACER, **overrides
 ) -> dict:
     """Fit one trainer on the bed and compute its scorecard entry."""
     trainer = make_trainer(name, n_epochs=n_epochs, seed=seed, **overrides)
-    result = trainer.fit(bed.train_environments)
+    result = trainer.fit(bed.train_environments, tracer=tracer)
     entry = coefficient_recovery(
         result.theta, bed.causal_idx, bed.spurious_idx, bed.w_causal
     )
@@ -136,22 +138,28 @@ def _is_monotone_decreasing(masses: list[float], tolerance: float) -> bool:
     return steps_ok and masses[-1] < masses[0]
 
 
-def run_verification(config: VerifyConfig | None = None) -> dict:
+def run_verification(
+    config: VerifyConfig | None = None,
+    tracer: Tracer | None = None,
+) -> dict:
     """Run the full scorecard and return its JSON-compatible payload.
 
     The payload has four sections: ``trainers`` (per-trainer recovery and
     OOD metrics), ``penalty_sweeps`` (spurious mass along the penalty
     sweep per penalised trainer), ``checks`` (named boolean assertions)
-    and ``all_passed``.
+    and ``all_passed``.  With a ``tracer``, every scorecard fit (including
+    the penalty-sweep fits) lands in one run log as its own ``fit`` span.
     """
     config = config or VerifyConfig()
+    tracer = tracer if tracer is not None else NULL_TRACER
     bed = make_sem_bed(config.sem)
 
     trainers: dict[str, dict] = {}
     for name in available_trainers():
         overrides = dict(_TRAINER_PROFILES.get(name, {}))
         trainers[name] = _fit_and_score(
-            bed, name, config.n_epochs, config.trainer_seed, **overrides
+            bed, name, config.n_epochs, config.trainer_seed, tracer=tracer,
+            **overrides
         )
 
     sweeps: dict[str, dict] = {}
@@ -164,7 +172,8 @@ def run_verification(config: VerifyConfig | None = None) -> dict:
             overrides = dict(_TRAINER_PROFILES.get(name, {}))
             overrides[param] = value
             entry = _fit_and_score(
-                bed, name, config.n_epochs, config.trainer_seed, **overrides
+                bed, name, config.n_epochs, config.trainer_seed,
+                tracer=tracer, **overrides
             )
             masses.append(entry["spurious_mass"])
         sweeps[name] = {

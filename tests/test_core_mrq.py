@@ -79,6 +79,37 @@ class TestDecayedSum:
         assert q.decayed_sum() == pytest.approx(6.0)
 
 
+class TestDiagnostics:
+    def test_occupancy_fills_then_saturates(self):
+        q = MetaLossReplayQueue(length=4, gamma=0.9)
+        assert q.occupancy == 0.0
+        expected = [0.25, 0.5, 0.75, 1.0, 1.0, 1.0]
+        for value in expected:
+            q.push(1.0)
+            assert q.occupancy == pytest.approx(value)
+
+    def test_decay_mass_empty_queue(self):
+        assert MetaLossReplayQueue(length=3, gamma=0.9).decay_mass() == 0.0
+
+    def test_decay_mass_partial_and_full(self):
+        gamma = 0.5
+        q = MetaLossReplayQueue(length=3, gamma=gamma)
+        q.push(1.0)
+        assert q.decay_mass() == pytest.approx(1.0)
+        q.push(1.0)
+        assert q.decay_mass() == pytest.approx(1.0 + gamma)
+        q.push(1.0)
+        q.push(1.0)  # saturated: mass stops growing
+        assert q.decay_mass() == pytest.approx(1.0 + gamma + gamma**2)
+
+    def test_decay_mass_bounds_decayed_sum(self):
+        """For constant unit losses the decayed sum equals the decay mass."""
+        q = MetaLossReplayQueue(length=5, gamma=0.8)
+        for _ in range(3):
+            q.push(1.0)
+        assert q.decayed_sum() == pytest.approx(q.decay_mass())
+
+
 class TestValidation:
     def test_bad_length(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,152 @@
+"""Unit tests for the shared metric primitives (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_VALUE_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match="counters only go up"):
+            Counter().inc(-1)
+
+    def test_zero_increment_allowed(self):
+        counter = Counter()
+        counter.inc(0)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_overwrites_and_casts_to_float(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(3)
+        assert gauge.value == 3.0
+        assert isinstance(gauge.value, float)
+        gauge.set(-1.5)
+        assert gauge.value == -1.5
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError, match="non-empty and increasing"):
+            Histogram(())
+        with pytest.raises(ValueError, match="non-empty and increasing"):
+            Histogram((1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="non-empty and increasing"):
+            Histogram((2.0, 1.0))
+
+    def test_bucketing_is_inclusive_of_upper_bound(self):
+        hist = Histogram((1.0, 2.0, 3.0))
+        hist.observe(0.5)   # below first bound -> bucket 0
+        hist.observe(1.0)   # on the bound -> that bucket
+        hist.observe(2.5)
+        hist.observe(99.0)  # above last bound -> overflow
+        buckets = hist.bucket_counts()
+        assert buckets == {
+            "le_1": 2, "le_2": 0, "le_3": 1, "overflow": 1
+        }
+
+    def test_count_mean_total_exact(self):
+        hist = Histogram((1.0, 10.0))
+        for value in (0.25, 0.5, 4.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(4.75)
+        assert hist.mean == pytest.approx(4.75 / 3)
+
+    def test_empty_histogram_reads_zero(self):
+        hist = Histogram((1.0,))
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+
+    def test_rejects_non_finite(self):
+        hist = Histogram((1.0,))
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError, match="non-finite"):
+                hist.observe(bad)
+        assert hist.count == 0
+
+    def test_percentile_is_conservative_upper_bound(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for _ in range(99):
+            hist.observe(0.5)
+        hist.observe(3.0)
+        assert hist.percentile(50) == 1.0
+        assert hist.percentile(99) == 1.0
+        assert hist.percentile(100) == 4.0
+
+    def test_percentile_overflow_reports_last_finite_bound(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.percentile(50) == 2.0
+
+    def test_percentile_validates_q(self):
+        hist = Histogram((1.0,))
+        for bad in (0, -5, 101):
+            with pytest.raises(ValueError, match="q must be in"):
+                hist.percentile(bad)
+
+    def test_snapshot_shape(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(0.5)
+        snap = hist.snapshot()
+        assert set(snap) == {"count", "mean", "p50", "p95", "p99", "buckets"}
+        assert snap["count"] == 1
+        assert len(snap["buckets"]) == 3  # two finite buckets + overflow
+
+    def test_default_value_buckets_are_increasing(self):
+        assert list(DEFAULT_VALUE_BUCKETS) == sorted(DEFAULT_VALUE_BUCKETS)
+        Histogram(DEFAULT_VALUE_BUCKETS)  # must construct
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_cross_kind_name_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("shared")
+        with pytest.raises(ValueError, match="already exists as a counter"):
+            registry.gauge("shared")
+        with pytest.raises(ValueError, match="already exists as a counter"):
+            registry.histogram("shared")
+        registry.gauge("g")
+        with pytest.raises(ValueError, match="already exists as a gauge"):
+            registry.counter("g")
+
+    def test_snapshot_structure_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc()
+        registry.gauge("level").set(0.5)
+        registry.histogram("lat").observe(0.01)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 1, "b": 2}
+        assert snap["gauges"] == {"level": 0.5}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_empty_snapshot(self):
+        assert MetricsRegistry().snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }

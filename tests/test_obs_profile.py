@@ -1,0 +1,126 @@
+"""Unit tests for the kernel profiling hooks (repro.obs.profile)."""
+
+import numpy as np
+import pytest
+
+from repro.obs.profile import KernelProfiler, SectionStats, active, profiled
+
+
+class TestSectionStats:
+    def test_rows_per_second(self):
+        stats = SectionStats(calls=1, seconds=2.0, rows=100)
+        assert stats.rows_per_second == 50.0
+
+    def test_zero_seconds_guard(self):
+        assert SectionStats(rows=100).rows_per_second == 0.0
+
+    def test_as_dict_keys(self):
+        assert set(SectionStats().as_dict()) == {
+            "calls", "seconds", "rows", "cells", "rows_per_s"
+        }
+
+
+class TestKernelProfiler:
+    def test_section_accumulates(self):
+        profiler = KernelProfiler()
+        for _ in range(3):
+            with profiler.section("histogram_build", rows=10, cells=256):
+                pass
+        stats = profiler.sections["histogram_build"]
+        assert stats.calls == 3
+        assert stats.rows == 30
+        assert stats.cells == 768
+        assert stats.seconds >= 0
+
+    def test_section_records_on_exception(self):
+        profiler = KernelProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.section("boom"):
+                raise RuntimeError("x")
+        assert profiler.sections["boom"].calls == 1
+
+    def test_snapshot_sorted_without_alloc_key(self):
+        profiler = KernelProfiler()
+        with profiler.section("b"):
+            pass
+        with profiler.section("a"):
+            pass
+        snap = profiler.snapshot()
+        assert list(snap["sections"]) == ["a", "b"]
+        assert "alloc_peak_bytes" not in snap
+
+
+class TestActiveGate:
+    def test_inactive_by_default(self):
+        assert active() is None
+
+    def test_profiled_activates_and_restores(self):
+        with profiled() as profiler:
+            assert active() is profiler
+        assert active() is None
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with profiled():
+                raise RuntimeError("x")
+        assert active() is None
+
+    def test_nested_profiled_raises(self):
+        with profiled():
+            with pytest.raises(RuntimeError, match="already active"):
+                with profiled():
+                    pass
+        assert active() is None
+
+    def test_reusing_a_profiler_accumulates(self):
+        profiler = KernelProfiler()
+        for _ in range(2):
+            with profiled(profiler) as prof:
+                assert prof is profiler
+                with prof.section("s", rows=5):
+                    pass
+        assert profiler.sections["s"].calls == 2
+        assert profiler.sections["s"].rows == 10
+
+
+class TestTraceMalloc:
+    def test_opt_in_records_high_water(self):
+        with profiled(trace_malloc=True) as profiler:
+            buffers = [np.zeros(50_000) for _ in range(4)]
+            del buffers
+        assert profiler.alloc_peak_bytes is not None
+        # Four 400 kB buffers were live at once.
+        assert profiler.alloc_peak_bytes > 1_000_000
+        assert "alloc_peak_bytes" in profiler.snapshot()
+
+    def test_default_skips_tracemalloc(self):
+        with profiled() as profiler:
+            pass
+        assert profiler.alloc_peak_bytes is None
+
+
+class TestGBDTHotPaths:
+    def test_pipeline_sections_populated_when_active(self, small_split):
+        from repro.gbdt.boosting import GBDTParams
+        from repro.pipeline.extractor import GBDTFeatureExtractor
+
+        with profiled() as profiler:
+            extractor = GBDTFeatureExtractor(GBDTParams(n_trees=3))
+            extractor.fit(small_split.train)
+            extractor.encode_environments(small_split.train)
+        sections = profiler.sections
+        assert sections["boosting_round"].calls == 3
+        assert sections["histogram_build"].calls > 0
+        assert sections["leaf_encode"].calls > 0
+        assert sections["leaf_encode"].rows == small_split.train.n_samples
+        assert sections["histogram_build"].rows > 0
+        assert sections["histogram_build"].cells > 0
+
+    def test_hot_paths_silent_when_inactive(self, small_split):
+        from repro.gbdt.boosting import GBDTParams
+        from repro.pipeline.extractor import GBDTFeatureExtractor
+
+        assert active() is None
+        extractor = GBDTFeatureExtractor(GBDTParams(n_trees=2))
+        extractor.fit(small_split.train)  # must not raise or record anywhere
+        assert active() is None

@@ -1,7 +1,11 @@
 """Tests for serving telemetry (repro.serve.telemetry)."""
 
+import bisect
+
+import numpy as np
 import pytest
 
+from repro.obs.metrics import Histogram
 from repro.serve.telemetry import (
     DEFAULT_BUCKETS,
     LatencyHistogram,
@@ -64,6 +68,99 @@ class TestLatencyHistogram:
                              "buckets"}
         assert len(snap["buckets"]) == len(DEFAULT_BUCKETS) + 1
         assert sum(snap["buckets"].values()) == 1
+
+
+class _ReferenceLatencyHistogram:
+    """The pre-refactor standalone implementation, kept as the oracle.
+
+    :class:`LatencyHistogram` is now a subclass of the shared
+    :class:`repro.obs.metrics.Histogram`; this reference pins the exact
+    bucketing, mean and percentile semantics (and the snapshot schema)
+    the serving docs promise, independent of the shared code path.
+    """
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        self.bounds = tuple(float(b) for b in buckets)
+        self.counts = np.zeros(len(self.bounds) + 1, dtype=np.int64)
+        self.total_seconds = 0.0
+
+    def observe(self, seconds):
+        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.total_seconds += seconds
+
+    @property
+    def count(self):
+        return int(self.counts.sum())
+
+    def percentile(self, q):
+        n = self.count
+        if n == 0:
+            return 0.0
+        rank = int(np.ceil(q / 100.0 * n))
+        cumulative = np.cumsum(self.counts)
+        bucket = int(np.searchsorted(cumulative, rank))
+        return self.bounds[min(bucket, len(self.bounds) - 1)]
+
+    def snapshot(self):
+        n = self.count
+        return {
+            "count": n,
+            "mean_s": self.total_seconds / n if n else 0.0,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+            "buckets": {
+                f"le_{bound:g}": int(c)
+                for bound, c in zip(self.bounds, self.counts)
+            } | {"overflow": int(self.counts[-1])},
+        }
+
+
+class TestSharedHistogramEquivalence:
+    """LatencyHistogram == the seed implementation, observation for
+    observation, on the shared-Histogram code path."""
+
+    def test_is_a_shared_histogram(self):
+        assert issubclass(LatencyHistogram, Histogram)
+
+    def test_snapshot_byte_compatible_on_random_stream(self):
+        rng = np.random.default_rng(42)
+        # Latencies spanning every bucket, plus exact bucket boundaries
+        # and overflow values.
+        stream = np.concatenate([
+            10 ** rng.uniform(-6, 1.5, size=500),
+            np.array(DEFAULT_BUCKETS),
+            np.array([0.0, 15.0, 100.0]),
+        ])
+        ours = LatencyHistogram()
+        reference = _ReferenceLatencyHistogram()
+        for seconds in stream:
+            ours.observe(float(seconds))
+            reference.observe(float(seconds))
+        assert ours.snapshot() == reference.snapshot()
+        assert ours.count == reference.count
+        assert ours.total_seconds == pytest.approx(
+            reference.total_seconds
+        )
+        assert list(ours.counts) == list(reference.counts)
+
+    def test_snapshot_byte_compatible_on_custom_buckets(self):
+        buckets = (0.001, 0.01, 0.1, 1.0)
+        ours = LatencyHistogram(buckets=buckets)
+        reference = _ReferenceLatencyHistogram(buckets=buckets)
+        for seconds in (0.0005, 0.001, 0.0011, 0.5, 2.0):
+            ours.observe(seconds)
+            reference.observe(seconds)
+        assert ours.snapshot() == reference.snapshot()
+
+    def test_empty_snapshots_match(self):
+        assert (LatencyHistogram().snapshot()
+                == _ReferenceLatencyHistogram().snapshot())
+
+    def test_total_seconds_alias_tracks_shared_total(self):
+        hist = LatencyHistogram()
+        hist.observe(0.25)
+        assert hist.total_seconds == hist.total == 0.25
 
 
 class TestServingTelemetry:

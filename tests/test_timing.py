@@ -73,6 +73,116 @@ class TestStepTimer:
         assert tuple(row) == STEP_NAMES
 
 
+class TestStepTimerHooks:
+    def test_on_step_fires_with_name_and_elapsed(self):
+        seen = []
+        timer = StepTimer(enabled=True)
+        timer.on_step = lambda name, elapsed: seen.append((name, elapsed))
+        with timer.step("inner_optimization"):
+            time.sleep(0.001)
+        assert len(seen) == 1
+        name, elapsed = seen[0]
+        assert name == "inner_optimization"
+        assert elapsed >= 0.001
+        assert elapsed == pytest.approx(
+            timer.stats["inner_optimization"].total_seconds
+        )
+
+    def test_on_step_fires_even_on_exception(self):
+        seen = []
+        timer = StepTimer(enabled=True)
+        timer.on_step = lambda name, elapsed: seen.append(name)
+        with pytest.raises(ValueError):
+            with timer.step("boom"):
+                raise ValueError("x")
+        assert seen == ["boom"]
+
+    def test_on_epoch_fires_per_completed_epoch(self):
+        seen = []
+        timer = StepTimer(enabled=True)
+        timer.on_epoch = seen.append
+        for _ in range(2):
+            with timer.epoch():
+                time.sleep(0.001)
+        assert len(seen) == 2
+        assert seen == timer.epoch_seconds
+
+    def test_disabled_timer_never_fires_hooks(self):
+        timer = StepTimer(enabled=False)
+        timer.on_step = lambda *a: pytest.fail("on_step fired while disabled")
+        timer.on_epoch = lambda *a: pytest.fail("on_epoch fired while disabled")
+        with timer.step("work"):
+            pass
+        with timer.epoch():
+            pass
+        assert timer.stats == {}
+        assert timer.epoch_seconds == []
+
+
+class TestEpochBookkeeping:
+    def test_epoch_contextmanager_records_on_exception(self):
+        timer = StepTimer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with timer.epoch():
+                raise RuntimeError("x")
+        assert timer.n_epochs == 1
+
+    def test_n_epochs_counts_completed_epochs(self):
+        timer = StepTimer(enabled=True)
+        assert timer.n_epochs == 0
+        for _ in range(3):
+            with timer.epoch():
+                pass
+        assert timer.n_epochs == 3
+
+    def test_no_epoch_fallback_sums_per_step_means(self):
+        # Steps timed but epochs never bracketed: mean_epoch_seconds must
+        # estimate one epoch from the per-step means, not report zero.
+        timer = StepTimer(enabled=True)
+        timer.stats["a"] = StepStats(total_seconds=4.0, count=2)
+        timer.stats["b"] = StepStats(total_seconds=3.0, count=3)
+        assert timer.epoch_seconds == []
+        assert timer.mean_epoch_seconds == pytest.approx(2.0 + 1.0)
+
+    def test_empty_timer_mean_epoch_is_zero(self):
+        assert StepTimer(enabled=True).mean_epoch_seconds == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_flags_estimated_epochs(self):
+        timer = StepTimer(enabled=True)
+        timer.stats["a"] = StepStats(total_seconds=1.0, count=2)
+        snap = timer.snapshot()
+        assert snap["epochs"]["count"] == 0
+        assert snap["epochs"]["estimated"] is True
+        assert snap["epochs"]["mean_seconds"] == pytest.approx(0.5)
+
+    def test_snapshot_measured_epochs_not_estimated(self):
+        timer = StepTimer(enabled=True)
+        with timer.epoch():
+            with timer.step("a"):
+                pass
+        snap = timer.snapshot()
+        assert snap["epochs"]["count"] == 1
+        assert snap["epochs"]["estimated"] is False
+
+    def test_empty_snapshot(self):
+        snap = StepTimer(enabled=True).snapshot()
+        assert snap["steps"] == {}
+        assert snap["epochs"] == {
+            "count": 0, "mean_seconds": 0.0, "estimated": False
+        }
+
+    def test_snapshot_step_entries(self):
+        timer = StepTimer(enabled=True)
+        with timer.step("a"):
+            time.sleep(0.001)
+        entry = timer.snapshot()["steps"]["a"]
+        assert entry["count"] == 1
+        assert entry["total_seconds"] >= 0.001
+        assert entry["mean_seconds"] == pytest.approx(entry["total_seconds"])
+
+
 class TestStepStats:
     def test_zero_count_mean(self):
         assert StepStats().mean_seconds == 0.0
