@@ -10,7 +10,9 @@ Usage (after ``pip install -e .``)::
     python -m repro registry promote --root reg/ --version v0002
     python -m repro serve-score --registry reg/ --data platform.npz
     python -m repro experiment table1
+    python -m repro experiment table1 --jobs 4
     python -m repro bench --out BENCH_gbdt.json
+    python -m repro bench --jobs 2 4 8 --parallel-out BENCH_parallel.json
     python -m repro serve-bench --out BENCH_serving.json
     python -m repro verify --out VERIFY_invariance.json
     python -m repro train --method LightMIRM --data platform.npz --trace run.jsonl
@@ -126,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--data-seed", type=int, default=7)
     experiment.add_argument("--trainer-seeds", type=int, nargs="+",
                             default=[0, 1, 2])
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the trainer fan-out "
+                                 "(results are bit-identical to --jobs 1)")
     experiment.add_argument("--trace", metavar="PATH",
                             help="write a structured JSONL run log")
 
@@ -145,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override benchmark histogram bins")
     bench.add_argument("--only", nargs="+", metavar="NAME",
                        help="run a subset of benchmarks (see docs)")
+    bench.add_argument("--jobs", type=int, nargs="+", metavar="N",
+                       help="run the parallel-scaling suite instead: "
+                            "experiment fan-out serial vs each worker "
+                            "count, written to --parallel-out")
+    bench.add_argument("--parallel-out", default="BENCH_parallel.json",
+                       help="output JSON path for --jobs "
+                            "(default: BENCH_parallel.json)")
 
     serve_bench = sub.add_parser(
         "serve-bench", help="run the tracked serving benchmarks"
@@ -281,7 +293,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     split = "iid" if args.id == "table6" else "temporal"
     tracer = _make_tracer(
         args, "experiment",
-        config={"id": args.id, "n_samples": args.n_samples, "split": split},
+        config={"id": args.id, "n_samples": args.n_samples, "split": split,
+                "jobs": args.jobs},
         seed=args.data_seed,
     )
     context = ExperimentContext(
@@ -290,6 +303,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             data_seed=args.data_seed,
             trainer_seeds=tuple(args.trainer_seeds),
             split=split,
+            n_jobs=args.jobs,
         ),
         tracer=tracer,
     )
@@ -307,6 +321,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perfbench import (
         BenchConfig, run_suite, summarize, write_bench_json,
     )
+
+    if args.jobs:
+        from repro.perfbench import (
+            ParallelBenchConfig, run_parallel_suite, summarize_parallel,
+            write_parallel_bench_json,
+        )
+
+        parallel_config = (ParallelBenchConfig.smoke() if args.quick
+                           else ParallelBenchConfig())
+        parallel_config = dataclasses.replace(
+            parallel_config, worker_counts=tuple(args.jobs)
+        )
+        results = run_parallel_suite(parallel_config)
+        print(summarize_parallel(results))
+        write_parallel_bench_json(args.parallel_out, results,
+                                  parallel_config)
+        print(f"wrote {args.parallel_out}")
+        return 0
 
     config = BenchConfig.smoke() if args.quick else BenchConfig()
     overrides = {

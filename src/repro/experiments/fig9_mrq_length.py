@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import LightMIRMConfig
-from repro.core.lightmirm import LightMIRMTrainer
 from repro.eval.reports import format_table
 from repro.experiments.runner import ExperimentContext
+from repro.train.registry import TrainerSpec
 
 __all__ = ["MRQLengthResult", "run_fig9", "format_fig9"]
 
@@ -33,22 +32,21 @@ def run_fig9(
     context: ExperimentContext, lengths: tuple[int, ...] = LENGTHS
 ) -> list[MRQLengthResult]:
     """Sweep the MRQ length with every other hyper-parameter fixed."""
-    results = []
-    for length in lengths:
-        scores = context.score_method(
-            f"LightMIRM(L={length})",
-            lambda seed, length=length: LightMIRMTrainer(
-                LightMIRMConfig(seed=seed, queue_length=length)
-            ),
-        )
-        results.append(
-            MRQLengthResult(
-                length=length,
-                mean_ks=scores.mean_ks,
-                worst_ks=scores.worst_ks,
+    scores = context.score_methods(
+        [
+            (
+                f"LightMIRM(L={length})",
+                TrainerSpec.of("LightMIRM", queue_length=length),
             )
+            for length in lengths
+        ]
+    )
+    return [
+        MRQLengthResult(
+            length=length, mean_ks=s.mean_ks, worst_ks=s.worst_ks
         )
-    return results
+        for length, s in zip(lengths, scores)
+    ]
 
 
 def format_fig9(results: list[MRQLengthResult]) -> str:

@@ -20,14 +20,40 @@ from repro.data.generator import GeneratorConfig, LoanDataGenerator
 from repro.data.splits import TrainTestSplit, iid_split, temporal_split
 from repro.metrics.fairness import FairnessReport, evaluate_environments
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.engine import ParallelEngine, spawn_task_seeds
+from repro.parallel.shared import SharedArrayPack, environments_to_arrays
 from repro.pipeline.extractor import GBDTFeatureExtractor
 from repro.timing import StepTimer
 from repro.train.base import EpochCallback, Trainer, TrainResult
+from repro.train.registry import TrainerSpec
 
-__all__ = ["ExperimentSettings", "ExperimentContext", "MethodScores"]
+__all__ = [
+    "ExperimentSettings",
+    "ExperimentContext",
+    "MethodScores",
+    "evaluate_result_on",
+]
 
 #: A factory mapping a trainer seed to a fresh Trainer instance.
 TrainerFactory = Callable[[int], Trainer]
+
+
+def evaluate_result_on(
+    result: TrainResult, environments: Sequence[EnvironmentData]
+) -> FairnessReport:
+    """Per-province fairness report of a trained head on given environments.
+
+    Module-level so parallel workers can reuse the exact evaluation code
+    the serial path runs — bit-identical scores are an invariant the
+    equivalence tests pin down.
+    """
+    environments = list(environments)
+    labels = {e.name: e.labels for e in environments}
+    scores = {
+        e.name: result.predict_proba_env(e.name, e.features)
+        for e in environments
+    }
+    return evaluate_environments(labels, scores)
 
 
 @dataclass(frozen=True)
@@ -45,6 +71,10 @@ class ExperimentSettings:
         split: "temporal" (paper's main protocol) or "iid" (Table VI).
         generator_overrides: Extra :class:`GeneratorConfig` fields, e.g.
             ``{"registry": extended_registry()}`` for Table II/III.
+        n_jobs: Worker processes for the trainer×seed fan-out.  ``1``
+            (default) runs serially; any value produces bit-identical
+            :class:`MethodScores`, because seeds attach to tasks rather
+            than workers.
     """
 
     n_samples: int = 40_000
@@ -52,12 +82,34 @@ class ExperimentSettings:
     trainer_seeds: tuple[int, ...] = (0, 1, 2)
     split: str = "temporal"
     generator_overrides: dict = field(default_factory=dict)
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.split not in ("temporal", "iid"):
             raise ValueError("split must be 'temporal' or 'iid'")
         if not self.trainer_seeds:
             raise ValueError("need at least one trainer seed")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+
+    def derived_trainer_seeds(self) -> tuple[int, ...]:
+        """Actual per-repeat RNG seeds, one ``SeedSequence`` child each.
+
+        ``trainer_seeds`` are treated as entropy labels, not raw RNG
+        seeds: feeding small consecutive integers (0, 1, 2) straight
+        into generators yields correlated streams, and hand-offsetting
+        them was ad hoc.  Spawning children of a root seeded by
+        ``(data_seed, *trainer_seeds)`` gives pairwise-independent
+        streams that depend only on the settings — so serial and
+        parallel runs, whatever the scheduling, train from identical
+        seeds.
+        """
+        return tuple(
+            spawn_task_seeds(
+                (self.data_seed, *self.trainer_seeds),
+                len(self.trainer_seeds),
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -149,22 +201,14 @@ class ExperimentContext:
         test_environments: Sequence[EnvironmentData] | None = None,
     ) -> FairnessReport:
         """Per-province report of a trained head on the test environments."""
-        environments = list(test_environments or self.test_environments)
-        labels = {e.name: e.labels for e in environments}
-        scores = {
-            e.name: result.predict_proba_env(e.name, e.features)
-            for e in environments
-        }
-        return evaluate_environments(labels, scores)
+        return evaluate_result_on(
+            result, test_environments or self.test_environments
+        )
 
-    def score_method(
-        self, method: str, factory: TrainerFactory
-    ) -> MethodScores:
-        """Train over all trainer seeds and average the four headline metrics."""
-        reports = [
-            self.evaluate_result(self.fit_trainer(factory(seed)))
-            for seed in self.settings.trainer_seeds
-        ]
+    @staticmethod
+    def _aggregate(method: str,
+                   reports: Sequence[FairnessReport]) -> MethodScores:
+        """Seed-average the four headline metrics of one method."""
         worst_envs = [r.worst_ks_environment for r in reports]
         modal_worst = max(set(worst_envs), key=worst_envs.count)
         return MethodScores(
@@ -175,6 +219,126 @@ class ExperimentContext:
             worst_auc=float(np.mean([r.worst_auc for r in reports])),
             worst_environment=modal_worst,
         )
+
+    def score_method(
+        self,
+        method: str,
+        factory: TrainerFactory | TrainerSpec,
+        n_jobs: int | None = None,
+    ) -> MethodScores:
+        """Train over all trainer seeds and average the four headline metrics.
+
+        Args:
+            method: Display name for the scores row.
+            factory: A :class:`~repro.train.registry.TrainerSpec` (works
+                serially and in parallel) or any ``seed -> Trainer``
+                callable (serial only).
+            n_jobs: Overrides ``settings.n_jobs`` when given.
+        """
+        return self.score_methods([(method, factory)], n_jobs=n_jobs)[0]
+
+    def score_methods(
+        self,
+        methods: Sequence[tuple[str, TrainerFactory | TrainerSpec]],
+        n_jobs: int | None = None,
+    ) -> list[MethodScores]:
+        """Score several methods, fanning the trainer×seed grid over workers.
+
+        The full grid — every (method, seed) pair — is one task list, so
+        a Table I sweep keeps all workers busy even when a single method
+        has fewer seeds than workers.  Workers receive the encoded
+        environments through one shared-memory pack (attached by the pool
+        initializer, never pickled per task) and per-task seeds derived
+        up front by :meth:`ExperimentSettings.derived_trainer_seeds`, so
+        results are bit-identical to the serial path.  With an enabled
+        tracer, each worker traces into a buffer and the records are
+        merged back here, in task order.
+
+        Args:
+            methods: ``(display name, spec-or-factory)`` pairs.  Plain
+                callables force the serial path (closures don't pickle).
+            n_jobs: Overrides ``settings.n_jobs`` when given.
+
+        Returns:
+            One :class:`MethodScores` per input pair, in input order.
+        """
+        methods = list(methods)
+        jobs = self.settings.n_jobs if n_jobs is None else int(n_jobs)
+        if jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        seeds = self.settings.derived_trainer_seeds()
+        picklable = all(
+            isinstance(factory, TrainerSpec) for _, factory in methods
+        )
+        if jobs == 1 or not picklable:
+            return [
+                self._aggregate(
+                    method,
+                    [
+                        self.evaluate_result(self.fit_trainer(factory(seed)))
+                        for seed in seeds
+                    ],
+                )
+                for method, factory in methods
+            ]
+        return self._score_methods_parallel(methods, seeds, jobs)
+
+    def _score_methods_parallel(
+        self,
+        methods: Sequence[tuple[str, TrainerSpec]],
+        seeds: Sequence[int],
+        jobs: int,
+    ) -> list[MethodScores]:
+        from repro.parallel.worker import (
+            FitTask,
+            init_experiment_worker,
+            run_fit_task,
+        )
+
+        traced = self.tracer.enabled
+        tasks = [
+            FitTask(method=method, spec=spec, seed=seed, traced=traced)
+            for method, spec in methods
+            for seed in seeds
+        ]
+        arrays, meta = environments_to_arrays(self.train_environments,
+                                              "train")
+        test_arrays, test_meta = environments_to_arrays(
+            self.test_environments, "test"
+        )
+        arrays.update(test_arrays)
+        meta.update(test_meta)
+        pack = SharedArrayPack.pack(arrays, meta)
+        try:
+            with self.tracer.span("score_methods", n_jobs=jobs,
+                                  n_tasks=len(tasks)):
+                outcomes = ParallelEngine(n_jobs=jobs).map(
+                    run_fit_task,
+                    tasks,
+                    initializer=init_experiment_worker,
+                    initargs=(pack.spec,),
+                )
+                for index, (task, outcome) in enumerate(
+                    zip(tasks, outcomes)
+                ):
+                    if outcome.records is not None:
+                        self.tracer.merge_child_records(
+                            outcome.records,
+                            child_start_unix=outcome.start_unix,
+                            method=task.method,
+                            trainer_seed=task.seed,
+                            task=index,
+                        )
+        finally:
+            pack.dispose()
+        reports = [outcome.report for outcome in outcomes]
+        per_method = len(seeds)
+        return [
+            self._aggregate(
+                method, reports[i * per_method:(i + 1) * per_method]
+            )
+            for i, (method, _) in enumerate(methods)
+        ]
 
     def scores_by_environment(self, result: TrainResult,
                               dataset: LoanDataset) -> dict[str, np.ndarray]:

@@ -55,6 +55,7 @@ def run_stability(
     trainer_seeds: tuple[int, ...] = (0, 1, 2),
     methods: tuple[str, ...] = ("ERM", "Group DRO", "V-REx", "meta-IRM",
                                 "LightMIRM"),
+    n_jobs: int = 1,
 ) -> StabilityStudy:
     """Run the Table I comparison on several platform seeds and aggregate.
 
@@ -66,6 +67,10 @@ def run_stability(
             differences.
         trainer_seeds: Training seeds averaged within each platform.
         methods: Methods to compare (must be registry names).
+        n_jobs: Worker processes for each platform's method×seed grid
+            (the platforms themselves run sequentially — each needs its
+            own generated dataset and fitted extractor).  Results are
+            bit-identical to ``n_jobs=1``.
 
     Returns:
         A :class:`StabilityStudy` with per-method statistics and the
@@ -83,6 +88,7 @@ def run_stability(
                 n_samples=n_samples,
                 data_seed=data_seed,
                 trainer_seeds=trainer_seeds,
+                n_jobs=n_jobs,
             )
         )
         scores = run_table1(context, methods=methods)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.eval.reports import format_table, highlight_best
 from repro.experiments.runner import ExperimentContext, MethodScores
-from repro.train.registry import make_trainer
+from repro.train.registry import TrainerSpec
 
 __all__ = ["TABLE1_METHODS", "run_table1", "format_table1"]
 
@@ -33,12 +33,15 @@ def run_table1(
     context: ExperimentContext,
     methods: tuple[str, ...] = TABLE1_METHODS,
 ) -> list[MethodScores]:
-    """Train and evaluate every Table I method on the shared context."""
-    return [
-        context.score_method(name, lambda seed, name=name: make_trainer(
-            name, seed=seed))
-        for name in methods
-    ]
+    """Train and evaluate every Table I method on the shared context.
+
+    The whole method×seed grid goes through ``score_methods`` as
+    declarative specs, so ``ExperimentSettings(n_jobs=N)`` parallelises
+    the entire table at once.
+    """
+    return context.score_methods(
+        [(name, TrainerSpec.of(name)) for name in methods]
+    )
 
 
 def format_table1(scores: list[MethodScores]) -> str:

@@ -21,6 +21,7 @@ from repro.eval.tracking import KSTrackingCallback
 from repro.experiments.runner import ExperimentContext, MethodScores
 from repro.models.logistic import LogisticModel
 from repro.train.base import Trainer
+from repro.train.registry import TrainerSpec
 
 __all__ = [
     "sampling_levels",
@@ -49,32 +50,24 @@ def sampling_levels(n_environments: int) -> tuple[int, ...]:
     return tuple(levels)
 
 
-def _variants(n_environments: int, seed: int) -> dict[str, Trainer]:
-    """All Table II rows as trainers with a matched epoch budget."""
-    variants: dict[str, Trainer] = {
-        "meta-IRM": MetaIRMTrainer(MetaIRMConfig(seed=seed)),
-    }
+def _variant_specs(n_environments: int) -> list[tuple[str, TrainerSpec]]:
+    """All Table II rows as declarative (name, spec) pairs."""
+    specs: list[tuple[str, TrainerSpec]] = [
+        ("meta-IRM", TrainerSpec.of("meta-IRM")),
+    ]
     for s in sampling_levels(n_environments):
-        variants[f"meta-IRM({s})"] = MetaIRMTrainer(
-            MetaIRMConfig(seed=seed, n_sampled_envs=s)
+        specs.append(
+            (f"meta-IRM({s})", TrainerSpec.of("meta-IRM", n_sampled_envs=s))
         )
-    variants["LightMIRM"] = LightMIRMTrainer(LightMIRMConfig(seed=seed))
-    return variants
+    specs.append(("LightMIRM", TrainerSpec.of("LightMIRM")))
+    return specs
 
 
 def run_table2(context: ExperimentContext) -> list[MethodScores]:
     """Seed-averaged Table II rows."""
-    n_envs = len(context.train_environments)
-    names = list(_variants(n_envs, 0))
-    scores = []
-    for name in names:
-        scores.append(
-            context.score_method(
-                name,
-                lambda seed, name=name: _variants(n_envs, seed)[name],
-            )
-        )
-    return scores
+    return context.score_methods(
+        _variant_specs(len(context.train_environments))
+    )
 
 
 @dataclass(frozen=True)

@@ -8,10 +8,9 @@ gamma < 1 wins everywhere, the optimum sits in the mid-to-high range.
 
 from __future__ import annotations
 
-from repro.core.config import LightMIRMConfig
-from repro.core.lightmirm import LightMIRMTrainer
 from repro.eval.reports import format_table
 from repro.experiments.runner import ExperimentContext, MethodScores
+from repro.train.registry import TrainerSpec
 
 __all__ = ["GAMMAS", "run_table4", "format_table4"]
 
@@ -22,15 +21,12 @@ def run_table4(
     context: ExperimentContext, gammas: tuple[float, ...] = GAMMAS
 ) -> list[MethodScores]:
     """Seed-averaged metrics for each gamma."""
-    return [
-        context.score_method(
-            f"gamma={gamma}",
-            lambda seed, gamma=gamma: LightMIRMTrainer(
-                LightMIRMConfig(seed=seed, gamma=gamma)
-            ),
-        )
-        for gamma in gammas
-    ]
+    return context.score_methods(
+        [
+            (f"gamma={gamma}", TrainerSpec.of("LightMIRM", gamma=gamma))
+            for gamma in gammas
+        ]
+    )
 
 
 def format_table4(scores: list[MethodScores]) -> str:

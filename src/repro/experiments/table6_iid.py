@@ -10,13 +10,10 @@ fairness.
 
 from __future__ import annotations
 
-from repro.core.config import LightMIRMConfig, MetaIRMConfig
-from repro.core.lightmirm import LightMIRMTrainer
-from repro.core.meta_irm import MetaIRMTrainer
 from repro.eval.reports import format_table, highlight_best
 from repro.experiments.runner import ExperimentContext, MethodScores
 from repro.experiments.table2_sampling import sampling_levels
-from repro.train.registry import make_trainer
+from repro.train.registry import TrainerSpec
 
 __all__ = ["run_table6", "format_table6"]
 
@@ -32,33 +29,17 @@ def run_table6(context: ExperimentContext) -> list[MethodScores]:
     """
     if context.settings.split != "iid":
         raise ValueError("Table VI requires an i.i.d.-split context")
-    scores = [
-        context.score_method(name, lambda seed, name=name: make_trainer(
-            name, seed=seed))
-        for name in BASELINES
-    ]
     small_s = sampling_levels(len(context.train_environments))[-1]
-    scores.append(
-        context.score_method(
+    specs = [(name, TrainerSpec.of(name)) for name in BASELINES]
+    specs.append(
+        (
             f"meta-IRM ({small_s})",
-            lambda seed: MetaIRMTrainer(
-                MetaIRMConfig(seed=seed, n_sampled_envs=small_s)
-            ),
+            TrainerSpec.of("meta-IRM", n_sampled_envs=small_s),
         )
     )
-    scores.append(
-        context.score_method(
-            "meta-IRM(complete)",
-            lambda seed: MetaIRMTrainer(MetaIRMConfig(seed=seed)),
-        )
-    )
-    scores.append(
-        context.score_method(
-            "LightMIRM",
-            lambda seed: LightMIRMTrainer(LightMIRMConfig(seed=seed)),
-        )
-    )
-    return scores
+    specs.append(("meta-IRM(complete)", TrainerSpec.of("meta-IRM")))
+    specs.append(("LightMIRM", TrainerSpec.of("LightMIRM")))
+    return context.score_methods(specs)
 
 
 def format_table6(scores: list[MethodScores]) -> str:

@@ -345,7 +345,16 @@ class DecisionTree:
         return self
 
     def _best_split(self, node: _Node) -> SplitInfo | None:
-        """Scan every feature's histogram for the highest-gain valid split."""
+        """Find the highest-gain valid split over all features at once.
+
+        Fully vectorised: 2-D prefix sums over the (feature, bin)
+        histogram, one validity mask, gains evaluated on the valid slots
+        only, and a single flat argmax.  Row-major flattening makes the
+        tie-break deterministic — lowest feature, then lowest bin — which
+        is exactly the order the seed per-feature loop
+        (:func:`repro.perfbench.reference.best_split_seed`) visits
+        candidates in, so the two are bit-identical (golden-tested).
+        """
         params = self.params
         if params.max_depth >= 0 and node.depth >= params.max_depth:
             return None
@@ -357,45 +366,40 @@ class DecisionTree:
             return None
         parent_score = total_grad**2 / (total_hess + params.reg_lambda)
 
-        best: SplitInfo | None = None
         # Prefix sums over bins: splitting after bin b sends bins <= b left.
-        left_grad = np.cumsum(hist.grad, axis=1)
-        left_hess = np.cumsum(hist.hess, axis=1)
-        left_count = np.cumsum(hist.count, axis=1)
-        for f in range(hist.grad.shape[0]):
-            lg = left_grad[f, :-1]
-            lh = left_hess[f, :-1]
-            lc = left_count[f, :-1]
-            rg = total_grad - lg
-            rh = total_hess - lh
-            rc = total_count - lc
-            valid = (
-                (lc >= params.min_child_samples)
-                & (rc >= params.min_child_samples)
-                & (lh >= params.min_child_hessian)
-                & (rh >= params.min_child_hessian)
-            )
-            if not np.any(valid):
-                continue
-            gains = np.full(lg.shape, -np.inf)
-            gains[valid] = (
-                lg[valid] ** 2 / (lh[valid] + params.reg_lambda)
-                + rg[valid] ** 2 / (rh[valid] + params.reg_lambda)
-                - parent_score
-            )
-            b = int(np.argmax(gains))
-            if gains[b] <= params.min_split_gain:
-                continue
-            if best is None or gains[b] > best.gain:
-                best = SplitInfo(
-                    feature=f,
-                    bin_threshold=b,
-                    gain=float(gains[b]),
-                    left_grad=float(lg[b]),
-                    left_hess=float(lh[b]),
-                    left_count=int(lc[b]),
-                )
-        return best
+        # The last bin cannot be a split point (nothing would go right).
+        lg = np.cumsum(hist.grad, axis=1)[:, :-1]
+        lh = np.cumsum(hist.hess, axis=1)[:, :-1]
+        lc = np.cumsum(hist.count, axis=1)[:, :-1]
+        rg = total_grad - lg
+        rh = total_hess - lh
+        rc = total_count - lc
+        valid = (
+            (lc >= params.min_child_samples)
+            & (rc >= params.min_child_samples)
+            & (lh >= params.min_child_hessian)
+            & (rh >= params.min_child_hessian)
+        )
+        if not valid.any():
+            return None
+        gains = np.full(lg.shape, -np.inf)
+        gains[valid] = (
+            lg[valid] ** 2 / (lh[valid] + params.reg_lambda)
+            + rg[valid] ** 2 / (rh[valid] + params.reg_lambda)
+            - parent_score
+        )
+        flat = int(np.argmax(gains))
+        f, b = divmod(flat, gains.shape[1])
+        if gains[f, b] <= params.min_split_gain:
+            return None
+        return SplitInfo(
+            feature=int(f),
+            bin_threshold=int(b),
+            gain=float(gains[f, b]),
+            left_grad=float(lg[f, b]),
+            left_hess=float(lh[f, b]),
+            left_count=int(lc[f, b]),
+        )
 
     def _apply_split(
         self, node: _Node, split: SplitInfo

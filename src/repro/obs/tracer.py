@@ -93,6 +93,7 @@ class Tracer:
         self._next_span_id = 0
         self._span_stack: list[int] = []
         self._start = 0.0
+        self.start_unix = 0.0
         self.metrics = MetricsRegistry()
         if not self.enabled:
             return
@@ -104,6 +105,7 @@ class Tracer:
                 self._buffer = sink.records
         self._sink = sink
         self._start = time.perf_counter()
+        self.start_unix = time.time()
 
     # ------------------------------------------------------------ plumbing
 
@@ -216,6 +218,74 @@ class Tracer:
             "t_s": self._now(),
             "fields": registry.snapshot(),
         })
+
+    def merge_child_records(
+        self,
+        records: list[dict],
+        child_start_unix: float | None = None,
+        **extra_fields,
+    ) -> None:
+        """Fold another tracer's buffered records into this run log.
+
+        This is how parallel experiment workers report back: each worker
+        traces into an in-memory buffer, returns ``tracer.records`` (plus
+        its ``start_unix``), and the parent merges them so a traced
+        ``--jobs N`` run still yields *one* schema-valid log that
+        reconstructs Table III step timings.
+
+        Span ids are renumbered into this tracer's id space, child root
+        spans are re-parented under the currently open span, timestamps
+        are shifted onto this tracer's clock via the wall-clock offset,
+        and ``extra_fields`` (e.g. ``worker=3``) are stamped onto every
+        merged record's fields.  Child manifests are dropped — a log has
+        one manifest.
+
+        Args:
+            records: The child tracer's records, in child write order.
+            child_start_unix: The child tracer's :attr:`start_unix`; when
+                omitted, child times are kept relative to *this* tracer's
+                start (offset 0).
+            **extra_fields: Identity fields added to every merged record.
+        """
+        if not self.enabled:
+            return
+        offset = 0.0
+        if child_start_unix is not None and self.start_unix:
+            offset = child_start_unix - self.start_unix
+        # Spans are written at close, so a child's events can reference
+        # span ids that appear later in the buffer — renumber every span
+        # id first, then rewrite.
+        id_map: dict[int, int] = {}
+        for record in records:
+            if record["kind"] == "span":
+                id_map[record["id"]] = self._next_span_id
+                self._next_span_id += 1
+        current = self._span_stack[-1] if self._span_stack else None
+        for record in records:
+            kind = record["kind"]
+            if kind == "manifest":
+                continue
+            merged = dict(record)
+            fields = dict(merged.get("fields", {}))
+            fields.update(extra_fields)
+            merged["fields"] = fields
+            if kind == "span":
+                merged["id"] = id_map[record["id"]]
+                parent = record["parent"]
+                merged["parent"] = (
+                    id_map.get(parent, current) if parent is not None
+                    else current
+                )
+                merged["start_s"] = float(record["start_s"]) + offset
+            elif kind == "event":
+                merged["t_s"] = float(record["t_s"]) + offset
+                span = record["span"]
+                merged["span"] = (
+                    id_map.get(span, current) if span is not None else current
+                )
+            elif kind == "metrics":
+                merged["t_s"] = float(record["t_s"]) + offset
+            self._write(merged)
 
     # ------------------------------------------------------------- bridges
 

@@ -1,0 +1,240 @@
+"""Zero-copy shared-memory handoff of numpy/CSR data to worker processes.
+
+The experiment fan-out repeats training dozens of times over the *same*
+encoded design matrix.  Pickling that matrix into every worker would copy
+it once per task; instead :class:`SharedArrayPack` lays every array out in
+one ``multiprocessing.shared_memory`` block and ships only a tiny
+:class:`PackSpec` (block name + offset table) through the task pipe.
+Workers attach and get numpy views straight into the block — zero copies,
+regardless of the pool's start method.
+
+Layout: arrays are concatenated back to back, each offset aligned to 64
+bytes (cache line) so attached views keep the parent's alignment.  CSR
+matrices are stored as their three backing arrays plus the logical shape;
+:func:`environments_to_arrays` / :func:`environments_from_arrays` round-
+trip whole per-province environment lists (sparse or dense features).
+
+Attached views are marked read-only: every worker maps the *same*
+physical pages, so an accidental in-place write would corrupt its
+siblings' inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.dataset import EnvironmentData
+
+__all__ = [
+    "ArrayEntry",
+    "PackSpec",
+    "SharedArrayPack",
+    "environments_to_arrays",
+    "environments_from_arrays",
+]
+
+#: Alignment of every array inside the block, in bytes.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class ArrayEntry:
+    """Location of one array inside the shared block."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+@dataclass(frozen=True)
+class PackSpec:
+    """Everything a worker needs to attach: block name + offset table.
+
+    ``meta`` carries small JSON-like metadata describing how to
+    reassemble higher-level objects (e.g. CSR shapes, environment names);
+    it must stay tiny — the point is that only *this* object is pickled.
+    """
+
+    shm_name: str
+    entries: tuple[ArrayEntry, ...]
+    meta: tuple[tuple[str, object], ...] = ()
+
+    def metadata(self) -> dict:
+        return dict(self.meta)
+
+
+class SharedArrayPack:
+    """A named shared-memory block holding a keyed set of numpy arrays.
+
+    Usage (parent)::
+
+        pack = SharedArrayPack.pack({"binned": binned, "grad": grad})
+        engine.map(fn, tasks, initializer=attach_fn,
+                   initargs=(pack.spec,))
+        ...
+        pack.dispose()          # close + unlink when workers are done
+
+    Usage (worker)::
+
+        pack = SharedArrayPack.attach(spec)
+        arrays = pack.arrays()  # {"binned": <view>, "grad": <view>}
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: PackSpec,
+                 owner: bool):
+        self._shm = shm
+        self.spec = spec
+        self._owner = owner
+
+    # -------------------------------------------------------- construction
+
+    @classmethod
+    def pack(cls, arrays: dict[str, np.ndarray],
+             meta: dict | None = None) -> "SharedArrayPack":
+        """Copy the given arrays into one new shared block (once)."""
+        entries: list[ArrayEntry] = []
+        offset = 0
+        contiguous = {
+            key: np.ascontiguousarray(array) for key, array in arrays.items()
+        }
+        for key, array in contiguous.items():
+            offset = _aligned(offset)
+            entries.append(ArrayEntry(key=key, dtype=array.dtype.str,
+                                      shape=tuple(array.shape),
+                                      offset=offset))
+            offset += array.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for entry, array in zip(entries, contiguous.values()):
+            view = np.ndarray(entry.shape, dtype=entry.dtype,
+                              buffer=shm.buf, offset=entry.offset)
+            view[...] = array
+        spec = PackSpec(
+            shm_name=shm.name,
+            entries=tuple(entries),
+            meta=tuple(sorted((meta or {}).items())),
+        )
+        return cls(shm, spec, owner=True)
+
+    @classmethod
+    def attach(cls, spec: PackSpec) -> "SharedArrayPack":
+        """Attach to an existing block by its spec (no data copied).
+
+        Attaching re-registers the segment with the resource tracker
+        (CPython registers unconditionally, create or attach).  Pool
+        workers share the owner's tracker process, where registration is
+        set-based, so the duplicate is a no-op — and the owner's
+        :meth:`dispose` remains the single unlink.  Do *not* "fix" this
+        with ``resource_tracker.unregister``: that removes the owner's
+        own entry and the tracker then complains at unlink time.
+        """
+        return cls(shared_memory.SharedMemory(name=spec.shm_name), spec,
+                   owner=False)
+
+    # -------------------------------------------------------------- access
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Zero-copy read-only views of every packed array."""
+        views: dict[str, np.ndarray] = {}
+        for entry in self.spec.entries:
+            view = np.ndarray(entry.shape, dtype=entry.dtype,
+                              buffer=self._shm.buf, offset=entry.offset)
+            view.setflags(write=False)
+            views[entry.key] = view
+        return views
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    # ------------------------------------------------------------- cleanup
+
+    def close(self) -> None:
+        """Detach this process's mapping (views become invalid)."""
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live numpy views still reference the buffer; leave the
+            # mapping in place — process exit reclaims it.
+            pass
+
+    def dispose(self) -> None:
+        """Owner cleanup: detach and remove the block from the system."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.dispose()
+
+
+# ------------------------------------------------------------ environments
+
+
+def environments_to_arrays(
+    environments: list[EnvironmentData], prefix: str
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Flatten environments into (arrays, meta) for :meth:`pack`.
+
+    CSR feature matrices contribute their ``data``/``indices``/``indptr``
+    arrays; dense ones a single ``x`` array.  ``meta[prefix]`` records,
+    per environment, its name plus whatever is needed to reassemble.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    described = []
+    for i, env in enumerate(environments):
+        base = f"{prefix}/{i}"
+        if sparse.issparse(env.features):
+            csr = env.features.tocsr()
+            arrays[f"{base}/data"] = csr.data
+            arrays[f"{base}/indices"] = csr.indices
+            arrays[f"{base}/indptr"] = csr.indptr
+            described.append(
+                {"name": env.name, "sparse": True,
+                 "shape": tuple(int(s) for s in csr.shape)}
+            )
+        else:
+            arrays[f"{base}/x"] = np.asarray(env.features)
+            described.append({"name": env.name, "sparse": False})
+        arrays[f"{base}/labels"] = env.labels
+    return arrays, {prefix: described}
+
+
+def environments_from_arrays(
+    arrays: dict[str, np.ndarray], meta: dict, prefix: str
+) -> list[EnvironmentData]:
+    """Reassemble environments from attached views (zero-copy)."""
+    environments = []
+    for i, desc in enumerate(meta[prefix]):
+        base = f"{prefix}/{i}"
+        if desc["sparse"]:
+            features = sparse.csr_matrix(
+                (arrays[f"{base}/data"], arrays[f"{base}/indices"],
+                 arrays[f"{base}/indptr"]),
+                shape=tuple(desc["shape"]), copy=False,
+            )
+        else:
+            features = arrays[f"{base}/x"]
+        environments.append(
+            EnvironmentData(desc["name"], features,
+                            arrays[f"{base}/labels"])
+        )
+    return environments

@@ -1,0 +1,111 @@
+"""Worker-side entry points of the experiment trainer×seed fan-out.
+
+The pool initializer attaches the parent's shared-memory pack once per
+worker process and rebuilds the encoded train/test environments as
+zero-copy views; after that, each :class:`FitTask` travelling down the
+task pipe is a few hundred bytes (a trainer spec, a seed, a flag).
+
+Everything here is module-level and picklable by construction, so the
+same code runs under ``fork`` and ``spawn`` start methods — and inline
+in the parent when ``n_jobs=1``, where :func:`init_experiment_worker`
+simply populates the module state of the calling process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import EnvironmentData
+from repro.metrics.fairness import FairnessReport
+from repro.obs.tracer import Tracer
+from repro.parallel.shared import (
+    PackSpec,
+    SharedArrayPack,
+    environments_from_arrays,
+)
+from repro.train.registry import TrainerSpec
+
+__all__ = ["FitTask", "FitOutcome", "init_experiment_worker", "run_fit_task"]
+
+#: Per-process state: the attached pack plus rebuilt environments.
+_STATE: dict = {}
+
+
+def init_experiment_worker(spec: PackSpec) -> None:
+    """Attach the shared pack and rebuild train/test environments.
+
+    Runs once per worker process (or once inline for ``n_jobs=1``).  The
+    pack object is kept in module state so the mapping stays alive for
+    the lifetime of the worker; environments are zero-copy views into it.
+    """
+    pack = SharedArrayPack.attach(spec)
+    arrays = pack.arrays()
+    meta = spec.metadata()
+    _STATE["pack"] = pack
+    _STATE["train"] = environments_from_arrays(arrays, meta, "train")
+    _STATE["test"] = environments_from_arrays(arrays, meta, "test")
+
+
+def worker_environments(which: str) -> list[EnvironmentData]:
+    """The rebuilt ``"train"``/``"test"`` environments of this process.
+
+    Raises:
+        RuntimeError: If :func:`init_experiment_worker` has not run here.
+    """
+    if which not in _STATE:
+        raise RuntimeError(
+            "worker not initialized — init_experiment_worker must run "
+            "(as the pool initializer) before tasks execute"
+        )
+    return _STATE[which]
+
+
+@dataclass(frozen=True)
+class FitTask:
+    """One (method, seed) unit of the experiment fan-out.
+
+    Attributes:
+        method: Display name the parent aggregates under.
+        spec: Declarative trainer recipe (picklable, unlike a closure).
+        seed: Training seed for this repeat, already derived by the
+            parent via ``SeedSequence.spawn`` — workers never derive
+            seeds themselves, so results cannot depend on scheduling.
+        traced: When true, the fit runs under a buffering tracer whose
+            records are shipped back for merging into the parent log.
+    """
+
+    method: str
+    spec: TrainerSpec
+    seed: int
+    traced: bool = False
+
+
+@dataclass(frozen=True)
+class FitOutcome:
+    """What a worker sends back: the evaluation plus optional trace.
+
+    Attributes:
+        report: Per-province fairness report on the test environments.
+        records: The worker tracer's buffered records (``None`` when the
+            task was untraced).
+        start_unix: Wall-clock start of the worker tracer, letting the
+            parent place merged spans on its own timeline.
+    """
+
+    report: FairnessReport
+    records: list[dict] | None
+    start_unix: float
+
+
+def run_fit_task(task: FitTask) -> FitOutcome:
+    """Train one seeded head on the shared environments and evaluate it."""
+    from repro.experiments.runner import evaluate_result_on
+
+    tracer = Tracer(enabled=task.traced)
+    result = task.spec.build(task.seed).fit(
+        worker_environments("train"), tracer=tracer
+    )
+    report = evaluate_result_on(result, worker_environments("test"))
+    records = list(tracer.records) if task.traced else None
+    return FitOutcome(report=report, records=records,
+                      start_unix=tracer.start_unix)

@@ -13,11 +13,21 @@ This package keeps the repo's perf story honest in two ways:
 * :mod:`repro.perfbench.serving` times the request path — micro-batched
   vs row-at-a-time scoring (bit-identity asserted), warm-cache scoring,
   registry load latency — and writes ``BENCH_serving.json``.
+* :mod:`repro.perfbench.parallel` times the experiment trainer×seed
+  fan-out serially and across worker pools (bit-identity asserted per
+  count) and writes ``BENCH_parallel.json``.
 
 Run via ``python -m repro bench`` / ``python -m repro serve-bench`` (or
-``python -m benchmarks.perf`` from the repo root).
+``python -m benchmarks.perf`` from the repo root); ``repro bench --jobs``
+adds the parallel-scaling suite.
 """
 
+from repro.perfbench.parallel import (
+    ParallelBenchConfig,
+    run_parallel_suite,
+    summarize_parallel,
+    write_parallel_bench_json,
+)
 from repro.perfbench.serving import (
     ServingBenchConfig,
     run_serving_suite,
@@ -26,6 +36,8 @@ from repro.perfbench.serving import (
 )
 from repro.perfbench.suites import (
     BenchConfig,
+    effective_cpu_count,
+    machine_info,
     run_suite,
     summarize,
     write_bench_json,
@@ -33,11 +45,17 @@ from repro.perfbench.suites import (
 
 __all__ = [
     "BenchConfig",
+    "ParallelBenchConfig",
     "ServingBenchConfig",
+    "effective_cpu_count",
+    "machine_info",
     "run_suite",
+    "run_parallel_suite",
     "run_serving_suite",
     "summarize",
+    "summarize_parallel",
     "summarize_serving",
     "write_bench_json",
+    "write_parallel_bench_json",
     "write_serving_bench_json",
 ]

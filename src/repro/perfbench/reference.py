@@ -29,6 +29,7 @@ from repro.numerics import binary_cross_entropy, sigmoid
 
 __all__ = [
     "build_histogram_seed",
+    "best_split_seed",
     "predict_leaf_seed",
     "encode_leaves_seed",
     "SeedDecisionTree",
@@ -57,6 +58,65 @@ def build_histogram_seed(
         hess[f] = np.bincount(bins_f, weights=node_hess, minlength=max_bins)
         count[f] = np.bincount(bins_f, minlength=max_bins)
     return NodeHistogram(grad=grad, hess=hess, count=count)
+
+
+def best_split_seed(params: TreeParams, node: _Node) -> SplitInfo | None:
+    """Seed split search: scan the histogram one feature at a time.
+
+    This is the pre-vectorisation ``DecisionTree._best_split`` preserved
+    verbatim — a Python loop over features, each evaluating its own 1-D
+    prefix sums, per-feature argmax and running-best comparison.  The
+    live 2-D implementation must reproduce its (feature, bin, gain)
+    choice bit-for-bit, ties and all-invalid nodes included.
+    """
+    if params.max_depth >= 0 and node.depth >= params.max_depth:
+        return None
+    hist = node.histogram
+    total_grad = hist.total_grad
+    total_hess = hist.total_hess
+    total_count = hist.total_count
+    if total_count < 2 * params.min_child_samples:
+        return None
+    parent_score = total_grad**2 / (total_hess + params.reg_lambda)
+
+    best: SplitInfo | None = None
+    left_grad = np.cumsum(hist.grad, axis=1)
+    left_hess = np.cumsum(hist.hess, axis=1)
+    left_count = np.cumsum(hist.count, axis=1)
+    for f in range(hist.grad.shape[0]):
+        lg = left_grad[f, :-1]
+        lh = left_hess[f, :-1]
+        lc = left_count[f, :-1]
+        rg = total_grad - lg
+        rh = total_hess - lh
+        rc = total_count - lc
+        valid = (
+            (lc >= params.min_child_samples)
+            & (rc >= params.min_child_samples)
+            & (lh >= params.min_child_hessian)
+            & (rh >= params.min_child_hessian)
+        )
+        if not np.any(valid):
+            continue
+        gains = np.full(lg.shape, -np.inf)
+        gains[valid] = (
+            lg[valid] ** 2 / (lh[valid] + params.reg_lambda)
+            + rg[valid] ** 2 / (rh[valid] + params.reg_lambda)
+            - parent_score
+        )
+        b = int(np.argmax(gains))
+        if gains[b] <= params.min_split_gain:
+            continue
+        if best is None or gains[b] > best.gain:
+            best = SplitInfo(
+                feature=f,
+                bin_threshold=b,
+                gain=float(gains[b]),
+                left_grad=float(lg[b]),
+                left_hess=float(lh[b]),
+                left_count=int(lc[b]),
+            )
+    return best
 
 
 def predict_leaf_seed(tree: DecisionTree, binned: np.ndarray) -> np.ndarray:
@@ -143,7 +203,7 @@ class SeedDecisionTree:
         tiebreak = itertools.count()
 
         def push_candidate(node: _Node) -> None:
-            split = DecisionTree._best_split(self, node)
+            split = best_split_seed(self.params, node)
             if split is not None:
                 heapq.heappush(heap, (-split.gain, next(tiebreak),
                                       node.node_id, split))

@@ -35,7 +35,14 @@ from repro.gbdt.tree import DecisionTree, TreeParams
 from repro.perfbench import reference
 from repro.timing import Measurement, measure
 
-__all__ = ["BenchConfig", "run_suite", "summarize", "write_bench_json"]
+__all__ = [
+    "BenchConfig",
+    "effective_cpu_count",
+    "machine_info",
+    "run_suite",
+    "summarize",
+    "write_bench_json",
+]
 
 #: Format version of BENCH_gbdt.json.
 BENCH_FORMAT = 1
@@ -247,6 +254,20 @@ def run_suite(config: BenchConfig | None = None,
     return {name: BENCHMARKS[name](config) for name in names}
 
 
+def effective_cpu_count() -> int | None:
+    """CPUs this process may actually run on, not just what exists.
+
+    ``os.cpu_count()`` reports the machine; CI runners and containers
+    usually pin processes to a subset via the scheduler affinity mask, so
+    parallel speedups must be read against ``len(os.sched_getaffinity(0))``.
+    Falls back to ``os.cpu_count()`` where affinity is unsupported.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count()
+
+
 def machine_info() -> dict:
     """The hardware/software context a timing is only comparable within."""
     return {
@@ -254,6 +275,7 @@ def machine_info() -> dict:
         "machine": platform.machine(),
         "processor": platform.processor(),
         "cpu_count": os.cpu_count(),
+        "effective_cpu_count": effective_cpu_count(),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
     }

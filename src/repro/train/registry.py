@@ -26,6 +26,7 @@ __all__ = [
     "resolve_trainer_name",
     "trainer_names",
     "TrainerInfo",
+    "TrainerSpec",
 ]
 
 
@@ -144,6 +145,40 @@ def penalty_parameter(name: str) -> str | None:
     if canonical.startswith("meta-IRM("):
         canonical = "meta-IRM"
     return _BY_NAME[canonical].penalty_parameter
+
+
+@dataclass(frozen=True)
+class TrainerSpec:
+    """Declarative, picklable recipe for building a seeded trainer.
+
+    Experiment factories used to be closures over :func:`make_trainer`,
+    which cannot cross a process boundary.  A spec captures the same
+    information as plain data — any name :func:`resolve_trainer_name`
+    accepts plus config overrides — so the parallel execution engine can
+    ship it to workers and rebuild the identical trainer there.
+
+    Attributes:
+        name: Trainer name or alias (``"meta-IRM(5)"`` syntax included).
+        overrides: Extra config fields forwarded to the trainer's config
+            dataclass (everything except ``seed``).
+    """
+
+    name: str
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **overrides) -> "TrainerSpec":
+        """Spec from keyword overrides (sorted for a canonical form)."""
+        return cls(name=name, overrides=tuple(sorted(overrides.items())))
+
+    def build(self, seed: int) -> Trainer:
+        """Instantiate the trainer for one training seed."""
+        return make_trainer(self.name, seed=seed, **dict(self.overrides))
+
+    def __call__(self, seed: int) -> Trainer:
+        # Specs are drop-in replacements for ``Callable[[int], Trainer]``
+        # factories, so serial callers need not distinguish the two.
+        return self.build(seed)
 
 
 def make_trainer(name: str, **config_overrides) -> Trainer:

@@ -335,3 +335,112 @@ class TestPersistedFlatTrees:
         restored = gbdt_from_dict(payload)
         np.testing.assert_array_equal(model.predict_proba(x),
                                       restored.predict_proba(x))
+
+
+class TestSplitSearchGolden:
+    """Vectorised ``_best_split`` vs the seed per-feature scan.
+
+    The 2-D prefix-sum + flat-argmax search must reproduce the seed
+    loop's choice exactly — same (feature, bin, gain) with bitwise-equal
+    floats — including first-feature/first-bin tie-breaking, all-invalid
+    nodes and below-threshold gains.
+    """
+
+    def _node(self, binned, gradients, hessians, max_bins):
+        from repro.gbdt.tree import _Node
+
+        rows = np.arange(binned.shape[0])
+        node = _Node(node_id=0, depth=0, sample_indices=rows)
+        node.histogram = build_histogram(
+            binned, gradients, hessians, rows, max_bins
+        )
+        return node
+
+    def _assert_same_split(self, params, node):
+        ours = DecisionTree(params)._best_split(node)
+        seed = reference.best_split_seed(params, node)
+        if seed is None:
+            assert ours is None
+            return
+        assert ours is not None
+        assert ours.feature == seed.feature
+        assert ours.bin_threshold == seed.bin_threshold
+        assert ours.gain == seed.gain  # bitwise: exact float equality
+        assert ours.left_grad == seed.left_grad
+        assert ours.left_hess == seed.left_hess
+        assert ours.left_count == seed.left_count
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_histograms(self, seed):
+        binned, gradients, hessians, _, _ = _problem(
+            seed, n=400, d=7, max_bins=16
+        )
+        node = self._node(binned, gradients, hessians, max_bins=16)
+        self._assert_same_split(
+            TreeParams(min_child_samples=5), node
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tight_constraints(self, seed):
+        # High min_child_samples / hessian floors invalidate most bins,
+        # exercising the masked-gain path on both sides.
+        binned, gradients, hessians, _, _ = _problem(
+            100 + seed, n=120, d=5, max_bins=8
+        )
+        node = self._node(binned, gradients, hessians, max_bins=8)
+        self._assert_same_split(
+            TreeParams(min_child_samples=40, min_child_hessian=1.0), node
+        )
+
+    def test_all_invalid_returns_none(self):
+        binned, gradients, hessians, _, _ = _problem(
+            3, n=60, d=4, max_bins=8
+        )
+        node = self._node(binned, gradients, hessians, max_bins=8)
+        params = TreeParams(min_child_samples=50)  # no bin can satisfy both
+        assert reference.best_split_seed(params, node) is None
+        assert DecisionTree(params)._best_split(node) is None
+
+    def test_too_few_samples_returns_none(self):
+        binned, gradients, hessians, _, _ = _problem(
+            4, n=30, d=3, max_bins=8
+        )
+        node = self._node(binned, gradients, hessians, max_bins=8)
+        params = TreeParams(min_child_samples=20)  # 30 < 2 * 20
+        assert reference.best_split_seed(params, node) is None
+        assert DecisionTree(params)._best_split(node) is None
+
+    def test_huge_min_split_gain_returns_none(self):
+        binned, gradients, hessians, _, _ = _problem(
+            5, n=200, d=4, max_bins=8
+        )
+        node = self._node(binned, gradients, hessians, max_bins=8)
+        params = TreeParams(min_child_samples=5, min_split_gain=1e9)
+        assert reference.best_split_seed(params, node) is None
+        assert DecisionTree(params)._best_split(node) is None
+
+    def test_duplicate_features_tie_break_on_first(self):
+        # Duplicating the most informative column creates exactly equal
+        # gains in two feature rows; both searches must keep the first.
+        binned, gradients, hessians, _, _ = _problem(
+            6, n=300, d=4, max_bins=8
+        )
+        binned = np.concatenate([binned, binned], axis=1)
+        node = self._node(binned, gradients, hessians, max_bins=8)
+        params = TreeParams(min_child_samples=5)
+        ours = DecisionTree(params)._best_split(node)
+        seed = reference.best_split_seed(params, node)
+        assert ours is not None and seed is not None
+        assert ours.feature == seed.feature < 4
+        assert ours.bin_threshold == seed.bin_threshold
+        assert ours.gain == seed.gain
+
+    def test_max_depth_cap_returns_none(self):
+        binned, gradients, hessians, _, _ = _problem(
+            7, n=200, d=3, max_bins=8
+        )
+        node = self._node(binned, gradients, hessians, max_bins=8)
+        node.depth = 2
+        params = TreeParams(min_child_samples=5, max_depth=2)
+        assert reference.best_split_seed(params, node) is None
+        assert DecisionTree(params)._best_split(node) is None

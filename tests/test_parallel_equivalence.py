@@ -1,0 +1,113 @@
+"""Parallel experiment fan-out must be bit-identical to the serial path.
+
+Every registered trainer is trained twice over the same tiny platform —
+once serially, once across 4 worker processes — and the resulting
+:class:`MethodScores` must compare exactly equal (no tolerance): seeds
+attach to tasks, workers read byte-identical shared-memory environments,
+and evaluation runs the same module-level code in both modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext, ExperimentSettings
+from repro.obs.runlog import validate_record
+from repro.obs.tracer import Tracer
+from repro.train.registry import TrainerSpec, available_trainers, make_trainer
+
+SETTINGS = dict(n_samples=2_500, data_seed=7, trainer_seeds=(0, 1))
+#: Tiny epoch budget — equivalence is about arithmetic, not convergence.
+OVERRIDES = {"n_epochs": 3}
+
+
+def _specs() -> list[tuple[str, TrainerSpec]]:
+    return [
+        (name, TrainerSpec.of(name, **OVERRIDES))
+        for name in available_trainers()
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_scores():
+    context = ExperimentContext(ExperimentSettings(**SETTINGS, n_jobs=1))
+    return context.score_methods(_specs())
+
+
+@pytest.fixture(scope="module")
+def parallel_scores():
+    context = ExperimentContext(ExperimentSettings(**SETTINGS, n_jobs=4))
+    return context.score_methods(_specs())
+
+
+@pytest.mark.parametrize("position, name",
+                         list(enumerate(available_trainers())))
+def test_trainer_bit_identical(position, name, serial_scores,
+                               parallel_scores):
+    assert parallel_scores[position] == serial_scores[position], (
+        f"{name}: n_jobs=4 scores differ from serial"
+    )
+
+
+def test_derived_seeds_ignore_n_jobs():
+    serial = ExperimentSettings(**SETTINGS, n_jobs=1)
+    pooled = ExperimentSettings(**SETTINGS, n_jobs=4)
+    seeds = serial.derived_trainer_seeds()
+    assert seeds == pooled.derived_trainer_seeds()
+    assert len(seeds) == len(serial.trainer_seeds)
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_derived_seeds_follow_settings():
+    base = ExperimentSettings(**SETTINGS)
+    other = ExperimentSettings(**{**SETTINGS, "data_seed": 8})
+    assert base.derived_trainer_seeds() != other.derived_trainer_seeds()
+
+
+def test_callable_factory_stays_serial_and_matches(serial_scores):
+    # Plain closures cannot be pickled, so score_methods silently runs
+    # them on the serial path even when n_jobs > 1 — and the result must
+    # match the spec-driven run of the same trainer.
+    context = ExperimentContext(ExperimentSettings(**SETTINGS, n_jobs=4))
+    scores = context.score_method(
+        "ERM", lambda seed: make_trainer("ERM", seed=seed, **OVERRIDES)
+    )
+    assert scores == serial_scores[0]
+
+
+def test_n_jobs_validation():
+    with pytest.raises(ValueError):
+        ExperimentSettings(n_jobs=0)
+    context = ExperimentContext(ExperimentSettings(**SETTINGS))
+    with pytest.raises(ValueError):
+        context.score_methods(
+            [("ERM", TrainerSpec.of("ERM", **OVERRIDES))], n_jobs=0
+        )
+
+
+def test_traced_parallel_run_merges_schema_valid_log():
+    tracer = Tracer()  # in-memory buffer
+    tracer.write_manifest(command="test")
+    context = ExperimentContext(
+        ExperimentSettings(**SETTINGS, n_jobs=2), tracer=tracer
+    )
+    context.score_methods(_specs()[:1])
+    records = tracer.records
+    for record in records:
+        validate_record(record)
+    assert sum(r["kind"] == "manifest" for r in records) == 1
+    spans = [r for r in records if r["kind"] == "span"]
+    assert spans, "parallel run produced no spans"
+    ids = [s["id"] for s in spans]
+    assert len(ids) == len(set(ids)), "span ids collide after merging"
+    known = set(ids)
+    assert all(s["parent"] in known for s in spans
+               if s["parent"] is not None)
+    merged = [s for s in spans if "method" in s["fields"]]
+    assert merged, "no child spans were merged back"
+    seeds = ExperimentSettings(**SETTINGS).derived_trainer_seeds()
+    assert {s["fields"]["trainer_seed"] for s in merged} == set(seeds)
+    events = [r for r in records if r["kind"] == "event"]
+    span_ids = set(ids)
+    assert all(e["span"] in span_ids for e in events
+               if e["span"] is not None)
