@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro bench --out BENCH_gbdt.json
     python -m repro bench --jobs 2 4 8 --parallel-out BENCH_parallel.json
     python -m repro serve-bench --out BENCH_serving.json
+    python -m repro scale-bench --out BENCH_scale.json
+    python -m repro scale-bench --smoke --save-model scale_model.json
+    python -m repro serve-bench --model scale_model.json
     python -m repro verify --out VERIFY_invariance.json
     python -m repro train --method LightMIRM --data platform.npz --trace run.jsonl
     python -m repro obs report run.jsonl
@@ -169,8 +172,35 @@ def build_parser() -> argparse.ArgumentParser:
                                   "config")
     serve_bench.add_argument("--only", nargs="+", metavar="NAME",
                              help="run a subset of serving benchmarks")
+    serve_bench.add_argument("--model", metavar="PATH",
+                             help="serve a saved artifact (e.g. the scale "
+                                  "bench's --save-model output) instead of "
+                                  "training the fixture")
     serve_bench.add_argument("--trace", metavar="PATH",
                              help="write a structured JSONL run log")
+
+    scale_bench = sub.add_parser(
+        "scale-bench",
+        help="run the paper-scale end-to-end benchmark (wall-clock + RSS)",
+    )
+    scale_bench.add_argument("--out", default="BENCH_scale.json",
+                             help="output JSON path "
+                                  "(default: BENCH_scale.json)")
+    scale_bench.add_argument("--smoke", action="store_true",
+                             help="one 20k-row point instead of the "
+                                  "tracked 100k/500k/1.4M configuration")
+    scale_bench.add_argument("--rows", type=int, nargs="+", metavar="N",
+                             help="override the measured row counts")
+    scale_bench.add_argument("--dtype", choices=("float32", "float64"),
+                             help="override the GBDT hot-path dtype")
+    scale_bench.add_argument("--chunk-rows", type=int,
+                             help="override the streaming chunk size")
+    scale_bench.add_argument("--no-isolate", action="store_true",
+                             help="run points in-process (faster, but peak "
+                                  "RSS becomes the parent's lifetime peak)")
+    scale_bench.add_argument("--save-model", metavar="PATH",
+                             help="save the largest point's trained "
+                                  "pipeline as a serving artifact")
 
     verify = sub.add_parser(
         "verify", help="run the invariance scorecard on the SEM bed"
@@ -444,7 +474,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         config={"quick": bool(args.quick)},
         seed=config.seed,
     )
-    results = run_serving_suite(config, only=args.only, tracer=tracer)
+    results = run_serving_suite(config, only=args.only, tracer=tracer,
+                                model_path=args.model)
     tracer.close()
     if args.trace:
         print(f"wrote run log to {args.trace}")
@@ -452,6 +483,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     write_serving_bench_json(args.out, results, config)
     print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_scale_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.perfbench import (
+        ScaleBenchConfig, dtype_tolerance_check, run_scale_suite,
+        summarize_scale, write_scale_bench_json,
+    )
+
+    config = ScaleBenchConfig.smoke() if args.smoke else ScaleBenchConfig()
+    overrides = {}
+    if args.rows:
+        overrides["row_counts"] = tuple(args.rows)
+    if args.dtype:
+        overrides["dtype"] = args.dtype
+    if args.chunk_rows:
+        overrides["chunk_rows"] = args.chunk_rows
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    tolerance = dtype_tolerance_check(config)
+    status = "passed" if tolerance["passed"] else "FAILED"
+    print(f"float32 tolerance {status}: "
+          f"|dAUC|={tolerance['auc_delta']:.5f} "
+          f"(<= {tolerance['auc_tolerance']})  "
+          f"|dKS|={tolerance['ks_delta']:.5f} "
+          f"(<= {tolerance['ks_tolerance']})")
+    results = run_scale_suite(config, isolate=not args.no_isolate,
+                              save_model=args.save_model)
+    print(summarize_scale(results))
+    write_scale_bench_json(args.out, results, config, tolerance)
+    print(f"wrote {args.out}")
+    if args.save_model:
+        print(f"saved scale model to {args.save_model}")
+    return 0 if tolerance["passed"] else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -534,6 +601,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "scale-bench": _cmd_scale_bench,
     "verify": _cmd_verify,
     "obs": _cmd_obs,
     "list": _cmd_list,

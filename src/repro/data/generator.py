@@ -25,6 +25,7 @@ The generator is deterministic given its seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -34,7 +35,12 @@ from repro.data.schema import CausalRole, LoanFeatureSchema, build_schema
 from repro.data.shifts import covid_default_shift, spurious_strength, vehicle_mix
 from repro.numerics import sigmoid as _sigmoid
 
-__all__ = ["GeneratorConfig", "LoanDataGenerator", "generate_default_dataset"]
+__all__ = [
+    "DatasetChunk",
+    "GeneratorConfig",
+    "LoanDataGenerator",
+    "generate_default_dataset",
+]
 
 #: Factor loadings of the invariant features on the latent creditworthiness
 #: factor, in schema order.  Signs follow credit-risk intuition (higher debt
@@ -105,6 +111,34 @@ class GeneratorConfig:
                                n_spurious=4, seed=seed)
 
 
+@dataclass(frozen=True)
+class DatasetChunk:
+    """One streamed block of generated records from a single platform cell.
+
+    Every chunk comes from exactly one (province, year, half) cell, so
+    streaming consumers (binning, packing, per-environment statistics) get
+    homogeneous blocks without re-grouping.  ``row_indices`` are the rows'
+    positions in the canonical one-shot record order: scattering every
+    chunk of a fixed-seed stream into a preallocated ``(n_samples, d)``
+    matrix reproduces :meth:`LoanDataGenerator.generate` bit for bit.
+
+    ``features``/``labels`` may be views into a per-cell buffer that is
+    reused as iteration advances; copy them if they must outlive the next
+    iteration step.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    row_indices: np.ndarray
+    province: str
+    year: int
+    half: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.labels.shape[0]
+
+
 class LoanDataGenerator:
     """Deterministic sampler of synthetic loan application records."""
 
@@ -123,8 +157,64 @@ class LoanDataGenerator:
         self._spurious_cols = self.schema.columns_with_role(CausalRole.SPURIOUS)
         self._noise_cols = self.schema.columns_with_role(CausalRole.NOISE)
 
-    def generate(self) -> LoanDataset:
-        """Sample the full multi-year dataset."""
+    def generate(self, chunk_rows: int | None = None) -> LoanDataset:
+        """Sample the full multi-year dataset.
+
+        Implemented as scatter-assembly over :meth:`generate_chunks`, so
+        the one-shot and streamed paths share one RNG consumption order:
+        the returned dataset is bit-identical for every ``chunk_rows``
+        (tested), and callers that cannot hold ``(n, d)`` float64 rows
+        should consume :meth:`generate_chunks` directly instead.
+
+        Args:
+            chunk_rows: Internal chunk size; affects only peak memory of
+                intermediate blocks, never the output.
+        """
+        cfg = self.config
+        features = np.zeros((cfg.n_samples, self.schema.n_features))
+        labels = np.zeros(cfg.n_samples)
+        provinces = np.empty(cfg.n_samples, dtype=object)
+        years = np.empty(cfg.n_samples, dtype=np.int64)
+        halves = np.empty(cfg.n_samples, dtype=np.int64)
+        for chunk in self.generate_chunks(chunk_rows=chunk_rows):
+            rows = chunk.row_indices
+            features[rows] = chunk.features
+            labels[rows] = chunk.labels
+            provinces[rows] = chunk.province
+            years[rows] = chunk.year
+            halves[rows] = chunk.half
+        return LoanDataset(
+            features=features,
+            labels=labels,
+            provinces=provinces,
+            years=years,
+            halves=halves,
+            schema=self.schema,
+        )
+
+    def generate_chunks(
+        self, chunk_rows: int | None = None
+    ) -> Iterator[DatasetChunk]:
+        """Stream the dataset as per-cell blocks, never materialising it.
+
+        The record→cell assignment arrays (``O(n)`` small dtypes) are drawn
+        first, exactly as the historical one-shot path did; the feature
+        blocks are then generated cell by cell in registry × year × half
+        order, consuming the master RNG in the same sequence.  Peak memory
+        is the assignment arrays plus one cell's float64 buffer (the
+        largest cell, not the dataset), regardless of ``chunk_rows``.
+
+        Args:
+            chunk_rows: Maximum rows per yielded chunk; cells larger than
+                this are sliced (views into the cell buffer).  ``None``
+                yields one chunk per cell.
+
+        Yields:
+            :class:`DatasetChunk` blocks whose ``row_indices`` scatter back
+            to the canonical one-shot record order.
+        """
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
         rng = np.random.default_rng(self.config.seed)
         cfg = self.config
 
@@ -140,9 +230,6 @@ class LoanDataGenerator:
             provinces[mask] = rng.choice(province_names, size=int(mask.sum()),
                                          p=weights)
 
-        features = np.zeros((cfg.n_samples, self.schema.n_features))
-        labels = np.zeros(cfg.n_samples)
-
         # Generate cell by cell so the per-cell drift parameters apply.
         for province in cfg.registry:
             province_mask = provinces == province.name
@@ -155,17 +242,18 @@ class LoanDataGenerator:
                     cell_x, cell_y = self._generate_cell(
                         rng, province, year, half, n_cell
                     )
-                    features[mask] = cell_x
-                    labels[mask] = cell_y
-
-        return LoanDataset(
-            features=features,
-            labels=labels,
-            provinces=provinces,
-            years=years,
-            halves=halves,
-            schema=self.schema,
-        )
+                    row_indices = np.flatnonzero(mask)
+                    step = n_cell if chunk_rows is None else chunk_rows
+                    for start in range(0, n_cell, step):
+                        stop = min(start + step, n_cell)
+                        yield DatasetChunk(
+                            features=cell_x[start:stop],
+                            labels=cell_y[start:stop],
+                            row_indices=row_indices[start:stop],
+                            province=province.name,
+                            year=int(year),
+                            half=half,
+                        )
 
     def _generate_cell(self, rng, province, year: int, half: int, n: int):
         """Generate ``n`` records for one (province, year, half) cell."""

@@ -1,13 +1,17 @@
 """From-scratch histogram GBDT (LightGBM substitute) and leaf encoder."""
 
-from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.binning import QuantileBinner, ReservoirSampler
 from repro.gbdt.boosting import GBDTClassifier, GBDTParams
 from repro.gbdt.histogram import HistogramBuilder, NodeHistogram, build_histogram
 from repro.gbdt.leaf_encoder import LeafIndexEncoder, encode_leaf_matrix
+from repro.gbdt.packing import PackedBinnedDataset, pack_generated
 from repro.gbdt.tree import DecisionTree, FlatTree, SplitInfo, TreeParams
 
 __all__ = [
     "QuantileBinner",
+    "ReservoirSampler",
+    "PackedBinnedDataset",
+    "pack_generated",
     "GBDTClassifier",
     "GBDTParams",
     "HistogramBuilder",

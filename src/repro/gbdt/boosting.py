@@ -43,6 +43,13 @@ class GBDTParams:
         early_stopping_rounds: Stop when validation logloss has not improved
             for this many rounds (0 disables early stopping).
         seed: RNG seed for subsampling.
+        dtype: Training-time floating dtype for histograms, split gains,
+            leaf values, and the raw-score accumulator.  ``"float64"``
+            (the default) is bit-identical to the historical behaviour;
+            ``"float32"`` halves the hot-path working set at paper scale
+            at the cost of ~1e-3-level probability drift (see
+            ``docs/performance.md``).  Gradient/hessian *accumulation*
+            inside the histogram kernels always runs in float64.
         tree: Per-tree growth parameters.
     """
 
@@ -53,6 +60,7 @@ class GBDTParams:
     colsample: float = 1.0
     early_stopping_rounds: int = 0
     seed: int = 0
+    dtype: str = "float64"
     tree: TreeParams = field(default_factory=TreeParams)
 
     def __post_init__(self) -> None:
@@ -64,6 +72,8 @@ class GBDTParams:
             raise ValueError("subsample must be in (0, 1]")
         if not 0.0 < self.colsample <= 1.0:
             raise ValueError("colsample must be in (0, 1]")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")
 
 
 class GBDTClassifier:
@@ -120,36 +130,111 @@ class GBDTClassifier:
         Returns:
             self.
         """
+        # ``asarray`` with a matching dtype is a no-copy view; only
+        # non-float inputs are upcast.  The binner accepts float32 and
+        # float64 without copying either.
         labels = np.asarray(labels, dtype=np.float64).ravel()
-        features = np.asarray(features, dtype=np.float64)
+        features = np.asarray(features)
         if features.shape[0] != labels.shape[0]:
             raise ValueError("features and labels disagree on sample count")
         if features.shape[0] == 0:
             raise ValueError("cannot fit on an empty dataset")
-        if not np.all(np.isin(np.unique(labels), (0.0, 1.0))):
-            raise ValueError("labels must be binary 0/1")
+        self._check_labels(labels)
 
-        params = self.params
-        rng = np.random.default_rng(params.seed)
         binned = self.binner.fit_transform(features)
-        n, d = binned.shape
-        builder = HistogramBuilder(binned, params.max_bins)
 
-        use_valid = valid_features is not None
-        if use_valid:
+        valid_binned = None
+        if valid_features is not None:
             if valid_labels is None:
                 raise ValueError("valid_labels required with valid_features")
             valid_labels = np.asarray(valid_labels, dtype=np.float64).ravel()
-            valid_binned = self.binner.transform(
-                np.asarray(valid_features, dtype=np.float64)
+            valid_binned = self.binner.transform(valid_features)
+        return self._fit_core(binned, labels, valid_binned, valid_labels)
+
+    def fit_binned(
+        self,
+        binned: np.ndarray,
+        labels: np.ndarray,
+        binner: QuantileBinner,
+        valid_binned: np.ndarray | None = None,
+        valid_labels: np.ndarray | None = None,
+    ) -> "GBDTClassifier":
+        """Fit from a pre-binned uint8 matrix (streamed / packed datasets).
+
+        The paper-scale pipeline bins rows chunk-at-a-time into shared
+        memory (:func:`repro.gbdt.pack_generated`) so the raw float64
+        matrix never exists; this entry point trains directly on that
+        layout.
+
+        Args:
+            binned: ``(n, d)`` uint8 bin indices, produced by ``binner``.
+            labels: Binary labels ``(n,)``.
+            binner: The fitted :class:`QuantileBinner` that produced
+                ``binned`` — adopted so serving-time ``bin_features``
+                keeps working.  Its ``max_bins`` must match the params.
+            valid_binned: Optional pre-binned validation matrix.
+            valid_labels: Labels for the validation matrix.
+
+        Returns:
+            self.
+        """
+        if not binner.is_fitted:
+            raise ValueError("binner must be fitted")
+        if binner.max_bins != self.params.max_bins:
+            raise ValueError(
+                "binner.max_bins does not match GBDTParams.max_bins"
             )
+        binned = np.asarray(binned)
+        if binned.dtype != np.uint8:
+            raise ValueError("binned matrix must be uint8")
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if binned.shape[0] != labels.shape[0]:
+            raise ValueError("binned and labels disagree on sample count")
+        if binned.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._check_labels(labels)
+        self.binner = binner
+
+        if valid_binned is not None:
+            if valid_labels is None:
+                raise ValueError("valid_labels required with valid_binned")
+            valid_labels = np.asarray(valid_labels, dtype=np.float64).ravel()
+            valid_binned = np.asarray(valid_binned)
+        return self._fit_core(binned, labels, valid_binned, valid_labels)
+
+    @staticmethod
+    def _check_labels(labels: np.ndarray) -> None:
+        if not np.all(np.isin(np.unique(labels), (0.0, 1.0))):
+            raise ValueError("labels must be binary 0/1")
+
+    def _fit_core(
+        self,
+        binned: np.ndarray,
+        labels: np.ndarray,
+        valid_binned: np.ndarray | None,
+        valid_labels: np.ndarray | None,
+    ) -> "GBDTClassifier":
+        params = self.params
+        rng = np.random.default_rng(params.seed)
+        n, d = binned.shape
+        value_dtype = np.dtype(params.dtype)
+        builder = HistogramBuilder(
+            binned, params.max_bins, hist_dtype=value_dtype
+        )
+        # float64 path: ``astype(copy=False)`` is the identity, so the
+        # loop below is bit-identical to the historical implementation.
+        labels_t = labels.astype(value_dtype, copy=False)
+
+        use_valid = valid_binned is not None
 
         # Base score: log-odds of the prior default rate.
         prior = float(np.clip(labels.mean(), 1e-6, 1 - 1e-6))
         self.base_score_ = float(np.log(prior / (1.0 - prior)))
-        raw = np.full(n, self.base_score_)
+        raw = np.full(n, self.base_score_, dtype=value_dtype)
         if use_valid:
-            valid_raw = np.full(valid_labels.shape[0], self.base_score_)
+            valid_raw = np.full(
+                valid_labels.shape[0], self.base_score_, dtype=value_dtype
+            )
 
         self.trees_ = []
         self.tree_feature_subsets_ = []
@@ -166,8 +251,10 @@ class GBDTClassifier:
             )
             with round_section:
                 prob = sigmoid(raw)
-                gradients = prob - labels
-                hessians = np.maximum(prob * (1.0 - prob), 1e-12)
+                gradients = prob - labels_t
+                hessians = np.maximum(prob * (1.0 - prob), 1e-12).astype(
+                    value_dtype, copy=False
+                )
 
                 row_subset = None
                 if params.subsample < 1.0:
@@ -193,6 +280,7 @@ class GBDTClassifier:
                     sample_indices=row_subset,
                     column_subset=col_subset,
                     builder=builder,
+                    value_dtype=value_dtype,
                 )
                 self.trees_.append(tree)
                 self.tree_feature_subsets_.append(
@@ -228,7 +316,7 @@ class GBDTClassifier:
     def bin_features(self, features: np.ndarray) -> np.ndarray:
         """Bin a raw feature matrix once, for reuse by ``*_binned`` calls."""
         self._check_fitted()
-        return self.binner.transform(np.asarray(features, dtype=np.float64))
+        return self.binner.transform(features)
 
     def decision_function_binned(self, binned: np.ndarray) -> np.ndarray:
         """Raw additive score (log-odds) over pre-binned rows."""
@@ -245,9 +333,14 @@ class GBDTClassifier:
         return sigmoid(self.decision_function_binned(binned))
 
     def predict_leaves_binned(self, binned: np.ndarray) -> np.ndarray:
-        """Leaf-index matrix ``(n, n_trees)`` over pre-binned rows."""
+        """Leaf-index matrix ``(n, n_trees)`` over pre-binned rows.
+
+        int32 — dense leaf indices are bounded by the per-tree leaf
+        budget, and the narrow dtype halves the matrix the leaf encoder
+        walks at paper scale.
+        """
         self._check_fitted()
-        leaves = np.empty((binned.shape[0], len(self.trees_)), dtype=np.int64)
+        leaves = np.empty((binned.shape[0], len(self.trees_)), dtype=np.int32)
         for t, (tree, cols) in enumerate(
             zip(self.trees_, self.tree_feature_subsets_)
         ):

@@ -46,8 +46,9 @@ class NodeHistogram:
     """Per-feature gradient and hessian histograms for one tree node.
 
     Attributes:
-        grad: ``(n_features, max_bins)`` float64 gradient sums.
-        hess: ``(n_features, max_bins)`` float64 hessian sums.
+        grad: ``(n_features, max_bins)`` gradient sums (float64, or
+            float32 on the opt-in reduced-precision path).
+        hess: ``(n_features, max_bins)`` hessian sums (same dtype).
         count: ``(n_features, max_bins)`` int64 sample counts.
     """
 
@@ -97,12 +98,20 @@ class HistogramBuilder:
     #: fused-index kernel (bincount call overhead amortised).
     _PER_FEATURE_MIN_ROWS = 8192
 
-    def __init__(self, binned: np.ndarray, max_bins: int):
+    def __init__(self, binned: np.ndarray, max_bins: int,
+                 hist_dtype: np.dtype | type | str = np.float64):
         binned = np.asarray(binned)
         if binned.ndim != 2:
             raise ValueError("binned must be a 2-D matrix")
         if max_bins < 2:
             raise ValueError("max_bins must be >= 2")
+        # Accumulation always happens in float64 (np.bincount's native
+        # accumulator); hist_dtype only controls the *stored* histogram
+        # dtype — (d, max_bins) arrays, so the float32 cast is cheap and
+        # downstream split-gain math runs in reduced precision.
+        self.hist_dtype = np.dtype(hist_dtype)
+        if self.hist_dtype not in (np.float32, np.float64):
+            raise ValueError("hist_dtype must be float32 or float64")
         self.max_bins = int(max_bins)
         self.n_samples, self.n_features = binned.shape
         self._binned = binned
@@ -226,8 +235,8 @@ class HistogramBuilder:
         columns = self._columns(column_subset)
         mb = self.max_bins
         bc = np.bincount
-        grad = np.empty((columns.size, mb), dtype=np.float64)
-        hess = np.empty((columns.size, mb), dtype=np.float64)
+        grad = np.empty((columns.size, mb), dtype=self.hist_dtype)
+        hess = np.empty((columns.size, mb), dtype=self.hist_dtype)
 
         if sample_indices is None:
             grad_w = np.ascontiguousarray(gradients, dtype=np.float64)
@@ -286,8 +295,8 @@ class HistogramBuilder:
         )
         shape = (n_cols, self.max_bins)
         return NodeHistogram(
-            grad=grad.reshape(shape),
-            hess=hess.reshape(shape),
+            grad=grad.reshape(shape).astype(self.hist_dtype, copy=False),
+            hess=hess.reshape(shape).astype(self.hist_dtype, copy=False),
             count=count.reshape(shape),
         )
 

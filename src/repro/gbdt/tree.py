@@ -158,15 +158,25 @@ class FlatTree:
         object.__setattr__(self, "_pack", pack)
 
     @classmethod
-    def from_nodes(cls, nodes: list[_Node], n_leaves: int) -> "FlatTree":
-        """Compact a node list into the parallel-array form."""
+    def from_nodes(cls, nodes: list[_Node], n_leaves: int,
+                   value_dtype: np.dtype | type | str = np.float64,
+                   ) -> "FlatTree":
+        """Compact a node list into the parallel-array form.
+
+        Args:
+            nodes: Growth-time node list.
+            n_leaves: Dense leaf count.
+            value_dtype: Dtype of the leaf-value array (float32 on the
+                opt-in reduced-precision path; persisted trees always
+                restore as float64).
+        """
         n_nodes = len(nodes)
         feature = np.zeros(n_nodes, dtype=np.int32)
         threshold = np.full(n_nodes, np.iinfo(np.int32).max, dtype=np.int32)
         left = np.arange(n_nodes, dtype=np.int32)
         right = np.arange(n_nodes, dtype=np.int32)
         leaf_index = np.full(n_nodes, -1, dtype=np.int64)
-        value = np.zeros(max(n_leaves, 1), dtype=np.float64)
+        value = np.zeros(max(n_leaves, 1), dtype=value_dtype)
         depth = 0
         for node in nodes:
             if node.is_leaf:
@@ -247,6 +257,7 @@ class DecisionTree:
         self._nodes: list[_Node] = []
         self._n_leaves = 0
         self._flat: FlatTree | None = None
+        self._value_dtype: np.dtype = np.dtype(np.float64)
 
     @property
     def n_leaves(self) -> int:
@@ -263,7 +274,8 @@ class DecisionTree:
         if self._flat is None:
             if not self._nodes:
                 raise RuntimeError("tree is not fitted")
-            self._flat = FlatTree.from_nodes(self._nodes, self._n_leaves)
+            self._flat = FlatTree.from_nodes(self._nodes, self._n_leaves,
+                                             self._value_dtype)
         return self._flat
 
     def fit(
@@ -275,6 +287,7 @@ class DecisionTree:
         sample_indices: np.ndarray | None = None,
         column_subset: np.ndarray | None = None,
         builder: HistogramBuilder | None = None,
+        value_dtype: np.dtype | type | str = np.float64,
     ) -> "DecisionTree":
         """Grow the tree on (possibly subsampled) training rows.
 
@@ -290,6 +303,8 @@ class DecisionTree:
                 — but without materialising that copy.
             builder: Optional shared :class:`HistogramBuilder` over
                 ``binned`` (the boosting loop passes one per ensemble).
+            value_dtype: Leaf-value storage dtype (float32 on the opt-in
+                reduced-precision path).
 
         Returns:
             self.
@@ -302,6 +317,7 @@ class DecisionTree:
         self._n_leaves = 0
         self._flat = None
         self._max_bins = max_bins
+        self._value_dtype = np.dtype(value_dtype)
         if builder is None:
             builder = HistogramBuilder(binned, max_bins)
         # Growth-time references, dropped at the end of fit().
@@ -339,7 +355,8 @@ class DecisionTree:
             push_candidate(right)
 
         self._finalize_leaves()
-        self._flat = FlatTree.from_nodes(self._nodes, self._n_leaves)
+        self._flat = FlatTree.from_nodes(self._nodes, self._n_leaves,
+                                         self._value_dtype)
         del self._builder, self._binned, self._column_subset
         del self._gradients, self._hessians
         return self
@@ -382,7 +399,10 @@ class DecisionTree:
         )
         if not valid.any():
             return None
-        gains = np.full(lg.shape, -np.inf)
+        # Gains inherit the histogram dtype: float64 on the default path
+        # (bit-identical to the seed loop), float32 on the reduced-
+        # precision path.
+        gains = np.full(lg.shape, -np.inf, dtype=lg.dtype)
         gains[valid] = (
             lg[valid] ** 2 / (lh[valid] + params.reg_lambda)
             + rg[valid] ** 2 / (rh[valid] + params.reg_lambda)

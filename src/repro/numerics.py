@@ -18,8 +18,14 @@ def sigmoid(z: np.ndarray) -> np.ndarray:
 
     Splits on the sign of ``z`` so neither branch ever exponentiates a
     positive argument — no overflow for any finite input.
+
+    The computation dtype follows the input: float32 stays float32 (the
+    GBDT reduced-precision hot path), everything else is done in float64
+    exactly as before.
     """
-    z = np.asarray(z, dtype=np.float64)
+    z = np.asarray(z)
+    if z.dtype != np.float32:
+        z = np.asarray(z, dtype=np.float64)
     out = np.empty_like(z)
     pos = z >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))

@@ -129,6 +129,40 @@ class SharedArrayPack:
         return cls(shm, spec, owner=True)
 
     @classmethod
+    def allocate(cls, layouts: dict[str, tuple[tuple[int, ...], str]],
+                 meta: dict | None = None) -> "SharedArrayPack":
+        """Create an empty block to be filled incrementally.
+
+        The streamed binning/packing path builds datasets too large to
+        exist as ordinary arrays first: it allocates the block up front
+        (shapes are known before any data is) and writes one chunk at a
+        time through :meth:`writable_arrays`.
+
+        Args:
+            layouts: Mapping ``key -> (shape, dtype_str)``.
+            meta: Small JSON-like metadata, as in :meth:`pack`.
+
+        Returns:
+            An owning pack whose arrays are zero-initialised (fresh shared
+            memory is zero-filled by the OS).
+        """
+        entries: list[ArrayEntry] = []
+        offset = 0
+        for key, (shape, dtype) in layouts.items():
+            offset = _aligned(offset)
+            entries.append(ArrayEntry(key=key, dtype=np.dtype(dtype).str,
+                                      shape=tuple(int(s) for s in shape),
+                                      offset=offset))
+            offset += entries[-1].nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        spec = PackSpec(
+            shm_name=shm.name,
+            entries=tuple(entries),
+            meta=tuple(sorted((meta or {}).items())),
+        )
+        return cls(shm, spec, owner=True)
+
+    @classmethod
     def attach(cls, spec: PackSpec) -> "SharedArrayPack":
         """Attach to an existing block by its spec (no data copied).
 
@@ -153,6 +187,23 @@ class SharedArrayPack:
                               buffer=self._shm.buf, offset=entry.offset)
             view.setflags(write=False)
             views[entry.key] = view
+        return views
+
+    def writable_arrays(self) -> dict[str, np.ndarray]:
+        """Writable views for incremental fills (owner-side only).
+
+        Only the process that :meth:`allocate`-d the block should write;
+        attached workers must keep using the read-only :meth:`arrays`.
+        """
+        if not self._owner:
+            raise RuntimeError(
+                "writable views are owner-only; workers attach read-only"
+            )
+        views: dict[str, np.ndarray] = {}
+        for entry in self.spec.entries:
+            views[entry.key] = np.ndarray(entry.shape, dtype=entry.dtype,
+                                          buffer=self._shm.buf,
+                                          offset=entry.offset)
         return views
 
     @property

@@ -16,10 +16,13 @@ This package keeps the repo's perf story honest in two ways:
 * :mod:`repro.perfbench.parallel` times the experiment trainer×seed
   fan-out serially and across worker pools (bit-identity asserted per
   count) and writes ``BENCH_parallel.json``.
+* :mod:`repro.perfbench.scale` measures the end-to-end streaming
+  pipeline (wall-clock + peak RSS via :mod:`repro.perfbench.rss`) at
+  paper-scale row counts and writes ``BENCH_scale.json``.
 
-Run via ``python -m repro bench`` / ``python -m repro serve-bench`` (or
-``python -m benchmarks.perf`` from the repo root); ``repro bench --jobs``
-adds the parallel-scaling suite.
+Run via ``python -m repro bench`` / ``python -m repro serve-bench`` /
+``python -m repro scale-bench`` (or ``python -m benchmarks.perf`` from
+the repo root); ``repro bench --jobs`` adds the parallel-scaling suite.
 """
 
 from repro.perfbench.parallel import (
@@ -27,6 +30,16 @@ from repro.perfbench.parallel import (
     run_parallel_suite,
     summarize_parallel,
     write_parallel_bench_json,
+)
+from repro.perfbench.rss import PeakMemoryProbe, read_peak_rss_bytes
+from repro.perfbench.scale import (
+    ScaleBenchConfig,
+    dtype_tolerance_check,
+    run_scale_point,
+    run_scale_suite,
+    summarize_scale,
+    validate_scale_payload,
+    write_scale_bench_json,
 )
 from repro.perfbench.serving import (
     ServingBenchConfig,
@@ -46,16 +59,25 @@ from repro.perfbench.suites import (
 __all__ = [
     "BenchConfig",
     "ParallelBenchConfig",
+    "PeakMemoryProbe",
+    "ScaleBenchConfig",
     "ServingBenchConfig",
+    "dtype_tolerance_check",
     "effective_cpu_count",
     "machine_info",
+    "read_peak_rss_bytes",
+    "run_scale_point",
+    "run_scale_suite",
     "run_suite",
     "run_parallel_suite",
     "run_serving_suite",
     "summarize",
     "summarize_parallel",
+    "summarize_scale",
     "summarize_serving",
+    "validate_scale_payload",
     "write_bench_json",
     "write_parallel_bench_json",
+    "write_scale_bench_json",
     "write_serving_bench_json",
 ]

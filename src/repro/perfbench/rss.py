@@ -1,0 +1,84 @@
+"""Cross-platform peak-memory probe for the scale benchmarks.
+
+The scale suite's acceptance question is "does peak RSS stay bounded
+below naive full materialisation?" — which must be *measured*, not
+estimated.  Two sources, in preference order:
+
+* ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` — the OS-maintained
+  lifetime high-water mark of resident memory.  It cannot be reset, so
+  callers that want a per-stage number run the stage in a fresh
+  subprocess (which is what :func:`repro.perfbench.scale.run_scale_suite`
+  does).  Linux reports kilobytes, macOS bytes.
+* ``tracemalloc`` — a Python-heap-only fallback for platforms without
+  ``resource`` (e.g. Windows).  It undercounts (no interpreter/C-library
+  overhead) but still captures the NumPy buffers that dominate this
+  workload; the ``source`` field records which probe produced a number
+  so payloads are never silently mixed.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["PeakMemoryProbe", "read_peak_rss_bytes"]
+
+
+def _ru_maxrss_bytes() -> int:
+    """Lifetime peak RSS of this process in bytes (POSIX only)."""
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(ru_maxrss)
+    return int(ru_maxrss) * 1024
+
+
+def read_peak_rss_bytes() -> int | None:
+    """Peak RSS so far, in bytes; ``None`` where ``resource`` is missing."""
+    if resource is None:
+        return None
+    return _ru_maxrss_bytes()
+
+
+class PeakMemoryProbe:
+    """Context manager capturing peak memory over its ``with`` block.
+
+    Usage::
+
+        with PeakMemoryProbe() as probe:
+            run_workload()
+        print(probe.peak_bytes, probe.source)
+
+    With ``resource`` available the number is the process-lifetime RSS
+    high-water mark at exit (so wrap the whole workload of a fresh
+    process, not a late stage of a long-lived one); otherwise it is the
+    traced Python-heap peak over the block via ``tracemalloc``.
+    """
+
+    def __init__(self) -> None:
+        self.peak_bytes: int | None = None
+        #: "getrusage" or "tracemalloc", set at exit.
+        self.source: str | None = None
+        self._own_tracemalloc = False
+
+    def __enter__(self) -> "PeakMemoryProbe":
+        if resource is None and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            tracemalloc.reset_peak()
+            self._own_tracemalloc = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if resource is not None:
+            self.peak_bytes = _ru_maxrss_bytes()
+            self.source = "getrusage"
+            return
+        _, peak = tracemalloc.get_traced_memory()
+        if self._own_tracemalloc:
+            tracemalloc.stop()
+        self.peak_bytes = int(peak)
+        self.source = "tracemalloc"

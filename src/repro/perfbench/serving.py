@@ -73,14 +73,42 @@ class ServingBenchConfig:
                    n_epochs=2, repeats=1, warmup=0)
 
 
-def _fixture(config: ServingBenchConfig, root: pathlib.Path):
-    """Train a small pipeline, store it in a registry, return the pieces."""
+def _fixture(config: ServingBenchConfig, root: pathlib.Path,
+             model_path: str | pathlib.Path | None = None):
+    """Train a small pipeline, store it in a registry, return the pieces.
+
+    With ``model_path`` set, no fixture is trained: the saved artifact
+    (e.g. the scale benchmark's 1.4M-row model, via
+    ``scale-bench --save-model``) is imported as champion instead, and
+    request rows are generated at that model's feature width — the
+    "does the ScoringService sustain the paper-scale model" mode.
+    """
     from repro.baselines.erm import ERMTrainer
     from repro.data.generator import GeneratorConfig, LoanDataGenerator
     from repro.data.splits import temporal_split
     from repro.pipeline.pipeline import LoanDefaultPipeline
     from repro.serve.registry import ModelRegistry
     from repro.train.base import BaseTrainConfig
+
+    if model_path is not None:
+        registry = ModelRegistry(root)
+        registry.import_file(model_path, metadata={"bench": "serving"},
+                             slot="champion")
+        model = registry.load("champion")
+        # The artifact's binner fixes the raw feature width it scores.
+        n_features = len(model.encoder.model.binner.bin_edges_)
+        dataset = LoanDataGenerator(
+            GeneratorConfig(
+                n_samples=max(config.n_score, 2_000),
+                total_features=n_features,
+                n_spurious=min(8, max(1, n_features // 8)),
+                seed=config.seed,
+            )
+        ).generate()
+        rng = np.random.default_rng(config.seed)
+        take = rng.choice(dataset.features.shape[0], size=config.n_score,
+                          replace=True)
+        return registry, np.ascontiguousarray(dataset.features[take])
 
     dataset = LoanDataGenerator(
         GeneratorConfig(n_samples=config.n_train, total_features=40,
@@ -213,7 +241,8 @@ SERVING_BENCHMARKS = {
 
 def run_serving_suite(config: ServingBenchConfig | None = None,
                       only: list[str] | None = None,
-                      tracer: Tracer | None = None) -> dict:
+                      tracer: Tracer | None = None,
+                      model_path: str | pathlib.Path | None = None) -> dict:
     """Run the serving benchmarks and return JSON-compatible results.
 
     Args:
@@ -221,6 +250,9 @@ def run_serving_suite(config: ServingBenchConfig | None = None,
         only: Optional subset of :data:`SERVING_BENCHMARKS` keys.
         tracer: Optional run tracer; each scenario runs inside a span and
             its result lands in a ``serving_bench`` event.
+        model_path: Optional saved artifact to serve instead of training
+            the fixture model (``serve-bench --model``; see
+            :func:`_fixture`).
 
     Returns:
         Mapping scenario id -> result entry.
@@ -235,7 +267,7 @@ def run_serving_suite(config: ServingBenchConfig | None = None,
     with tempfile.TemporaryDirectory() as tmp:
         with tracer.span("serving_fixture"):
             registry, request_rows = _fixture(
-                config, pathlib.Path(tmp) / "reg"
+                config, pathlib.Path(tmp) / "reg", model_path=model_path
             )
         for name in names:
             with tracer.span(f"bench:{name}"):

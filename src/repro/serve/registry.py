@@ -148,9 +148,40 @@ class ModelRegistry:
         Returns:
             The new version id (``"v<N>"``).
         """
+        payload = pipeline_to_payload(pipeline, metadata=metadata)
+        return self._store_payload(payload, slot=slot)
+
+    def import_file(
+        self,
+        path: str | pathlib.Path,
+        metadata: dict | None = None,
+        slot: str | None = None,
+    ) -> str:
+        """Store an existing bare artifact file as a new version.
+
+        Lets artifacts produced elsewhere (another registry, a
+        ``save_file`` call, the scale benchmark's trained model) enter a
+        registry without reconstructing the pipeline object in memory.
+        The payload is validated by restoring it once before storage.
+
+        Args:
+            path: Path of a ``save_file``-format artifact.
+            metadata: Extra metadata merged over the artifact's own.
+            slot: Optionally promote the new version right away.
+
+        Returns:
+            The new version id (``"v<N>"``).
+        """
+        payload = json.loads(pathlib.Path(path).read_text())
+        scoring_model_from_payload(payload)  # raises on a bad artifact
+        if metadata:
+            payload["metadata"] = {**payload.get("metadata", {}), **metadata}
+        return self._store_payload(payload, slot=slot)
+
+    def _store_payload(self, payload: dict, slot: str | None = None) -> str:
+        """Write one artifact payload as a new immutable version."""
         if slot is not None and slot not in _SLOTS:
             raise ValueError(f"unknown slot {slot!r}; choose from {_SLOTS}")
-        payload = pipeline_to_payload(pipeline, metadata=metadata)
         index = self._read_index()
         version = f"v{index['next_version']:04d}"
         relative = f"models/{version}.json"

@@ -34,6 +34,29 @@ class TestParser:
             args = parser.parse_args(["experiment", key])
             assert args.id == key
 
+    def test_scale_bench_args(self):
+        args = build_parser().parse_args([
+            "scale-bench", "--smoke", "--rows", "20000", "50000",
+            "--dtype", "float64", "--chunk-rows", "4096",
+            "--no-isolate", "--out", "b.json", "--save-model", "m.json",
+        ])
+        assert args.smoke is True
+        assert args.rows == [20000, 50000]
+        assert args.dtype == "float64"
+        assert args.chunk_rows == 4096
+        assert args.no_isolate is True
+        assert args.save_model == "m.json"
+
+    def test_scale_bench_rejects_bad_dtype(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale-bench", "--dtype", "float16"])
+
+    def test_serve_bench_accepts_model(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--quick", "--model", "m.json"]
+        )
+        assert args.model == "m.json"
+
 
 class TestGenerate:
     def test_round_trip(self, dataset_file):

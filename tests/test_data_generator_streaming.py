@@ -1,0 +1,142 @@
+"""Streamed generation must be bit-identical to the one-shot path."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    DatasetChunk,
+    GeneratorConfig,
+    LoanDataGenerator,
+)
+from repro.data.provinces import ProvinceProfile, ProvinceRegistry
+
+
+def _assemble(generator, chunk_rows):
+    """Scatter chunks back into canonical row order, like generate()."""
+    cfg = generator.config
+    n, d = cfg.n_samples, generator.schema.n_features
+    features = np.full((n, d), np.nan)
+    labels = np.full(n, -1.0)
+    provinces = np.empty(n, dtype=object)
+    years = np.zeros(n, dtype=np.int64)
+    halves = np.zeros(n, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    for chunk in generator.generate_chunks(chunk_rows):
+        rows = chunk.row_indices
+        assert not seen[rows].any(), "chunk rows overlap"
+        seen[rows] = True
+        features[rows] = chunk.features
+        labels[rows] = chunk.labels
+        provinces[rows] = chunk.province
+        years[rows] = chunk.year
+        halves[rows] = chunk.half
+    assert seen.all(), "chunks did not cover every row"
+    return features, labels, provinces, years, halves
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("chunk_rows", [1, 997, None])
+    def test_chunks_match_one_shot(self, chunk_rows):
+        config = GeneratorConfig.small(seed=11)
+        one_shot = LoanDataGenerator(config).generate()
+        features, labels, provinces, years, halves = _assemble(
+            LoanDataGenerator(config), chunk_rows
+        )
+        np.testing.assert_array_equal(features, one_shot.features)
+        np.testing.assert_array_equal(labels, one_shot.labels)
+        np.testing.assert_array_equal(provinces, one_shot.provinces)
+        np.testing.assert_array_equal(years, one_shot.years)
+        np.testing.assert_array_equal(halves, one_shot.halves)
+
+    @pytest.mark.parametrize("chunk_rows", [1, 997, None])
+    def test_generate_with_chunk_rows_is_identity(self, chunk_rows):
+        """generate(chunk_rows=...) itself must not change the output."""
+        config = GeneratorConfig.small(seed=2)
+        reference = LoanDataGenerator(config).generate()
+        chunked = LoanDataGenerator(config).generate(chunk_rows=chunk_rows)
+        np.testing.assert_array_equal(chunked.features, reference.features)
+        np.testing.assert_array_equal(chunked.labels, reference.labels)
+        np.testing.assert_array_equal(chunked.provinces, reference.provinces)
+
+    def test_custom_registry_and_shift_config(self):
+        """Bit-identity holds for non-default province/shift settings."""
+        registry = ProvinceRegistry([
+            ProvinceProfile("Alpha", 5.0, 0.5, 1.0,
+                            covid_exposure=0.8,
+                            weight_by_year={2020: 0.5}),
+            ProvinceProfile("Beta", 2.0, -0.4, -0.2, noise_scale=1.5),
+            ProvinceProfile("Gamma", 1.0, 0.1, 0.0, truck_tilt=0.3),
+        ])
+        config = GeneratorConfig(
+            n_samples=1_500,
+            total_features=24,
+            n_spurious=4,
+            seed=99,
+            spurious_base_strength=1.1,
+            economic_effect=0.2,
+            label_noise=0.5,
+            registry=registry,
+        )
+        one_shot = LoanDataGenerator(config).generate()
+        for chunk_rows in (1, 113, None):
+            features, labels, provinces, _, _ = _assemble(
+                LoanDataGenerator(config), chunk_rows
+            )
+            np.testing.assert_array_equal(features, one_shot.features)
+            np.testing.assert_array_equal(labels, one_shot.labels)
+            np.testing.assert_array_equal(provinces, one_shot.provinces)
+
+    def test_restream_is_deterministic(self):
+        """Two passes over generate_chunks yield identical chunks."""
+        config = GeneratorConfig.small(seed=4)
+        generator = LoanDataGenerator(config)
+        first = list(generator.generate_chunks(257))
+        second = list(generator.generate_chunks(257))
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.features, b.features)
+            np.testing.assert_array_equal(a.labels, b.labels)
+            np.testing.assert_array_equal(a.row_indices, b.row_indices)
+            assert (a.province, a.year, a.half) == (b.province, b.year, b.half)
+
+
+class TestChunkShape:
+    def test_chunk_rows_bounds_every_chunk(self):
+        generator = LoanDataGenerator(GeneratorConfig.small(seed=7))
+        for chunk in generator.generate_chunks(50):
+            assert 1 <= chunk.n_rows <= 50
+            assert chunk.features.shape == (chunk.n_rows,
+                                            generator.schema.n_features)
+            assert chunk.row_indices.shape == (chunk.n_rows,)
+
+    def test_chunks_are_single_cell(self):
+        """Each chunk belongs to exactly one (province, year, half) cell."""
+        generator = LoanDataGenerator(GeneratorConfig.small(seed=7))
+        dataset = LoanDataGenerator(GeneratorConfig.small(seed=7)).generate()
+        for chunk in generator.generate_chunks(64):
+            rows = chunk.row_indices
+            assert set(dataset.provinces[rows]) == {chunk.province}
+            assert set(dataset.years[rows]) == {chunk.year}
+            assert set(dataset.halves[rows]) == {chunk.half}
+
+    def test_memory_is_cell_bounded_not_dataset_bounded(self):
+        """The iterator never materialises an (n, d) buffer."""
+        generator = LoanDataGenerator(GeneratorConfig.small(seed=7))
+        n = generator.config.n_samples
+        for chunk in generator.generate_chunks(None):
+            assert chunk.n_rows < n  # every cell is a strict subset
+
+    def test_invalid_chunk_rows_rejected(self):
+        generator = LoanDataGenerator(GeneratorConfig.small(seed=1))
+        with pytest.raises(ValueError):
+            next(generator.generate_chunks(0))
+        with pytest.raises(ValueError):
+            next(generator.generate_chunks(-3))
+
+    def test_chunk_dataclass_fields(self):
+        generator = LoanDataGenerator(GeneratorConfig.small(seed=1))
+        chunk = next(generator.generate_chunks(10))
+        assert isinstance(chunk, DatasetChunk)
+        assert chunk.labels.shape[0] == chunk.n_rows
+        assert isinstance(chunk.province, str)
+        assert chunk.half in (1, 2)

@@ -86,3 +86,58 @@ class TestValidation:
         bad[0, 0] = 10_000
         with pytest.raises(ValueError):
             encoder.encode_leaves(bad)
+
+
+class TestIndexDtype:
+    """int32 CSR indices where ranges allow (scipy's native dtype)."""
+
+    def test_small_matrices_use_int32(self, fitted):
+        model, x = fitted
+        out = LeafIndexEncoder(model).transform(x)
+        assert out.indices.dtype == np.int32
+        assert out.indptr.dtype == np.int32
+
+    def test_leaf_matrix_output_is_int32(self, fitted):
+        model, x = fitted
+        leaves = model.predict_leaves(x)
+        assert leaves.dtype == np.int32
+
+    def test_int32_product_matches_int64_reference(self, fitted):
+        from repro.gbdt.leaf_encoder import encode_leaf_matrix
+
+        model, x = fitted
+        encoder = LeafIndexEncoder(model)
+        leaves = model.predict_leaves(x)
+        offsets = np.concatenate(([0], np.cumsum(model.leaves_per_tree())))
+        narrow = encoder.encode_leaves(leaves)
+
+        # Hand-built int64 CSR with the same structure.
+        indices = (leaves.astype(np.int64)
+                   + offsets[:-1][None, :]).ravel()
+        indptr = np.arange(leaves.shape[0] + 1, dtype=np.int64) * leaves.shape[1]
+        wide = sparse.csr_matrix(
+            (np.ones(indices.size, dtype=np.float32), indices, indptr),
+            shape=narrow.shape,
+        )
+        rng = np.random.default_rng(3)
+        theta = rng.standard_normal(narrow.shape[1])
+        np.testing.assert_array_equal(narrow @ theta, wide @ theta)
+        assert (narrow != wide).nnz == 0
+
+    def test_int64_when_ranges_demand_it(self):
+        from repro.gbdt.leaf_encoder import encode_leaf_matrix
+
+        # Fake offsets whose final column count exceeds int32.
+        offsets = np.array([0, 2**31 + 8], dtype=np.int64)
+        leaf_matrix = np.zeros((4, 1), dtype=np.int64)
+        out = encode_leaf_matrix(leaf_matrix, offsets)
+        assert out.indices.dtype == np.int64
+
+    def test_encode_leaves_accepts_int32_without_upcast(self, fitted):
+        model, x = fitted
+        encoder = LeafIndexEncoder(model)
+        leaves32 = model.predict_leaves(x)
+        leaves64 = leaves32.astype(np.int64)
+        a = encoder.encode_leaves(leaves32)
+        b = encoder.encode_leaves(leaves64)
+        assert (a != b).nnz == 0

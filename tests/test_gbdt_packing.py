@@ -1,0 +1,225 @@
+"""Memory-bounded binning: reservoir, streamed fit, shared-memory packing."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import GeneratorConfig, LoanDataGenerator
+from repro.gbdt.binning import QuantileBinner, ReservoirSampler
+from repro.gbdt.packing import PackedBinnedDataset, pack_generated
+from repro.parallel.shared import SharedArrayPack
+
+
+class TestReservoirSampler:
+    def test_under_capacity_keeps_everything_in_order(self, rng):
+        sampler = ReservoirSampler(capacity=100, n_features=4)
+        blocks = [rng.standard_normal((30, 4)) for _ in range(3)]
+        for block in blocks:
+            sampler.add(block)
+        np.testing.assert_array_equal(sampler.sample(), np.vstack(blocks))
+        assert sampler.n_seen == 90
+
+    def test_over_capacity_is_bounded_and_drawn_from_stream(self, rng):
+        sampler = ReservoirSampler(capacity=50, n_features=2, seed=7)
+        seen = []
+        for _ in range(10):
+            block = rng.standard_normal((40, 2))
+            seen.append(block)
+            sampler.add(block)
+        sample = sampler.sample()
+        assert sample.shape == (50, 2)
+        assert sampler.n_seen == 400
+        all_rows = {tuple(row) for row in np.vstack(seen)}
+        assert all(tuple(row) in all_rows for row in sample)
+
+    def test_deterministic_given_seed(self, rng):
+        blocks = [rng.standard_normal((60, 3)) for _ in range(4)]
+        samples = []
+        for _ in range(2):
+            sampler = ReservoirSampler(capacity=40, n_features=3, seed=3)
+            for block in blocks:
+                sampler.add(block)
+            samples.append(sampler.sample())
+        np.testing.assert_array_equal(samples[0], samples[1])
+
+    def test_coverage_is_roughly_uniform(self):
+        """Every stream position must have a fair chance of surviving."""
+        hits = np.zeros(500)
+        stream = np.arange(500, dtype=np.float64)[:, None]
+        for seed in range(200):
+            sampler = ReservoirSampler(capacity=50, n_features=1, seed=seed)
+            for start in range(0, 500, 100):
+                sampler.add(stream[start:start + 100])
+            hits[sampler.sample()[:, 0].astype(int)] += 1
+        # Expected 20 hits per position over 200 trials of k/n = 0.1.
+        assert hits.min() > 5
+        assert hits.max() < 45
+
+
+class TestFitStreamed:
+    def test_equals_fit_when_stream_fits_in_sample(self, rng):
+        x = rng.standard_normal((400, 6))
+        direct = QuantileBinner(max_bins=16).fit(x)
+        streamed = QuantileBinner(max_bins=16).fit_streamed(
+            (x[i:i + 37] for i in range(0, 400, 37)), sample_rows=1_000
+        )
+        assert len(direct.bin_edges_) == len(streamed.bin_edges_)
+        for a, b in zip(direct.bin_edges_, streamed.bin_edges_):
+            np.testing.assert_array_equal(a, b)
+
+    def test_subsampled_edges_still_bin_consistently(self, rng):
+        x = rng.standard_normal((5_000, 3))
+        streamed = QuantileBinner(max_bins=32).fit_streamed(
+            (x[i:i + 500] for i in range(0, 5_000, 500)),
+            sample_rows=1_000, seed=1,
+        )
+        binned = streamed.transform(x)
+        assert binned.dtype == np.uint8
+        assert binned.max() < 32
+        # Quantile-ish edges: all bins of a dense column are populated.
+        assert np.unique(binned[:, 0]).size > 16
+
+
+class TestTransformInto:
+    def test_matches_transform(self, rng):
+        x = rng.standard_normal((300, 5))
+        binner = QuantileBinner(max_bins=16).fit(x)
+        out = np.zeros((300, 5), dtype=np.uint8)
+        binner.transform_into(x, out)
+        np.testing.assert_array_equal(out, binner.transform(x))
+
+    def test_row_scatter(self, rng):
+        x = rng.standard_normal((100, 4))
+        binner = QuantileBinner(max_bins=8).fit(x)
+        out = np.zeros((200, 4), dtype=np.uint8)
+        rows = np.arange(100) * 2 + 1
+        binner.transform_into(x, out, rows=rows)
+        np.testing.assert_array_equal(out[rows], binner.transform(x))
+        assert not out[::2].any()
+
+    def test_rejects_wrong_dtype_or_width(self, rng):
+        x = rng.standard_normal((50, 3))
+        binner = QuantileBinner(max_bins=8).fit(x)
+        with pytest.raises(ValueError):
+            binner.transform_into(x, np.zeros((50, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            binner.transform_into(x, np.zeros((50, 2), dtype=np.uint8))
+
+
+class TestNoCopyRegression:
+    """The fit/transform paths must not copy conforming float inputs."""
+
+    def test_check_matrix_passes_float64_through(self, rng):
+        x = rng.standard_normal((50, 3))
+        assert QuantileBinner._check_matrix(x) is x
+
+    def test_check_matrix_passes_float32_through(self, rng):
+        x = rng.standard_normal((50, 3)).astype(np.float32)
+        assert QuantileBinner._check_matrix(x) is x
+
+    def test_check_matrix_upcasts_integers(self, rng):
+        x = rng.integers(0, 10, size=(50, 3))
+        out = QuantileBinner._check_matrix(x)
+        assert out.dtype == np.float64
+        assert not np.shares_memory(out, x)
+
+    def test_gbdt_fit_does_not_copy_float64_features(self, rng, monkeypatch):
+        from repro.gbdt.binning import QuantileBinner as Binner
+        from repro.gbdt.boosting import GBDTClassifier, GBDTParams
+
+        x = rng.standard_normal((400, 5))
+        y = (rng.random(400) < 0.3).astype(np.float64)
+        seen: list[bool] = []
+        original = Binner.fit_transform
+
+        def spy(self, features):
+            seen.append(np.shares_memory(features, x))
+            return original(self, features)
+
+        monkeypatch.setattr(Binner, "fit_transform", spy)
+        GBDTClassifier(GBDTParams(n_trees=2, max_bins=8)).fit(x, y)
+        assert seen == [True]
+
+
+class TestSharedAllocate:
+    def test_allocate_and_fill(self):
+        pack = SharedArrayPack.allocate(
+            {"a": ((4, 3), "u1"), "b": ((4,), "f8")},
+            meta={"tag": "t"},
+        )
+        try:
+            views = pack.writable_arrays()
+            views["a"][:] = 7
+            views["b"][:] = np.arange(4.0)
+            read = pack.arrays()
+            assert read["a"].dtype == np.uint8
+            np.testing.assert_array_equal(read["a"], np.full((4, 3), 7))
+            np.testing.assert_array_equal(read["b"], np.arange(4.0))
+            assert pack.spec.metadata()["tag"] == "t"
+        finally:
+            pack.dispose()
+
+    def test_writable_arrays_owner_only(self):
+        pack = SharedArrayPack.allocate({"a": ((2,), "f8")})
+        try:
+            attached = SharedArrayPack.attach(pack.spec)
+            with pytest.raises(RuntimeError):
+                attached.writable_arrays()
+            attached.close()
+        finally:
+            pack.dispose()
+
+
+class TestPackGenerated:
+    @pytest.fixture(scope="class")
+    def packed_and_reference(self):
+        config = GeneratorConfig.small(seed=13)
+        generator = LoanDataGenerator(config)
+        packed = pack_generated(generator, chunk_rows=977, max_bins=32)
+        reference = LoanDataGenerator(config).generate()
+        yield packed, reference
+        packed.dispose()
+
+    def test_binned_bit_identical_to_one_shot(self, packed_and_reference):
+        packed, reference = packed_and_reference
+        expected = packed.binner.transform(reference.features)
+        np.testing.assert_array_equal(packed.binned, expected)
+
+    def test_labels_and_groupings_match(self, packed_and_reference):
+        packed, reference = packed_and_reference
+        np.testing.assert_array_equal(packed.labels, reference.labels)
+        names = np.asarray(packed.province_names, dtype=object)
+        np.testing.assert_array_equal(names[packed.province_codes],
+                                      reference.provinces)
+        np.testing.assert_array_equal(packed.years, reference.years)
+        np.testing.assert_array_equal(packed.halves, reference.halves)
+
+    def test_chunk_size_does_not_change_the_pack(self):
+        config = GeneratorConfig(n_samples=1_200, total_features=26,
+                                 n_spurious=4, seed=5)
+        packs = [
+            pack_generated(LoanDataGenerator(config), chunk_rows=rows,
+                           max_bins=16)
+            for rows in (None, 61)
+        ]
+        try:
+            np.testing.assert_array_equal(packs[0].binned, packs[1].binned)
+            np.testing.assert_array_equal(packs[0].labels, packs[1].labels)
+        finally:
+            for pack in packs:
+                pack.dispose()
+
+    def test_rows_for_province(self, packed_and_reference):
+        packed, reference = packed_and_reference
+        name = packed.province_names[0]
+        rows = packed.rows_for_province(name)
+        assert (reference.provinces[rows] == name).all()
+        assert rows.size == int((reference.provinces == name).sum())
+
+    def test_resident_size_is_uint8_dominated(self, packed_and_reference):
+        packed, reference = packed_and_reference
+        n, d = reference.features.shape
+        raw_bytes = reference.features.nbytes
+        # uint8 bins + per-row sidecars: far below the float64 matrix.
+        assert packed.nbytes < raw_bytes / 4
+        assert packed.n_samples == n
+        assert packed.n_features == d

@@ -1,0 +1,52 @@
+"""Unit tests for the cross-platform peak-memory probe."""
+
+import numpy as np
+
+from repro.perfbench import rss
+from repro.perfbench.rss import PeakMemoryProbe, read_peak_rss_bytes
+
+
+class TestReadPeakRss:
+    def test_positive_and_monotonic(self):
+        first = read_peak_rss_bytes()
+        if first is None:  # platform without `resource`
+            return
+        assert first > 0
+        hold = np.ones(4 * 1024 * 1024)  # 32 MB
+        second = read_peak_rss_bytes()
+        assert second >= first
+        del hold
+
+    def test_reflects_a_large_allocation(self):
+        before = read_peak_rss_bytes()
+        if before is None:
+            return
+        hold = np.ones(8 * 1024 * 1024)  # 64 MB, touched on write
+        after = read_peak_rss_bytes()
+        assert after - before >= hold.nbytes // 2
+        del hold
+
+
+class TestPeakMemoryProbe:
+    def test_captures_block_peak(self):
+        with PeakMemoryProbe() as probe:
+            hold = np.ones(2 * 1024 * 1024)  # 16 MB
+            hold[0] = 2.0
+        del hold
+        assert probe.peak_bytes is not None
+        assert probe.peak_bytes > 0
+        assert probe.source in ("getrusage", "tracemalloc")
+
+    def test_tracemalloc_fallback(self, monkeypatch):
+        """Without `resource`, the probe must fall back to tracemalloc."""
+        monkeypatch.setattr(rss, "resource", None)
+        with PeakMemoryProbe() as probe:
+            hold = np.ones(2 * 1024 * 1024)  # 16 MB
+        assert probe.source == "tracemalloc"
+        assert probe.peak_bytes >= hold.nbytes
+        del hold
+
+    def test_fields_none_before_exit(self):
+        probe = PeakMemoryProbe()
+        assert probe.peak_bytes is None
+        assert probe.source is None

@@ -139,3 +139,33 @@ class TestSingleFileSurface:
         entry = registry.describe(version)
         model = ModelRegistry.load_file(registry.root / entry.path)
         assert model.trainer_name == entry.trainer_name
+
+
+class TestImportFile:
+    def test_import_registers_and_promotes(self, tmp_path, registry,
+                                           fitted_pipeline, small_split):
+        path = tmp_path / "external.json"
+        ModelRegistry.save_file(fitted_pipeline, path, metadata={"a": 1})
+        version = registry.import_file(path, metadata={"bench": "scale"})
+        assert version == "v0001"
+        assert registry.slots() == {CHAMPION: "v0001"}
+        model = registry.load(CHAMPION)
+        assert model.metadata == {"a": 1, "bench": "scale"}
+        np.testing.assert_array_equal(
+            model.predict_proba(small_split.test.features),
+            fitted_pipeline.predict_proba(small_split.test),
+        )
+
+    def test_import_into_slot(self, tmp_path, registry, fitted_pipeline):
+        registry.save(fitted_pipeline)
+        path = tmp_path / "external.json"
+        ModelRegistry.save_file(fitted_pipeline, path)
+        registry.import_file(path, slot=CHALLENGER)
+        assert registry.slots() == {CHAMPION: "v0001", CHALLENGER: "v0002"}
+
+    def test_import_rejects_invalid_payload(self, tmp_path, registry):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a model"}))
+        with pytest.raises((KeyError, ValueError)):
+            registry.import_file(path)
+        assert registry.versions() == []
