@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro registry list --root reg/
     python -m repro registry promote --root reg/ --version v0002
     python -m repro serve-score --registry reg/ --data platform.npz
+    python -m repro serve-run --registry reg/ --data platform.npz --workers 4
     python -m repro experiment table1
     python -m repro experiment table1 --jobs 4
     python -m repro bench --out BENCH_gbdt.json
@@ -123,6 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drift-threshold", type=float,
                        help="enable the PSI drift guard at this threshold")
 
+    serve_run = sub.add_parser(
+        "serve-run",
+        help="score a dataset through the multi-worker shared-memory "
+             "front-end",
+    )
+    serve_run.add_argument("--registry", required=True,
+                           help="registry directory")
+    serve_run.add_argument("--data", required=True, help="dataset .npz path")
+    serve_run.add_argument("--workers", type=int, default=2,
+                           help="scoring worker processes (default: 2)")
+    serve_run.add_argument("--batch-size", type=int, default=64,
+                           help="per-worker micro-batch size")
+    serve_run.add_argument("--max-queue", type=int, default=1024,
+                           help="admission bound before requests shed")
+    serve_run.add_argument("--limit", type=int,
+                           help="score only the first N test rows")
+    serve_run.add_argument("--drift-threshold", type=float,
+                           help="enable the PSI drift guard at this "
+                                "threshold")
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -176,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="serve a saved artifact (e.g. the scale "
                                   "bench's --save-model output) instead of "
                                   "training the fixture")
+    serve_bench.add_argument("--workers", type=int, nargs="+", metavar="N",
+                             help="worker counts for the multi-worker "
+                                  "scenario (default: 1 2 4; 1 2 with "
+                                  "--quick)")
     serve_bench.add_argument("--trace", metavar="PATH",
                              help="write a structured JSONL run log")
 
@@ -461,7 +486,59 @@ def _cmd_serve_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    from repro.serve.degradation import DriftGuard
+    from repro.serve.frontend import FrontendConfig, ScoringFrontend
+
+    registry = ModelRegistry(args.registry)
+    dataset = LoanDataset.load(args.data)
+    split = temporal_split(dataset)
+    rows = split.test.features
+    if args.limit is not None:
+        rows = rows[: args.limit]
+
+    guard = None
+    if args.drift_threshold is not None:
+        from repro.monitor.streaming import StreamingPSI
+
+        guard = DriftGuard(
+            StreamingPSI.from_dataset(split.train),
+            psi_threshold=args.drift_threshold,
+        )
+    frontend = ScoringFrontend(
+        registry.load("champion"),
+        FrontendConfig(n_workers=args.workers,
+                       max_batch_size=args.batch_size,
+                       max_queue=args.max_queue),
+        drift_guard=guard,
+    )
+    frontend.start()
+    try:
+        results = frontend.score_stream(rows)
+        snap = frontend.snapshot()  # before stop() retires the packs
+    finally:
+        frontend.stop()
+    scored = [r.score for r in results if r.ok]
+    latency = snap["telemetry"]["request_latency"]
+    print(f"scored {len(scored)}/{len(results)} rows across "
+          f"{args.workers} workers "
+          f"(mean p={sum(scored) / max(len(scored), 1):.4f}, "
+          f"generation {snap['generation']})")
+    print(f"latency         p50 {latency['p50_s'] * 1e3:.3f} ms   "
+          f"p99 {latency['p99_s'] * 1e3:.3f} ms")
+    print(f"admission       admitted={snap['telemetry']['admitted']} "
+          f"shed={snap['telemetry']['shed']} "
+          f"errors={snap['telemetry']['errors']}")
+    if guard is not None:
+        state = guard.snapshot()
+        print(f"drift guard     max_psi={state['max_psi']:.4f} "
+              f"tripped={state['tripped']}")
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.perfbench import (
         ServingBenchConfig, run_serving_suite, summarize_serving,
         write_serving_bench_json,
@@ -469,6 +546,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     config = (ServingBenchConfig.smoke() if args.quick
               else ServingBenchConfig())
+    if args.workers:
+        config = dataclasses.replace(
+            config, worker_counts=tuple(args.workers)
+        )
     tracer = _make_tracer(
         args, "serve-bench",
         config={"quick": bool(args.quick)},
@@ -598,6 +679,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "registry": _cmd_registry,
     "serve-score": _cmd_serve_score,
+    "serve-run": _cmd_serve_run,
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,

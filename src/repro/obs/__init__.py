@@ -27,6 +27,8 @@ from repro.obs.report import (
     timing_tables,
 )
 from repro.obs.runlog import (
+    LIFECYCLE_SPAN,
+    LIFECYCLE_STAGE_EVENT,
     SCHEMA_VERSION,
     RunLog,
     RunLogReader,
@@ -50,6 +52,8 @@ __all__ = [
     "format_summary",
     "load_run",
     "timing_tables",
+    "LIFECYCLE_SPAN",
+    "LIFECYCLE_STAGE_EVENT",
     "SCHEMA_VERSION",
     "RunLog",
     "RunLogReader",

@@ -39,6 +39,8 @@ import numpy as np
 
 __all__ = [
     "SCHEMA_VERSION",
+    "LIFECYCLE_SPAN",
+    "LIFECYCLE_STAGE_EVENT",
     "RunLogWriter",
     "RunLog",
     "RunLogReader",
@@ -51,6 +53,14 @@ __all__ = [
 
 #: Version of the run-log record schema written by this module.
 SCHEMA_VERSION = 1
+
+#: Well-known serving-lifecycle names: a drift recovery runs inside one
+#: ``LIFECYCLE_SPAN`` span and emits one ``LIFECYCLE_STAGE_EVENT`` per
+#: state transition (``stage`` field: drift_detected, retraining,
+#: evaluating, promoting, promoted, rolled_back, aborted) — so
+#: ``repro obs report`` replays the drift→retrain→promote loop verbatim.
+LIFECYCLE_SPAN = "serve_lifecycle"
+LIFECYCLE_STAGE_EVENT = "lifecycle_stage"
 
 #: Required keys per record kind (beyond the ``kind`` discriminator).
 _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {

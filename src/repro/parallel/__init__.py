@@ -26,6 +26,8 @@ from repro.parallel.shared import (
     SharedArrayPack,
     environments_from_arrays,
     environments_to_arrays,
+    ragged_from_arrays,
+    ragged_to_arrays,
 )
 
 __all__ = [
@@ -38,4 +40,6 @@ __all__ = [
     "SharedArrayPack",
     "environments_from_arrays",
     "environments_to_arrays",
+    "ragged_from_arrays",
+    "ragged_to_arrays",
 ]

@@ -35,6 +35,8 @@ __all__ = [
     "SharedArrayPack",
     "environments_to_arrays",
     "environments_from_arrays",
+    "ragged_to_arrays",
+    "ragged_from_arrays",
 ]
 
 #: Alignment of every array inside the block, in bytes.
@@ -235,6 +237,52 @@ class SharedArrayPack:
 
     def __exit__(self, *exc) -> None:
         self.dispose()
+
+
+# ---------------------------------------------------------- ragged arrays
+
+
+def ragged_to_arrays(
+    parts: list[np.ndarray], prefix: str, dtype: np.dtype | type | str,
+) -> dict[str, np.ndarray]:
+    """Flatten a ragged list of 1-D arrays into two packable arrays.
+
+    A pack holds fixed-shape entries, but several model components are
+    naturally ragged (per-feature bin edges, per-tree feature subsets).
+    The CSR-style encoding — one concatenated ``data`` array plus an
+    ``offsets`` boundary array — turns the whole list into exactly two
+    pack entries regardless of part count.
+
+    Args:
+        parts: 1-D arrays of any (possibly zero) lengths.
+        prefix: Key prefix; emits ``{prefix}/data`` and ``{prefix}/offsets``.
+        dtype: Dtype the concatenated data is stored as.
+
+    Returns:
+        ``{f"{prefix}/data": ..., f"{prefix}/offsets": ...}`` suitable for
+        :meth:`SharedArrayPack.pack`.
+    """
+    lengths = np.array([int(p.shape[0]) for p in parts], dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    if parts:
+        data = np.concatenate(
+            [np.asarray(p, dtype=dtype) for p in parts]
+        ) if offsets[-1] else np.empty(0, dtype=dtype)
+    else:
+        data = np.empty(0, dtype=dtype)
+    return {f"{prefix}/data": data, f"{prefix}/offsets": offsets}
+
+
+def ragged_from_arrays(
+    arrays: dict[str, np.ndarray], prefix: str
+) -> list[np.ndarray]:
+    """Rebuild the ragged list as zero-copy slices of the packed data."""
+    data = arrays[f"{prefix}/data"]
+    offsets = arrays[f"{prefix}/offsets"]
+    return [
+        data[int(offsets[i]):int(offsets[i + 1])]
+        for i in range(offsets.shape[0] - 1)
+    ]
 
 
 # ------------------------------------------------------------ environments

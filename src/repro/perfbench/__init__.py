@@ -45,6 +45,7 @@ from repro.perfbench.serving import (
     ServingBenchConfig,
     run_serving_suite,
     summarize_serving,
+    validate_serving_payload,
     write_serving_bench_json,
 )
 from repro.perfbench.suites import (
@@ -76,6 +77,7 @@ __all__ = [
     "summarize_scale",
     "summarize_serving",
     "validate_scale_payload",
+    "validate_serving_payload",
     "write_bench_json",
     "write_parallel_bench_json",
     "write_scale_bench_json",

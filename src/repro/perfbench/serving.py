@@ -1,6 +1,6 @@
-"""Tracked serving benchmarks: micro-batching, caching, registry latency.
+"""Tracked serving benchmarks: batching, caching, registry, multi-worker.
 
-Three tracked numbers, written to ``BENCH_serving.json`` (run via
+Four tracked scenarios, written to ``BENCH_serving.json`` (run via
 ``python -m repro serve-bench``):
 
 * ``micro_batching`` — scoring the same rows through the
@@ -12,6 +12,11 @@ Three tracked numbers, written to ``BENCH_serving.json`` (run via
   cache warm vs cold (exactness again checked).
 * ``registry_load`` — wall time of ``ModelRegistry.load("champion")``,
   the cost of a serving process (re)start or a promote-triggered reload.
+* ``workers`` — the multi-worker shared-memory front-end
+  (:class:`~repro.serve.frontend.ScoringFrontend`) at each tracked worker
+  count: end-to-end p50/p99 request latency, sustained rows/sec, and the
+  bit-identity flag against single-process ``predict_proba`` (the CI soak
+  gate).
 
 The fixture artifact is a real (small) GBDT+LR pipeline trained on the
 synthetic platform, stored in a temporary :class:`ModelRegistry`.
@@ -33,11 +38,12 @@ __all__ = [
     "ServingBenchConfig",
     "run_serving_suite",
     "summarize_serving",
+    "validate_serving_payload",
     "write_serving_bench_json",
 ]
 
-#: Format version of BENCH_serving.json.
-SERVING_BENCH_FORMAT = 1
+#: Format version of BENCH_serving.json (2 added the ``workers`` scenario).
+SERVING_BENCH_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -55,6 +61,8 @@ class ServingBenchConfig:
         n_epochs: LR-head epochs of the fixture model (quality irrelevant).
         repeats: Timing repeats per scenario (median reported).
         seed: Data/trainer seed.
+        worker_counts: Front-end worker counts the ``workers`` scenario
+            sweeps (the tracked file reports 1/2/4).
     """
 
     n_train: int = 8_000
@@ -65,12 +73,13 @@ class ServingBenchConfig:
     repeats: int = 3
     warmup: int = 1
     seed: int = 0
+    worker_counts: tuple[int, ...] = (1, 2, 4)
 
     @classmethod
     def smoke(cls) -> "ServingBenchConfig":
         """Tiny sizes: every scenario exercised once, nothing timed long."""
         return cls(n_train=1_500, n_score=200, n_patterns=16, batch_size=32,
-                   n_epochs=2, repeats=1, warmup=0)
+                   n_epochs=2, repeats=1, warmup=0, worker_counts=(1, 2))
 
 
 def _fixture(config: ServingBenchConfig, root: pathlib.Path,
@@ -231,11 +240,70 @@ def bench_registry_load(config: ServingBenchConfig, registry,
     }
 
 
+def bench_workers(config: ServingBenchConfig, registry,
+                  request_rows: np.ndarray) -> dict:
+    """Multi-worker shared-memory front-end at each tracked worker count.
+
+    One :class:`~repro.serve.frontend.ScoringFrontend` per count scores
+    the whole request stream; latency percentiles come from the
+    front-end's own admission→resolution histogram (so they include
+    queueing delay, not just compute), and every count's scores are
+    checked bit-identical against single-process ``predict_proba`` — the
+    flag the CI soak step gates on.
+    """
+    from repro.serve.frontend import FrontendConfig, ScoringFrontend
+
+    model = registry.load("champion")
+    reference = model.predict_proba(request_rows)
+    n = request_rows.shape[0]
+    per_workers: dict[str, dict] = {}
+    for count in config.worker_counts:
+        frontend = ScoringFrontend(
+            model,
+            FrontendConfig(n_workers=count,
+                           max_batch_size=config.batch_size,
+                           max_queue=max(2 * n, 64)),
+        )
+        frontend.start()
+        try:
+            def stream() -> np.ndarray:
+                results = frontend.score_stream(request_rows)
+                return np.array([r.score for r in results])
+
+            scores = stream()
+            bit_identical = bool(np.array_equal(scores, reference))
+            wall = measure(stream, repeats=config.repeats,
+                           warmup=config.warmup)
+            latency = frontend.telemetry.request_latency
+            per_workers[str(count)] = {
+                "n_rows": n,
+                "p50_ms": latency.percentile(50) * 1e3,
+                "p99_ms": latency.percentile(99) * 1e3,
+                "rows_per_s": n / wall.median_seconds,
+                "wall_s": wall.median_seconds,
+                "bit_identical": bit_identical,
+                "shed": frontend.telemetry.shed,
+                "errors": frontend.telemetry.errors,
+            }
+        finally:
+            frontend.stop()
+    return {
+        "worker_counts": [int(c) for c in config.worker_counts],
+        "batch_size": config.batch_size,
+        "per_workers": per_workers,
+        "bit_identical": all(
+            entry["bit_identical"] for entry in per_workers.values()
+        ),
+        "repeats": config.repeats,
+    }
+
+
 #: Scenario id -> runner, in report order.
 SERVING_BENCHMARKS = {
     "micro_batching": bench_micro_batching,
     "cache_hot": bench_cache_hot,
     "registry_load": bench_registry_load,
+    "workers": bench_workers,
 }
 
 
@@ -294,12 +362,74 @@ def write_serving_bench_json(
             "n_patterns": config.n_patterns,
             "batch_size": config.batch_size,
             "repeats": config.repeats,
+            "worker_counts": [int(c) for c in config.worker_counts],
         },
         "machine": machine_info(),
         "benchmarks": results,
     }
     pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
     return payload
+
+
+def validate_serving_payload(payload: dict) -> list[str]:
+    """Schema-check one ``BENCH_serving.json`` payload (CI gate).
+
+    Returns a list of human-readable problems; an empty list means the
+    payload is structurally sound.  Checked: format version, the
+    presence/shape of every scenario that appears, and — for the
+    ``workers`` scenario — that every swept count reports p50/p99
+    latency, rows/sec and a bit-identity flag.
+    """
+    problems: list[str] = []
+    if payload.get("format") != SERVING_BENCH_FORMAT:
+        problems.append(
+            f"format is {payload.get('format')!r}, "
+            f"expected {SERVING_BENCH_FORMAT}"
+        )
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        return problems + ["benchmarks section missing or empty"]
+    unknown = set(benchmarks) - set(SERVING_BENCHMARKS)
+    if unknown:
+        problems.append(f"unknown scenarios: {sorted(unknown)}")
+    required_scalar = {
+        "micro_batching": ("micro_batched_rows_per_s", "bit_identical"),
+        "cache_hot": ("warm_s", "cold_s", "bit_identical"),
+        "registry_load": ("median_s",),
+    }
+    for name, keys in required_scalar.items():
+        entry = benchmarks.get(name)
+        if entry is None:
+            continue
+        for key in keys:
+            if key not in entry:
+                problems.append(f"{name}: missing key {key!r}")
+    workers = benchmarks.get("workers")
+    if workers is not None:
+        per_workers = workers.get("per_workers")
+        if not isinstance(per_workers, dict) or not per_workers:
+            problems.append("workers: per_workers missing or empty")
+        else:
+            for count, entry in per_workers.items():
+                for key in ("p50_ms", "p99_ms", "rows_per_s",
+                            "bit_identical"):
+                    if key not in entry:
+                        problems.append(
+                            f"workers[{count}]: missing key {key!r}"
+                        )
+                if entry.get("bit_identical") is not True:
+                    problems.append(
+                        f"workers[{count}]: bit_identical is not true"
+                    )
+                p99 = entry.get("p99_ms")
+                if not (isinstance(p99, (int, float)) and 0 < p99 < 60_000):
+                    problems.append(
+                        f"workers[{count}]: p99_ms {p99!r} fails sanity "
+                        f"(0 < p99 < 60000 ms)"
+                    )
+        if "bit_identical" in workers and workers["bit_identical"] is not True:
+            problems.append("workers: aggregate bit_identical is not true")
+    return problems
 
 
 def summarize_serving(results: dict) -> str:
@@ -327,4 +457,14 @@ def summarize_serving(results: dict) -> str:
         lines.append(
             f"registry_load    {entry['median_s'] * 1e3:10.3f} ms median"
         )
+    if "workers" in results:
+        for count, entry in sorted(results["workers"]["per_workers"].items(),
+                                   key=lambda item: int(item[0])):
+            lines.append(
+                f"workers={count}        "
+                f"{entry['rows_per_s']:10.0f} rows/s"
+                f"   p50 {entry['p50_ms']:7.3f} ms"
+                f"   p99 {entry['p99_ms']:7.3f} ms"
+                f"   bit_identical={entry['bit_identical']}"
+            )
     return "\n".join(lines)

@@ -16,16 +16,34 @@ artifacts :mod:`repro.persist` writes into an operated service:
 * :mod:`~repro.serve.degradation` — streaming-PSI drift guard and
   challenger-failure fallback rules.
 * :mod:`~repro.serve.telemetry` — latency histograms, throughput,
-  fallback and cache counters.
-* :mod:`~repro.serve.service` — :class:`ScoringService`, the composition.
+  fallback and cache counters (service- and front-end-level).
+* :mod:`~repro.serve.service` — :class:`ScoringService`, the
+  single-process composition.
+* :mod:`~repro.serve.shm_publish` — shared-memory model publishing with
+  generation counters (one physical copy, N zero-copy workers).
+* :mod:`~repro.serve.frontend` — :class:`ScoringFrontend`, the
+  asyncio-friendly bounded-queue layer fanning out to worker processes.
+* :mod:`~repro.serve.lifecycle` — :class:`LifecycleController`, the
+  closed drift → retrain → gated eval → promote/rollback loop.
 
-See ``docs/serving.md`` for the registry layout, service lifecycle,
-degradation policy and telemetry schema.
+See ``docs/serving.md`` for the registry layout, worker architecture,
+backpressure semantics, degradation policy and telemetry schema.
 """
 
 from repro.serve.batching import MicroBatcher, Ticket
 from repro.serve.cache import LeafPatternCache
 from repro.serve.degradation import DriftGuard, GuardDecision
+from repro.serve.frontend import (
+    FrontendConfig,
+    FrontendResult,
+    FrontendTicket,
+    ScoringFrontend,
+)
+from repro.serve.lifecycle import (
+    LifecycleController,
+    PromotionGates,
+    RetrainConfig,
+)
 from repro.serve.registry import (
     CHALLENGER,
     CHAMPION,
@@ -33,18 +51,33 @@ from repro.serve.registry import (
     ModelVersion,
 )
 from repro.serve.service import ScoringService, ServiceConfig
-from repro.serve.telemetry import LatencyHistogram, ServingTelemetry
+from repro.serve.shm_publish import ModelPublisher, PublishedModel
+from repro.serve.telemetry import (
+    FrontendTelemetry,
+    LatencyHistogram,
+    ServingTelemetry,
+)
 
 __all__ = [
     "CHALLENGER",
     "CHAMPION",
     "DriftGuard",
+    "FrontendConfig",
+    "FrontendResult",
+    "FrontendTelemetry",
+    "FrontendTicket",
     "GuardDecision",
     "LatencyHistogram",
     "LeafPatternCache",
+    "LifecycleController",
     "MicroBatcher",
+    "ModelPublisher",
     "ModelRegistry",
     "ModelVersion",
+    "PromotionGates",
+    "PublishedModel",
+    "RetrainConfig",
+    "ScoringFrontend",
     "ScoringService",
     "ServiceConfig",
     "ServingTelemetry",

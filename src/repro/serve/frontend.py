@@ -1,0 +1,681 @@
+"""Multi-worker scoring front-end: admission control, fan-out, recovery.
+
+:class:`ScoringFrontend` is the request layer in front of N scoring
+*worker processes*.  The parent publishes model artifacts once into shared
+memory (:mod:`repro.serve.shm_publish`) and workers attach zero-copy
+views, each running its own :class:`~repro.serve.service.ScoringService`
+(micro-batcher included) over the shared arrays.  The parent side is
+asyncio-friendly — :meth:`ScoringFrontend.score` awaits a result — but
+every primitive is also callable synchronously through
+:class:`FrontendTicket`, so benches, the CLI and tests need no event loop.
+
+Operating contract:
+
+* **Backpressure, never silent drops.**  Admission is bounded by
+  ``max_queue`` outstanding requests; request ``max_queue + 1`` resolves
+  *immediately* to an explicit 503-style :data:`OVERLOADED` result and is
+  counted in telemetry.  Nothing is ever dropped without a result.
+* **Generation-stamped scoring.**  Every admitted request carries the
+  model generation that was live at admission.  Publishing a new model is
+  an atomic pack-swap: a fresh immutable generation, loaded by workers on
+  their next control poll — requests admitted before the swap score on
+  their old generation, bit-identically.
+* **Fault isolation.**  A worker death mid-batch re-dispatches that
+  worker's in-flight requests to surviving workers (or resolves them with
+  an error naming the dead worker when none survive) and respawns the
+  worker.  A poison row (non-finite values, wrong width) fails *only its
+  own request* — the rest of the micro-batch is rescored row-by-row.
+* **Bit-identity.**  Scores are exactly single-process
+  ``ScoringService.predict_proba`` for every worker count: batching and
+  fan-out change when/where a score is computed, never its value.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.engine import default_start_method
+from repro.parallel.shared import PackSpec
+from repro.persist.artifacts import ScoringModel
+from repro.serve.degradation import DriftGuard
+from repro.serve.shm_publish import ModelPublisher, attach_model
+from repro.serve.telemetry import FrontendTelemetry
+
+__all__ = [
+    "FrontendConfig",
+    "FrontendResult",
+    "FrontendTicket",
+    "ScoringFrontend",
+    "OK",
+    "OVERLOADED",
+    "ERROR",
+]
+
+#: Result statuses.
+OK = "ok"
+OVERLOADED = "overloaded"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Operating knobs of one :class:`ScoringFrontend`.
+
+    Attributes:
+        n_workers: Scoring worker process count.
+        max_batch_size: Per-worker micro-batch auto-flush threshold.
+        max_queue: Admission bound — outstanding (admitted, unresolved)
+            requests; the ``max_queue + 1``-th submit sheds.
+        poll_timeout_s: Worker block time waiting for the first request of
+            a batch (also the cadence of control-message polling).
+        start_method: Worker start method; ``None`` picks the platform
+            default (``fork`` where available).
+        ready_timeout_s: Parent-side wait for worker startup handshakes.
+    """
+
+    n_workers: int = 2
+    max_batch_size: int = 64
+    max_queue: int = 1024
+    poll_timeout_s: float = 0.02
+    start_method: str | None = None
+    ready_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+
+@dataclass(frozen=True)
+class FrontendResult:
+    """Terminal outcome of one scoring request.
+
+    Attributes:
+        status: ``"ok"``, ``"overloaded"`` or ``"error"``.
+        score: The default probability (``ok`` only).
+        generation: Model generation that scored the request (``ok``
+            only; ``-1`` otherwise).
+        context: Human-readable failure context (non-``ok`` only).
+    """
+
+    status: str
+    score: float = float("nan")
+    generation: int = -1
+    context: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+class FrontendTicket:
+    """Handle to one admitted (or immediately refused) request."""
+
+    __slots__ = ("request_id", "_future")
+
+    def __init__(self, request_id: int, future: Future):
+        self.request_id = request_id
+        self._future = future
+
+    @property
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> FrontendResult:
+        """Block until the request resolves (sync callers)."""
+        return self._future.result(timeout)
+
+    async def wait(self) -> FrontendResult:
+        """Await resolution (asyncio callers)."""
+        return await asyncio.wrap_future(self._future)
+
+
+# --------------------------------------------------------------- worker side
+
+
+def _resolve_batch(services: dict, batch: list) -> list[tuple]:
+    """Score one drained batch, grouped by generation, poison-isolated.
+
+    Returns response tuples ``(req_id, status, value, generation)`` in
+    the same order requests were drained.
+    """
+    from repro.serve.service import ScoringService  # noqa: F401 (doc link)
+
+    responses: dict[int, tuple] = {}
+    by_generation: dict[int, list[tuple[int, np.ndarray]]] = {}
+    for req_id, row, generation in batch:
+        by_generation.setdefault(generation, []).append((req_id, row))
+    for generation, members in by_generation.items():
+        service = services.get(generation)
+        if service is None:
+            for req_id, _ in members:
+                responses[req_id] = (
+                    req_id, ERROR,
+                    f"generation {generation} is not loaded in this worker",
+                    generation,
+                )
+            continue
+        try:
+            tickets = [service.submit(row) for _, row in members]
+            service.flush()
+            for (req_id, _), ticket in zip(members, tickets):
+                responses[req_id] = (req_id, OK, ticket.score, generation)
+        except Exception:
+            # Poison isolation: rescore row-by-row so the blast radius is
+            # exactly the failing request(s).
+            for req_id, row in members:
+                try:
+                    score = float(service.score_batch(row[None, :])[0])
+                    responses[req_id] = (req_id, OK, score, generation)
+                except Exception as exc:  # noqa: BLE001 - shipped as context
+                    responses[req_id] = (
+                        req_id, ERROR,
+                        f"request {req_id} failed scoring: {exc!r}",
+                        generation,
+                    )
+    return [responses[req_id] for req_id, _, __ in batch]
+
+
+def _worker_main(worker_id: int, request_q, response_q, control_q,
+                 initial: list[tuple[int, PackSpec]],
+                 max_batch_size: int, poll_timeout_s: float) -> None:
+    """One scoring worker: attach shared models, batch, score, respond.
+
+    Module-level (picklable) so it runs under ``fork`` and ``spawn``.
+    """
+    from repro.serve.service import ScoringService, ServiceConfig
+
+    packs: dict[int, object] = {}
+    services: dict[int, ScoringService] = {}
+
+    def load(generation: int, spec: PackSpec) -> None:
+        if generation in services:
+            return
+        model, pack = attach_model(spec)
+        packs[generation] = pack
+        services[generation] = ScoringService(
+            model, config=ServiceConfig(max_batch_size=max_batch_size)
+        )
+
+    for generation, spec in initial:
+        load(generation, spec)
+    response_q.put(("ready", worker_id, os.getpid()))
+
+    paused = False
+    running = True
+    while running:
+        while True:  # control first: swaps/pauses beat data
+            try:
+                message = control_q.get_nowait()
+            except queue_mod.Empty:
+                break
+            kind = message[0]
+            if kind == "stop":
+                running = False
+            elif kind == "load":
+                load(message[1], message[2])
+            elif kind == "pause":
+                paused = True
+            elif kind == "resume":
+                paused = False
+        if not running:
+            break
+        if paused:
+            time.sleep(poll_timeout_s)
+            continue
+        try:
+            first = request_q.get(timeout=poll_timeout_s)
+        except queue_mod.Empty:
+            continue
+        batch = [first]
+        while len(batch) < max_batch_size:
+            try:
+                batch.append(request_q.get_nowait())
+            except queue_mod.Empty:
+                break
+        # A swap racing admission: requests can carry a generation whose
+        # "load" control message has not been polled yet.  Drain control
+        # until every requested generation is resolvable (bounded wait).
+        deadline = time.monotonic() + 5.0
+        while (any(gen not in services for _, __, gen in batch)
+               and time.monotonic() < deadline):
+            try:
+                message = control_q.get(timeout=0.01)
+            except queue_mod.Empty:
+                continue
+            if message[0] == "load":
+                load(message[1], message[2])
+            elif message[0] == "stop":
+                running = False
+                break
+        response_q.put(("results", worker_id, _resolve_batch(services, batch)))
+
+    for pack in packs.values():
+        pack.close()
+
+
+# --------------------------------------------------------------- parent side
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process."""
+
+    def __init__(self, worker_id: int, process, request_q, control_q):
+        self.worker_id = worker_id
+        self.process = process
+        self.request_q = request_q
+        self.control_q = control_q
+        self.ready = False
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ScoringFrontend:
+    """Bounded-queue scoring front door over N shared-memory workers.
+
+    Usage (sync)::
+
+        frontend = ScoringFrontend(model, FrontendConfig(n_workers=2))
+        frontend.start()
+        tickets = [frontend.submit(row) for row in rows]
+        results = [t.result(timeout=30) for t in tickets]
+        frontend.stop()
+
+    Usage (asyncio)::
+
+        async with contextlib.aclosing(...)  # or try/finally frontend.stop()
+            result = await frontend.score(row)
+
+    Args:
+        model: The initial champion scorer (published as generation 0).
+        config: Operating knobs.
+        telemetry: Optional externally-owned telemetry sink.
+        drift_guard: Optional :class:`DriftGuard` observed over admitted
+            rows (the closed-loop controller watches its trip).
+        version: Optional registry version id of ``model`` (telemetry).
+    """
+
+    def __init__(
+        self,
+        model: ScoringModel,
+        config: FrontendConfig | None = None,
+        telemetry: FrontendTelemetry | None = None,
+        drift_guard: DriftGuard | None = None,
+        version: str | None = None,
+    ):
+        self.config = config or FrontendConfig()
+        self.telemetry = telemetry or FrontendTelemetry()
+        self.drift_guard = drift_guard
+        self._publisher = ModelPublisher()
+        self._initial_model = model
+        self._initial_version = version
+        self._n_features = len(model.encoder.model.binner.bin_edges_)
+        self._context = multiprocessing.get_context(
+            self.config.start_method or default_start_method()
+        )
+        self._workers: list[_WorkerHandle] = []
+        self._response_q = None
+        self._collector: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._pending: dict[int, dict] = {}
+        self._request_ids = itertools.count()
+        self._rr = itertools.count()
+        self._started = False
+        self._stopping = False
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def generation(self) -> int:
+        """The generation new admissions are stamped with."""
+        return self._publisher.latest.generation
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker processes (fault-injection hook)."""
+        return [w.process.pid for w in self._workers]
+
+    def start(self) -> "ScoringFrontend":
+        """Publish generation 0 and spawn + handshake the workers."""
+        if self._started:
+            raise RuntimeError("frontend already started")
+        self._started = True
+        self._publisher.publish(self._initial_model,
+                                version=self._initial_version)
+        self._response_q = self._context.Queue()
+        for worker_id in range(self.config.n_workers):
+            self._workers.append(self._spawn(worker_id))
+        self._await_ready()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="frontend-collector", daemon=True
+        )
+        self._collector.start()
+        return self
+
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        request_q = self._context.Queue()
+        control_q = self._context.Queue()
+        initial = [
+            (g, self._publisher.get(g).spec)
+            for g in self._publisher.generations
+        ]
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, request_q, self._response_q, control_q,
+                  initial, self.config.max_batch_size,
+                  self.config.poll_timeout_s),
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(worker_id, process, request_q, control_q)
+
+    def _await_ready(self) -> None:
+        deadline = time.monotonic() + self.config.ready_timeout_s
+        pending = {w.worker_id for w in self._workers if not w.ready}
+        while pending and time.monotonic() < deadline:
+            try:
+                message = self._response_q.get(timeout=0.1)
+            except queue_mod.Empty:
+                continue
+            if message[0] == "ready":
+                pending.discard(message[1])
+                for worker in self._workers:
+                    if worker.worker_id == message[1]:
+                        worker.ready = True
+        if pending:
+            self.stop()
+            raise RuntimeError(
+                f"workers {sorted(pending)} failed to start within "
+                f"{self.config.ready_timeout_s}s"
+            )
+
+    def stop(self) -> None:
+        """Stop workers, resolve leftovers with an error, free the packs."""
+        if self._stopping:
+            return
+        self._stopping = True
+        for worker in self._workers:
+            try:
+                worker.control_q.put(("stop",))
+            except Exception:  # noqa: BLE001 - queue may be torn down
+                pass
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for entry in leftovers:
+            self._resolve_future(
+                entry["future"],
+                FrontendResult(status=ERROR,
+                               context="frontend stopped before scoring"),
+            )
+        for worker in self._workers:
+            self._discard_queues(worker)
+        self._publisher.close()
+
+    @staticmethod
+    def _discard_queues(worker: "_WorkerHandle") -> None:
+        """Release a handle's queues without joining their feeder threads.
+
+        A killed (or stopped) worker leaves its request pipe full; the
+        queue's background feeder blocks in ``send`` and multiprocessing's
+        atexit hook would join it forever.  ``cancel_join_thread`` breaks
+        that dependency so abandoning the queue is safe.
+        """
+        for q in (worker.request_q, worker.control_q):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # noqa: BLE001 - already torn down
+                pass
+
+    def __enter__(self) -> "ScoringFrontend":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ admission
+
+    def submit(self, row: np.ndarray) -> FrontendTicket:
+        """Admit one request (or refuse it *now*); never blocks on scoring.
+
+        Returns:
+            A ticket.  Refusals — queue overflow (:data:`OVERLOADED`) and
+            malformed rows — come back already resolved; nothing is
+            silently dropped.
+        """
+        if not self._started or self._stopping:
+            raise RuntimeError("frontend is not running")
+        request_id = next(self._request_ids)
+        future: Future = Future()
+        ticket = FrontendTicket(request_id, future)
+
+        try:
+            row = np.asarray(row, dtype=np.float64)
+            if row.ndim != 1 or row.shape[0] != self._n_features:
+                raise ValueError(
+                    f"expected a ({self._n_features},) feature row, "
+                    f"got shape {row.shape}"
+                )
+        except Exception as exc:  # noqa: BLE001 - refusal with context
+            self.telemetry.record_refused()
+            future.set_result(
+                FrontendResult(status=ERROR,
+                               context=f"malformed request: {exc}")
+            )
+            return ticket
+
+        with self._lock:
+            if len(self._pending) >= self.config.max_queue:
+                self.telemetry.record_shed()
+                future.set_result(
+                    FrontendResult(
+                        status=OVERLOADED,
+                        context=(
+                            f"admission queue full "
+                            f"({self.config.max_queue} outstanding)"
+                        ),
+                    )
+                )
+                return ticket
+            generation = self.generation
+            entry = {
+                "future": future,
+                "row": row,
+                "generation": generation,
+                "worker_id": -1,
+                "t_submit": time.perf_counter(),
+            }
+            self._pending[request_id] = entry
+            self.telemetry.record_admitted()
+        if self.drift_guard is not None:
+            self.drift_guard.observe(row[None, :])
+        self._dispatch(request_id, entry)
+        return ticket
+
+    def _dispatch(self, request_id: int, entry: dict,
+                  requeue: bool = False) -> None:
+        """Route one admitted request to a live worker (round-robin)."""
+        alive = [w for w in self._workers if w.alive]
+        if not alive:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            self._resolve_future(
+                entry["future"],
+                FrontendResult(
+                    status=ERROR,
+                    context=("no live scoring workers"
+                             + (" (worker died mid-batch)" if requeue
+                                else "")),
+                ),
+            )
+            return
+        worker = alive[next(self._rr) % len(alive)]
+        entry["worker_id"] = worker.worker_id
+        worker.request_q.put(
+            (request_id, entry["row"], entry["generation"])
+        )
+
+    async def score(self, row: np.ndarray) -> FrontendResult:
+        """Asyncio request path: admit and await the result."""
+        return await self.submit(row).wait()
+
+    async def score_many(self, rows: np.ndarray) -> list[FrontendResult]:
+        """Admit a stream of rows and await all results (asyncio)."""
+        tickets = [self.submit(row) for row in rows]
+        return list(await asyncio.gather(*(t.wait() for t in tickets)))
+
+    def score_stream(self, rows: np.ndarray,
+                     timeout: float | None = 60.0) -> list[FrontendResult]:
+        """Synchronous convenience: submit all rows, wait for all results."""
+        tickets = [self.submit(row) for row in rows]
+        return [t.result(timeout) for t in tickets]
+
+    # ---------------------------------------------------------- model swap
+
+    def publish(self, model: ScoringModel,
+                version: str | None = None) -> int:
+        """Atomically swap in a new model; returns the new generation.
+
+        The new generation is published to shared memory first, then
+        announced to every worker; admissions observe it only after the
+        pack exists, so no request can ever reference a half-written
+        model.  Requests admitted before this call keep their old
+        generation stamp and score on the old arrays.
+        """
+        if not self._started or self._stopping:
+            raise RuntimeError("frontend is not running")
+        published = self._publisher.publish(model, version=version)
+        for worker in self._workers:
+            if worker.alive:
+                worker.control_q.put(
+                    ("load", published.generation, published.spec)
+                )
+        self.telemetry.record_swap()
+        return published.generation
+
+    def retire(self, generation: int) -> None:
+        """Dispose an old generation's shared block (see ModelPublisher)."""
+        self._publisher.retire(generation)
+
+    # ------------------------------------------------- fault-injection hooks
+
+    def pause_workers(self) -> None:
+        """Suspend batch consumption in every worker (tests/draining)."""
+        for worker in self._workers:
+            if worker.alive:
+                worker.control_q.put(("pause",))
+
+    def resume_workers(self) -> None:
+        """Resume batch consumption."""
+        for worker in self._workers:
+            if worker.alive:
+                worker.control_q.put(("resume",))
+
+    # ------------------------------------------------------------ collector
+
+    def _collect_loop(self) -> None:
+        while not self._stopping:
+            try:
+                message = self._response_q.get(timeout=0.05)
+            except queue_mod.Empty:
+                self._reap_dead_workers()
+                continue
+            except (EOFError, OSError):
+                return
+            if message[0] == "results":
+                for req_id, status, value, generation in message[2]:
+                    self._resolve(req_id, status, value, generation)
+            elif message[0] == "ready":
+                for worker in self._workers:
+                    if worker.worker_id == message[1]:
+                        worker.ready = True
+
+    def _resolve(self, request_id: int, status: str, value,
+                 generation: int) -> None:
+        with self._lock:
+            entry = self._pending.pop(request_id, None)
+        if entry is None:  # duplicate (requeued request answered twice)
+            return
+        latency = time.perf_counter() - entry["t_submit"]
+        self.telemetry.record_request(latency)
+        if status == OK:
+            result = FrontendResult(status=OK, score=float(value),
+                                    generation=generation)
+        else:
+            self.telemetry.record_request_error()
+            result = FrontendResult(status=ERROR, context=str(value),
+                                    generation=generation)
+        self._resolve_future(entry["future"], result)
+
+    @staticmethod
+    def _resolve_future(future: Future, result: FrontendResult) -> None:
+        if not future.done():
+            future.set_result(result)
+
+    def _reap_dead_workers(self) -> None:
+        """Requeue (or fail, with context) a dead worker's in-flight work."""
+        for index, worker in enumerate(self._workers):
+            if worker.alive or self._stopping:
+                continue
+            self.telemetry.record_worker_death()
+            with self._lock:
+                orphans = [
+                    (req_id, entry)
+                    for req_id, entry in self._pending.items()
+                    if entry["worker_id"] == worker.worker_id
+                ]
+            # Respawn first so capacity survives and orphans can land on
+            # the replacement; the old request queue is abandoned (its
+            # unconsumed items are exactly the orphans being re-sent).
+            replacement = self._spawn(worker.worker_id)
+            self._workers[index] = replacement
+            # The dead worker will never drain its queues: detach their
+            # feeder threads or interpreter shutdown joins them forever.
+            self._discard_queues(worker)
+            if orphans:
+                self.telemetry.record_requeued(len(orphans))
+            for req_id, entry in orphans:
+                entry["context"] = (
+                    f"worker {worker.worker_id} died mid-batch; requeued"
+                )
+                self._dispatch(req_id, entry, requeue=True)
+
+    # ------------------------------------------------------------ reporting
+
+    def snapshot(self) -> dict:
+        """JSON-compatible frontend state (telemetry + workers + guard)."""
+        payload = {
+            "n_workers": self.config.n_workers,
+            "max_queue": self.config.max_queue,
+            "generation": (self._publisher.latest.generation
+                           if self._publisher.generations else -1),
+            "workers_alive": sum(1 for w in self._workers if w.alive),
+            "pending": len(self._pending),
+            "telemetry": self.telemetry.snapshot(),
+        }
+        if self.drift_guard is not None:
+            payload["drift_guard"] = self.drift_guard.snapshot()
+        return payload

@@ -13,7 +13,13 @@ shadow-score live traffic before promotion.  The on-disk layout is::
 
 Every index mutation is written to a temp file and ``os.replace``-d into
 place, so a crashed promote/rollback never leaves a torn index; artifact
-files are never rewritten after creation.
+files are never rewritten after creation.  Mutations additionally take an
+inter-process ``flock`` on ``<root>/registry.lock`` so concurrent
+import/promote/rollback from several processes serialise into a
+read-modify-write critical section — without it two processes can read
+the same ``next_version`` and one import silently overwrites the other.
+Reads stay lock-free: ``os.replace`` guarantees a reader always sees a
+complete index, just possibly one mutation old.
 
 This module is also the canonical single-file persistence surface:
 :meth:`ModelRegistry.save_file` / :meth:`ModelRegistry.load_file` supersede
@@ -24,11 +30,17 @@ artifact format is unchanged — pre-registry files load verbatim.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
 import time
 from dataclasses import dataclass
+
+try:  # flock is POSIX-only; degrade to in-process atomicity elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.persist.artifacts import (
     ScoringModel,
@@ -106,6 +118,26 @@ class ModelRegistry:
 
     # ------------------------------------------------------------- index io
 
+    @contextlib.contextmanager
+    def _locked(self):
+        """Serialise one index read-modify-write across processes.
+
+        ``flock`` is tied to the open file description, so the lock file
+        is opened fresh per critical section and must never be acquired
+        re-entrantly — internal helpers therefore mutate a passed-in
+        index instead of calling the locking public methods.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.root / "registry.lock", "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     def _read_index(self) -> dict:
         if not self.index_path.exists():
             return {
@@ -182,31 +214,31 @@ class ModelRegistry:
         """Write one artifact payload as a new immutable version."""
         if slot is not None and slot not in _SLOTS:
             raise ValueError(f"unknown slot {slot!r}; choose from {_SLOTS}")
-        index = self._read_index()
-        version = f"v{index['next_version']:04d}"
-        relative = f"models/{version}.json"
+        with self._locked():
+            index = self._read_index()
+            version = f"v{index['next_version']:04d}"
+            relative = f"models/{version}.json"
 
-        self.models_dir.mkdir(parents=True, exist_ok=True)
-        artifact_path = self.root / relative
-        tmp = artifact_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, artifact_path)
+            self.models_dir.mkdir(parents=True, exist_ok=True)
+            artifact_path = self.root / relative
+            tmp = artifact_path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, artifact_path)
 
-        entry = ModelVersion(
-            version=version,
-            trainer_name=payload["trainer_name"],
-            created_at=time.time(),
-            metadata=payload["metadata"],
-            path=relative,
-        )
-        index["next_version"] += 1
-        index["versions"][version] = entry.as_dict()
-        self._write_index(index)
-
-        if slot is not None:
-            self.promote(version, slot=slot)
-        elif CHAMPION not in self._read_index()["slots"]:
-            self.promote(version, slot=CHAMPION)
+            entry = ModelVersion(
+                version=version,
+                trainer_name=payload["trainer_name"],
+                created_at=time.time(),
+                metadata=payload["metadata"],
+                path=relative,
+            )
+            index["next_version"] += 1
+            index["versions"][version] = entry.as_dict()
+            if slot is not None:
+                self._promote_in(index, version, slot)
+            elif CHAMPION not in index["slots"]:
+                self._promote_in(index, version, CHAMPION)
+            self._write_index(index)
         return version
 
     def load(self, ref: str = CHAMPION) -> ScoringModel:
@@ -239,6 +271,14 @@ class ModelRegistry:
 
     # ------------------------------------------------------------ lifecycle
 
+    @staticmethod
+    def _promote_in(index: dict, version: str, slot: str) -> None:
+        """Point a slot at a version inside an already-locked index."""
+        previous = index["slots"].get(slot)
+        if previous is not None and previous != version:
+            index["slot_history"].setdefault(slot, []).append(previous)
+        index["slots"][slot] = version
+
     def promote(self, version: str, slot: str = CHAMPION) -> None:
         """Atomically point a slot at a version, remembering the previous.
 
@@ -248,14 +288,12 @@ class ModelRegistry:
         """
         if slot not in _SLOTS:
             raise ValueError(f"unknown slot {slot!r}; choose from {_SLOTS}")
-        index = self._read_index()
-        if version not in index["versions"]:
-            raise KeyError(f"unknown version {version!r}")
-        previous = index["slots"].get(slot)
-        if previous is not None and previous != version:
-            index["slot_history"].setdefault(slot, []).append(previous)
-        index["slots"][slot] = version
-        self._write_index(index)
+        with self._locked():
+            index = self._read_index()
+            if version not in index["versions"]:
+                raise KeyError(f"unknown version {version!r}")
+            self._promote_in(index, version, slot)
+            self._write_index(index)
 
     def rollback(self, slot: str = CHAMPION) -> str:
         """Restore a slot's previous occupant (undo the last promote).
@@ -268,13 +306,16 @@ class ModelRegistry:
         """
         if slot not in _SLOTS:
             raise ValueError(f"unknown slot {slot!r}; choose from {_SLOTS}")
-        index = self._read_index()
-        history = index["slot_history"].get(slot, [])
-        if not history:
-            raise KeyError(f"no previous version recorded for slot {slot!r}")
-        version = history.pop()
-        index["slots"][slot] = version
-        self._write_index(index)
+        with self._locked():
+            index = self._read_index()
+            history = index["slot_history"].get(slot, [])
+            if not history:
+                raise KeyError(
+                    f"no previous version recorded for slot {slot!r}"
+                )
+            version = history.pop()
+            index["slots"][slot] = version
+            self._write_index(index)
         return version
 
     # ------------------------------------------------------------ inspection

@@ -1,0 +1,271 @@
+"""Publish scoring models into shared memory for zero-copy worker fan-out.
+
+The multi-worker front-end (:mod:`repro.serve.frontend`) runs N scoring
+processes against the *same* model.  Shipping the JSON artifact to every
+worker would deserialise the FlatTree arrays N times; instead the parent
+flattens the model's numeric state — every tree's struct-of-arrays
+prediction form, the binner's bin edges, the per-tree feature subsets and
+the LR-head weights — into one :class:`~repro.parallel.shared.SharedArrayPack`
+and ships only the tiny :class:`~repro.parallel.shared.PackSpec`.  Workers
+attach read-only views and rebuild a :class:`~repro.persist.artifacts.ScoringModel`
+whose ``predict_proba`` is **bit-identical** to the original: the arrays
+are copied verbatim into the block once and never transformed.
+
+Model *versioning* is handled by :class:`ModelPublisher`: each ``publish``
+allocates a fresh pack under a monotonically increasing generation
+counter.  Generations are immutable once published — a swap is therefore
+atomic by construction (workers attach the new generation while in-flight
+batches keep scoring on their admission-time generation) and old
+generations stay attachable until explicitly :meth:`~ModelPublisher.retire`-d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.boosting import GBDTClassifier, GBDTParams
+from repro.gbdt.leaf_encoder import LeafIndexEncoder
+from repro.gbdt.tree import DecisionTree, FlatTree, TreeParams
+from repro.models.logistic import LogisticModel
+from repro.parallel.shared import (
+    PackSpec,
+    SharedArrayPack,
+    ragged_from_arrays,
+    ragged_to_arrays,
+)
+from repro.persist.artifacts import ScoringModel
+
+__all__ = [
+    "scoring_model_to_arrays",
+    "scoring_model_from_arrays",
+    "publish_model",
+    "attach_model",
+    "ModelPublisher",
+    "PublishedModel",
+]
+
+#: Version of the shared-memory model layout (stored in the pack meta).
+SHM_MODEL_FORMAT = 1
+
+#: FlatTree fields packed per tree, in layout order.
+_TREE_FIELDS = ("feature", "threshold", "left", "right", "leaf_index",
+                "value")
+
+
+def scoring_model_to_arrays(
+    model: ScoringModel,
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Flatten a scoring model into (arrays, meta) for a shared pack.
+
+    Args:
+        model: A restored (or freshly trained) GBDT+LR scorer.
+
+    Returns:
+        ``(arrays, meta)`` where ``arrays`` maps pack keys to the model's
+        numeric state and ``meta`` is the small JSON-like table
+        :func:`scoring_model_from_arrays` needs to reassemble it.
+    """
+    gbdt = model.encoder.model
+    if not gbdt.is_fitted:
+        raise ValueError("cannot publish an unfitted model")
+    arrays: dict[str, np.ndarray] = {"theta": np.asarray(model.theta)}
+    trees_meta = []
+    for t, tree in enumerate(gbdt.trees_):
+        flat = tree.flat
+        for field in _TREE_FIELDS:
+            arrays[f"tree/{t}/{field}"] = getattr(flat, field)
+        trees_meta.append({"depth": int(flat.depth),
+                           "n_leaves": int(tree.n_leaves)})
+    arrays.update(ragged_to_arrays(gbdt.binner.bin_edges_, "binner",
+                                   np.float64))
+    arrays.update(ragged_to_arrays(gbdt.tree_feature_subsets_, "subsets",
+                                   np.int64))
+    params = gbdt.params
+    meta = {
+        "shm_model_format": SHM_MODEL_FORMAT,
+        "trainer_name": model.trainer_name,
+        "metadata": dict(model.metadata),
+        "l2": float(model.model.l2),
+        "base_score": float(gbdt.base_score_),
+        "trees": trees_meta,
+        "gbdt_params": {
+            "n_trees": params.n_trees,
+            "learning_rate": params.learning_rate,
+            "max_bins": params.max_bins,
+            "subsample": params.subsample,
+            "colsample": params.colsample,
+            "early_stopping_rounds": params.early_stopping_rounds,
+            "seed": params.seed,
+            "dtype": params.dtype,
+        },
+        "tree_params": {
+            "max_leaves": params.tree.max_leaves,
+            "max_depth": params.tree.max_depth,
+            "min_child_samples": params.tree.min_child_samples,
+            "min_child_hessian": params.tree.min_child_hessian,
+            "reg_lambda": params.tree.reg_lambda,
+            "min_split_gain": params.tree.min_split_gain,
+        },
+    }
+    return arrays, meta
+
+
+def scoring_model_from_arrays(
+    arrays: dict[str, np.ndarray], meta: dict
+) -> ScoringModel:
+    """Rebuild a bit-identical :class:`ScoringModel` from pack views.
+
+    The heavy state (tree arrays, bin edges, theta) stays zero-copy:
+    every array the returned model scores with is a view into the shared
+    block, so N attached workers share one physical copy.
+
+    Args:
+        arrays: Views from :meth:`SharedArrayPack.arrays` (or the raw
+            dict :func:`scoring_model_to_arrays` produced).
+        meta: The meta table produced alongside the arrays.
+    """
+    if meta.get("shm_model_format") != SHM_MODEL_FORMAT:
+        raise ValueError(
+            f"unsupported shared-model format "
+            f"{meta.get('shm_model_format')!r}"
+        )
+    gbdt = GBDTClassifier(
+        GBDTParams(tree=TreeParams(**meta["tree_params"]),
+                   **meta["gbdt_params"])
+    )
+    gbdt.binner = QuantileBinner(max_bins=meta["gbdt_params"]["max_bins"])
+    gbdt.binner.bin_edges_ = ragged_from_arrays(arrays, "binner")
+    gbdt.base_score_ = meta["base_score"]
+    gbdt.tree_feature_subsets_ = ragged_from_arrays(arrays, "subsets")
+    tree_params = TreeParams(**meta["tree_params"])
+    for t, tree_meta in enumerate(meta["trees"]):
+        tree = DecisionTree(tree_params)
+        tree._flat = FlatTree(
+            **{field: arrays[f"tree/{t}/{field}"] for field in _TREE_FIELDS},
+            depth=tree_meta["depth"],
+        )
+        tree._n_leaves = tree_meta["n_leaves"]
+        gbdt.trees_.append(tree)
+    theta = arrays["theta"]
+    return ScoringModel(
+        encoder=LeafIndexEncoder(gbdt),
+        model=LogisticModel(theta.size, l2=meta["l2"]),
+        theta=theta,
+        trainer_name=meta["trainer_name"],
+        metadata=dict(meta["metadata"]),
+    )
+
+
+def publish_model(model: ScoringModel, generation: int = 0,
+                  version: str | None = None) -> SharedArrayPack:
+    """Copy one model into a new owning shared pack (once).
+
+    Args:
+        model: The scorer to publish.
+        generation: Generation counter stamped into the pack meta.
+        version: Optional registry version id for observability.
+    """
+    arrays, meta = scoring_model_to_arrays(model)
+    meta["generation"] = int(generation)
+    if version is not None:
+        meta["version"] = version
+    return SharedArrayPack.pack(arrays, meta=meta)
+
+
+def attach_model(spec: PackSpec) -> tuple[ScoringModel, SharedArrayPack]:
+    """Worker-side attach: rebuild the model over zero-copy views.
+
+    Returns:
+        ``(model, pack)`` — the caller must keep ``pack`` referenced (and
+        eventually ``close()`` it) for as long as the model is used; the
+        model's arrays are views into the pack's mapping.
+    """
+    pack = SharedArrayPack.attach(spec)
+    model = scoring_model_from_arrays(pack.arrays(), spec.metadata())
+    return model, pack
+
+
+class PublishedModel:
+    """One live generation: the owning pack plus its identity."""
+
+    def __init__(self, generation: int, pack: SharedArrayPack,
+                 version: str | None):
+        self.generation = generation
+        self.pack = pack
+        self.version = version
+
+    @property
+    def spec(self) -> PackSpec:
+        return self.pack.spec
+
+
+class ModelPublisher:
+    """Generation-counted shared-memory model store for the front-end.
+
+    Usage::
+
+        publisher = ModelPublisher()
+        live = publisher.publish(model)            # generation 0
+        ... workers attach live.spec ...
+        swapped = publisher.publish(new_model)     # generation 1 — atomic:
+        ... old generation stays attachable until retire() ...
+        publisher.retire(live.generation)
+        publisher.close()
+
+    Publishing never mutates an existing block, so a swap can never tear:
+    a worker either scores a batch entirely on the generation it resolved
+    at admission time, or entirely on a newer one it was told to load.
+    """
+
+    def __init__(self) -> None:
+        self._next_generation = 0
+        self._live: dict[int, PublishedModel] = {}
+
+    def publish(self, model: ScoringModel,
+                version: str | None = None) -> PublishedModel:
+        """Publish one model under the next generation number."""
+        generation = self._next_generation
+        self._next_generation += 1
+        pack = publish_model(model, generation=generation, version=version)
+        published = PublishedModel(generation, pack, version)
+        self._live[generation] = published
+        return published
+
+    @property
+    def generations(self) -> list[int]:
+        """Live (unretired) generation numbers, oldest first."""
+        return sorted(self._live)
+
+    @property
+    def latest(self) -> PublishedModel:
+        """The most recently published generation."""
+        if not self._live:
+            raise RuntimeError("nothing published yet")
+        return self._live[max(self._live)]
+
+    def get(self, generation: int) -> PublishedModel:
+        """The live generation with this number."""
+        return self._live[generation]
+
+    def retire(self, generation: int) -> None:
+        """Dispose one generation's block (no-op if already retired).
+
+        Workers still holding a mapping keep scoring safely — the kernel
+        reclaims the pages only once the last mapping closes — but new
+        attaches of this generation become impossible.
+        """
+        published = self._live.pop(generation, None)
+        if published is not None:
+            published.pack.dispose()
+
+    def close(self) -> None:
+        """Retire every live generation."""
+        for generation in list(self._live):
+            self.retire(generation)
+
+    def __enter__(self) -> "ModelPublisher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.obs.metrics import Histogram
 
-__all__ = ["LatencyHistogram", "ServingTelemetry"]
+__all__ = ["FrontendTelemetry", "LatencyHistogram", "ServingTelemetry"]
 
 #: Default latency bucket upper bounds, seconds (log-spaced 10µs → 10s).
 DEFAULT_BUCKETS = (
@@ -149,3 +149,73 @@ class ServingTelemetry:
                 f"cache hit rate  {self.cache_hits / total_lookups:.1%}"
             )
         return "\n".join(lines)
+
+
+class FrontendTelemetry:
+    """Counters + end-to-end latency for one multi-worker front-end.
+
+    Everything a :class:`~repro.serve.frontend.ScoringFrontend` operator
+    needs to see that the bounded queue and the fault-recovery paths are
+    doing their jobs: admissions vs sheds vs refusals, worker deaths and
+    requeues, model swaps, plus the admission→resolution latency
+    distribution (which, unlike :class:`ServingTelemetry`'s per-batch
+    clocks, includes queueing delay — the number backpressure trades off).
+
+    Attributes:
+        request_latency: Histogram over admission→resolution wall times.
+    """
+
+    def __init__(self) -> None:
+        self.request_latency = LatencyHistogram()
+        self.admitted = 0
+        self.shed = 0
+        self.refused = 0
+        self.errors = 0
+        self.requeued = 0
+        self.worker_deaths = 0
+        self.swaps = 0
+
+    def record_admitted(self) -> None:
+        """Count one request accepted past admission control."""
+        self.admitted += 1
+
+    def record_shed(self) -> None:
+        """Count one request refused by backpressure (queue full)."""
+        self.shed += 1
+
+    def record_refused(self) -> None:
+        """Count one request refused at the door (malformed)."""
+        self.refused += 1
+
+    def record_request(self, seconds: float) -> None:
+        """Account one resolved (scored or errored) request."""
+        self.request_latency.observe(seconds)
+
+    def record_request_error(self) -> None:
+        """Count one admitted request that resolved to an error."""
+        self.errors += 1
+
+    def record_requeued(self, n: int) -> None:
+        """Count requests re-dispatched after their worker died."""
+        self.requeued += n
+
+    def record_worker_death(self) -> None:
+        """Count one worker process found dead and respawned."""
+        self.worker_deaths += 1
+
+    def record_swap(self) -> None:
+        """Count one atomic model-generation swap."""
+        self.swaps += 1
+
+    def snapshot(self) -> dict:
+        """JSON-compatible front-end telemetry (docs/serving.md schema)."""
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "refused": self.refused,
+            "errors": self.errors,
+            "requeued": self.requeued,
+            "worker_deaths": self.worker_deaths,
+            "swaps": self.swaps,
+            "request_latency": self.request_latency.snapshot(),
+        }

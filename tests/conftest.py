@@ -51,6 +51,41 @@ def fitted_pipeline(small_split, fitted_extractor):
     return pipeline.fit(small_split.train)
 
 
+@pytest.fixture(scope="session")
+def scoring_model(fitted_pipeline):
+    """The fitted pipeline as a restored ScoringModel (serving tests)."""
+    from repro.persist.artifacts import (
+        pipeline_to_payload,
+        scoring_model_from_payload,
+    )
+
+    return scoring_model_from_payload(pipeline_to_payload(fitted_pipeline))
+
+
+@pytest.fixture(scope="session")
+def scoring_model_alt(small_split, fitted_extractor):
+    """A second scorer (different LR head) for model-swap tests."""
+    from repro.baselines.erm import ERMTrainer
+    from repro.persist.artifacts import (
+        pipeline_to_payload,
+        scoring_model_from_payload,
+    )
+    from repro.pipeline.pipeline import LoanDefaultPipeline
+    from repro.train.base import BaseTrainConfig
+
+    pipeline = LoanDefaultPipeline(
+        ERMTrainer(BaseTrainConfig(n_epochs=4, learning_rate=1.0, seed=9)),
+        extractor=fitted_extractor,
+    ).fit(small_split.train)
+    return scoring_model_from_payload(pipeline_to_payload(pipeline))
+
+
+@pytest.fixture(scope="session")
+def request_rows(small_split):
+    """A contiguous block of held-out raw rows to score."""
+    return np.ascontiguousarray(small_split.test.features[:300])
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)

@@ -121,6 +121,122 @@ class TestExtractorMisuse:
             )
 
 
+def _fake_report(ks: float, auc: float = 0.9):
+    """A minimal FairnessReport with a chosen mean KS/AUC."""
+    from repro.metrics.fairness import EnvironmentScores, FairnessReport
+
+    return FairnessReport(per_environment={
+        "P": EnvironmentScores("P", ks, auc, 100, 30),
+    })
+
+
+class TestServingLifecycleFaults:
+    """Every failure inside the drift-recovery loop must abort cleanly:
+    the champion slot is untouched, the outcome names the failing stage,
+    and the report carries the error context."""
+
+    @pytest.fixture()
+    def seeded_registry(self, tmp_path, fitted_pipeline):
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.save(fitted_pipeline, metadata={"run": "seed"})
+        return registry
+
+    @pytest.fixture()
+    def tiny_retrain(self):
+        from repro.serve.lifecycle import RetrainConfig
+
+        return RetrainConfig(
+            trainer="ERM",
+            trainer_overrides={"n_epochs": 2},
+            gbdt={"n_trees": 4, "max_bins": 16},
+            tree={"max_leaves": 4, "min_child_samples": 5},
+        )
+
+    def test_challenger_eval_failure_aborts_promotion(
+            self, tmp_path, seeded_registry, tiny_retrain, small_split):
+        from repro.serve.lifecycle import LifecycleController
+
+        def broken_eval(model, dataset):
+            raise RuntimeError("eval exploded")
+
+        controller = LifecycleController(
+            seeded_registry, holdout=small_split.test, retrain=tiny_retrain,
+            evaluate_fn=broken_eval, workdir=tmp_path / "work",
+        )
+        report = controller.run_recovery(small_split.train)
+
+        assert report["outcome"] == "eval_failed"
+        assert "eval exploded" in report["error"]
+        assert report["stages"][-1] == "aborted"
+        # Champion untouched; the failed challenger is parked, not serving.
+        assert seeded_registry.slots()["champion"] == "v0001"
+
+    def test_retrain_failure_leaves_registry_untouched(
+            self, tmp_path, seeded_registry, small_split):
+        from repro.serve.lifecycle import LifecycleController, RetrainConfig
+
+        controller = LifecycleController(
+            seeded_registry, holdout=small_split.test,
+            retrain=RetrainConfig(trainer="definitely-not-a-trainer"),
+            workdir=tmp_path / "work",
+        )
+        report = controller.run_recovery(small_split.train)
+
+        assert report["outcome"] == "retrain_failed"
+        assert report["stages"] == ["drift_detected", "retraining",
+                                    "aborted"]
+        # No challenger was ever registered.
+        assert [v.version for v in seeded_registry.versions()] == ["v0001"]
+        assert seeded_registry.slots()["champion"] == "v0001"
+
+    def test_gates_failure_parks_challenger_without_promoting(
+            self, tmp_path, seeded_registry, tiny_retrain, small_split):
+        from repro.serve.lifecycle import LifecycleController, PromotionGates
+
+        controller = LifecycleController(
+            seeded_registry, holdout=small_split.test, retrain=tiny_retrain,
+            gates=PromotionGates(min_mean_ks=2.0),  # unsatisfiable
+            workdir=tmp_path / "work",
+        )
+        report = controller.run_recovery(small_split.train)
+
+        assert report["outcome"] == "gates_failed"
+        assert not report["gates"]["passed"]
+        assert "below floor" in report["gates"]["reason"]
+        slots = seeded_registry.slots()
+        assert slots["champion"] == "v0001"
+        assert slots["challenger"] == report["challenger_version"] == "v0002"
+
+    def test_post_promote_regression_rolls_back(
+            self, tmp_path, seeded_registry, tiny_retrain, small_split):
+        from repro.serve.lifecycle import LifecycleController
+
+        calls = {"n": 0}
+
+        def flaky_eval(model, dataset):
+            # Challenger looks great, champion baseline is fine, but the
+            # post-promotion re-check collapses: the loop must roll back.
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return _fake_report(ks=0.8)
+            if calls["n"] == 2:
+                return _fake_report(ks=0.5)
+            return _fake_report(ks=0.1)
+
+        controller = LifecycleController(
+            seeded_registry, holdout=small_split.test, retrain=tiny_retrain,
+            evaluate_fn=flaky_eval, workdir=tmp_path / "work",
+        )
+        report = controller.run_recovery(small_split.train)
+
+        assert report["outcome"] == "rolled_back"
+        assert report["stages"][-1] == "rolled_back"
+        assert report["restored_version"] == "v0001"
+        assert seeded_registry.slots()["champion"] == "v0001"
+
+
 class TestCLIFailures:
     def test_missing_data_file(self, tmp_path):
         from repro.cli import main

@@ -9,6 +9,7 @@ from repro.perfbench.serving import (
     ServingBenchConfig,
     run_serving_suite,
     summarize_serving,
+    validate_serving_payload,
     write_serving_bench_json,
 )
 
@@ -22,7 +23,7 @@ def smoke_results():
 class TestServingSuite:
     def test_all_scenarios_present(self, smoke_results):
         assert set(smoke_results) == {"micro_batching", "cache_hot",
-                                      "registry_load"}
+                                      "registry_load", "workers"}
 
     def test_micro_batching_is_bit_identical(self, smoke_results):
         entry = smoke_results["micro_batching"]
@@ -39,6 +40,16 @@ class TestServingSuite:
     def test_registry_load_timed(self, smoke_results):
         assert smoke_results["registry_load"]["median_s"] > 0
 
+    def test_workers_sweep_is_bit_identical(self, smoke_results):
+        entry = smoke_results["workers"]
+        assert entry["bit_identical"] is True
+        counts = ServingBenchConfig.smoke().worker_counts
+        assert set(entry["per_workers"]) == {str(c) for c in counts}
+        for row in entry["per_workers"].values():
+            assert row["bit_identical"] is True
+            assert row["rows_per_s"] > 0
+            assert 0 < row["p50_ms"] <= row["p99_ms"]
+
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError):
             run_serving_suite(ServingBenchConfig.smoke(), only=["nope"])
@@ -54,5 +65,30 @@ class TestServingSuite:
 
     def test_summary_mentions_each_scenario(self, smoke_results):
         summary = summarize_serving(smoke_results)
-        for name in ("micro_batching", "cache_hot", "registry_load"):
+        for name in ("micro_batching", "cache_hot", "registry_load",
+                     "workers"):
             assert name in summary
+
+
+class TestPayloadValidation:
+    def test_written_payload_validates_clean(self, smoke_results, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        payload = write_serving_bench_json(path, smoke_results,
+                                           ServingBenchConfig.smoke())
+        assert validate_serving_payload(payload) == []
+
+    def test_corruptions_are_reported(self, smoke_results, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        payload = write_serving_bench_json(path, smoke_results,
+                                           ServingBenchConfig.smoke())
+        broken = json.loads(json.dumps(payload))  # deep copy
+        broken["format"] = 99
+        broken["benchmarks"]["workers"]["bit_identical"] = False
+        del broken["benchmarks"]["micro_batching"]["bit_identical"]
+        first = next(iter(broken["benchmarks"]["workers"]["per_workers"]))
+        broken["benchmarks"]["workers"]["per_workers"][first]["p99_ms"] = 1e9
+        problems = validate_serving_payload(broken)
+        assert any("format" in p for p in problems)
+        assert any("aggregate bit_identical" in p for p in problems)
+        assert any("micro_batching" in p for p in problems)
+        assert any("p99_ms" in p and "sanity" in p for p in problems)

@@ -89,6 +89,25 @@ class TestServeScore:
         assert "drift guard" in out
 
 
+class TestServeRun:
+    def test_multi_worker_stream(self, registry_root, dataset_file, capsys):
+        assert main(["serve-run", "--registry", str(registry_root),
+                     "--data", str(dataset_file), "--limit", "200",
+                     "--workers", "2", "--batch-size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "scored 200/200 rows" in out
+        assert "across 2 workers" in out
+        assert "p99" in out
+        assert "admitted=200" in out
+
+    def test_drift_guard_reported(self, registry_root, dataset_file,
+                                  capsys):
+        assert main(["serve-run", "--registry", str(registry_root),
+                     "--data", str(dataset_file), "--limit", "200",
+                     "--workers", "1", "--drift-threshold", "0.25"]) == 0
+        assert "drift guard" in capsys.readouterr().out
+
+
 class TestServeBenchCommand:
     def test_quick_run_writes_json(self, tmp_path, capsys):
         out_path = tmp_path / "BENCH_serving.json"
@@ -97,3 +116,15 @@ class TestServeBenchCommand:
         payload = json.loads(out_path.read_text())
         assert "registry_load" in payload["benchmarks"]
         assert "registry_load" in capsys.readouterr().out
+
+    def test_workers_flag_overrides_sweep(self, tmp_path, capsys):
+        from repro.perfbench import validate_serving_payload
+
+        out_path = tmp_path / "BENCH_serving.json"
+        assert main(["serve-bench", "--quick", "--only", "workers",
+                     "--workers", "1", "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        entry = payload["benchmarks"]["workers"]
+        assert list(entry["per_workers"]) == ["1"]
+        assert entry["bit_identical"] is True
+        assert validate_serving_payload(payload) == []

@@ -169,3 +169,101 @@ class TestImportFile:
         with pytest.raises((KeyError, ValueError)):
             registry.import_file(path)
         assert registry.versions() == []
+
+
+# ------------------------- multiprocess contention (module-level workers)
+
+
+def _contend_worker(root, artifact_path, n_rounds, worker_idx, errors):
+    """Import/promote/rollback in a tight loop from one competing process.
+
+    Each round promotes two fresh versions before rolling back once, so
+    under any interleaving the shared slot history holds at least one
+    entry whenever a rollback pops it — every failure the queue reports
+    is therefore a real registry race, not test scheduling.
+    """
+    registry = ModelRegistry(root)
+    try:
+        for round_idx in range(n_rounds):
+            for step in range(2):
+                version = registry.import_file(
+                    artifact_path,
+                    metadata={"worker": worker_idx, "round": round_idx,
+                              "step": step},
+                )
+                registry.promote(version)
+            registry.rollback()
+    except Exception as exc:  # noqa: BLE001 - surfaced to the test
+        errors.put(f"worker {worker_idx}: {exc!r}")
+
+
+def _torn_read_detector(root, stop, errors):
+    """Hammer the index with reads; any torn/inconsistent view is a bug."""
+    import pathlib
+
+    index_path = pathlib.Path(root) / "registry.json"
+    while not stop.is_set():
+        if not index_path.exists():
+            continue
+        try:
+            index = json.loads(index_path.read_text())
+        except json.JSONDecodeError as exc:
+            errors.put(f"torn index read: {exc!r}")
+            return
+        versions = index.get("versions", {})
+        for slot, version in index.get("slots", {}).items():
+            if version not in versions:
+                errors.put(f"slot {slot!r} dangles at {version!r}")
+                return
+
+
+class TestMultiprocessContention:
+    def test_concurrent_import_promote_rollback_never_tears(
+            self, tmp_path, fitted_pipeline):
+        """N processes import/promote/rollback at once; the ``os.replace``
+        index must never expose a torn or inconsistent read, and no
+        version id may be lost or duplicated (the race the registry lock
+        exists to prevent)."""
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        root = tmp_path / "contended"
+        artifact = tmp_path / "artifact.json"
+        ModelRegistry.save_file(fitted_pipeline, artifact)
+
+        n_workers, n_rounds = 3, 4
+        errors = context.Queue()
+        stop = context.Event()
+        reader = context.Process(
+            target=_torn_read_detector, args=(root, stop, errors)
+        )
+        reader.start()
+        writers = [
+            context.Process(
+                target=_contend_worker,
+                args=(root, artifact, n_rounds, idx, errors),
+            )
+            for idx in range(n_workers)
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(timeout=120)
+        stop.set()
+        reader.join(timeout=30)
+
+        problems = []
+        while not errors.empty():
+            problems.append(errors.get())
+        assert problems == []
+
+        registry = ModelRegistry(root)
+        versions = [entry.version for entry in registry.versions()]
+        expected = n_workers * n_rounds * 2  # two imports per round
+        assert len(versions) == expected
+        assert versions == [f"v{i:04d}" for i in range(1, expected + 1)]
+        # Every artifact is intact and loadable, and the slots resolve.
+        for version in versions:
+            registry.load(version)
+        slots = registry.slots()
+        assert slots[CHAMPION] in versions
