@@ -5,7 +5,8 @@ periodically at a relatively high frequency" — which is why LightMIRM's
 training cost matters.  This example shows the full refresh loop a
 platform team would automate:
 
-1. grid-search LightMIRM's λ and MRQ length on a validation split,
+1. grid-search LightMIRM's λ and MRQ length on a validation split
+   (a typed HPSpace driven by the engine-backed scheduler),
 2. refit the winning configuration on all training data,
 3. audit per-province calibration (the paper's fairness notion),
 4. persist the model artifact for serving.
@@ -21,7 +22,7 @@ from repro.eval.reports import format_table
 from repro.metrics import calibration_gap_by_environment
 from repro.persist import load_pipeline, save_pipeline
 from repro.pipeline import GBDTFeatureExtractor, LoanDefaultPipeline
-from repro.tune import grid_search
+from repro.tune import HPSpace, run_grid
 
 
 def main() -> None:
@@ -31,12 +32,18 @@ def main() -> None:
     environments = extractor.encode_environments(split.train)
 
     # --- 1. grid search on a per-province validation split --------------
-    search = grid_search(
-        lambda **kw: LightMIRMTrainer(LightMIRMConfig(**kw)),
-        grid={"lambda_penalty": [1.0, 3.0, 6.0], "queue_length": [3, 5, 7]},
-        environments=environments,
+    # The space is validated against LightMIRMConfig at construction, so
+    # a typo'd field fails here, not after an hour of training.
+    space = HPSpace.grid(
+        "LightMIRM",
+        {"lambda_penalty": [1.0, 3.0, 6.0], "queue_length": [3, 5, 7]},
+    )
+    search = run_grid(
+        space,
+        environments,
         objective="blend",   # (mKS + wKS) / 2 — the paper's dual goal
         blend_weight=0.5,
+        n_jobs=2,            # bit-identical to n_jobs=1
     )
     rows = [
         {

@@ -19,6 +19,8 @@ Usage (after ``pip install -e .``)::
     python -m repro scale-bench --smoke --save-model scale_model.json
     python -m repro serve-bench --model scale_model.json
     python -m repro verify --out VERIFY_invariance.json
+    python -m repro tune --trainers LightMIRM IRMv1 --jobs 4
+    python -m repro tune --smoke --trace tune.jsonl
     python -m repro train --method LightMIRM --data platform.npz --trace run.jsonl
     python -m repro obs report run.jsonl
     python -m repro list
@@ -243,6 +245,54 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override trainer epochs")
     verify.add_argument("--trace", metavar="PATH",
                         help="write a structured JSONL run log")
+
+    tune = sub.add_parser(
+        "tune",
+        help="ASHA hyper-parameter search over the parallel engine",
+    )
+    tune.add_argument("--trainers", nargs="+", metavar="NAME",
+                      default=["LightMIRM"],
+                      help="trainers to search with their registered "
+                           "default spaces (default: LightMIRM)")
+    tune.add_argument("--trials", type=int, default=9,
+                      help="configurations sampled per trainer")
+    tune.add_argument("--eta", type=int, default=3,
+                      help="halving rate between rungs")
+    tune.add_argument("--min-epochs", type=int, default=5,
+                      help="epoch budget of rung 0")
+    tune.add_argument("--max-epochs", type=int, default=45,
+                      help="epoch budget cap of the last rung")
+    tune.add_argument("--objective", default="blend",
+                      choices=("mKS", "wKS", "mAUC", "wAUC", "blend"),
+                      help="trial-ranking metric (default: blend)")
+    tune.add_argument("--blend-weight", type=float, default=0.5,
+                      help="worst-province weight of the blend objective")
+    tune.add_argument("--validation-fraction", type=float, default=0.25,
+                      help="held-out share of each training environment")
+    tune.add_argument("--n-samples", type=int, default=40_000,
+                      help="synthetic platform size")
+    tune.add_argument("--data-seed", type=int, default=7,
+                      help="seed of the synthetic platform")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="search seed (split, sampling, trial seeds)")
+    tune.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the trial fan-out "
+                           "(results are bit-identical to --jobs 1)")
+    tune.add_argument("--trace", metavar="PATH",
+                      help="write a structured JSONL run log (also the "
+                           "search's resumable state)")
+    tune.add_argument("--resume", metavar="RUNLOG",
+                      help="replay matching trials from a previous "
+                           "run's --trace log instead of retraining")
+    tune.add_argument("--out", default="TUNE_leaderboard.json",
+                      help="leaderboard JSON path "
+                           "(default: TUNE_leaderboard.json)")
+    tune.add_argument("--registry", metavar="DIR",
+                      help="refit the winning trial and import it as "
+                           "the registry's challenger")
+    tune.add_argument("--smoke", action="store_true",
+                      help="CI-sized search: 2-rung ASHA over ERM and "
+                           "LightMIRM on a small generator")
 
     obs = sub.add_parser(
         "obs", help="render a structured run log (report/summary/diff)"
@@ -634,6 +684,112 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if payload["all_passed"] else 1
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import dataclasses
+    import tempfile
+
+    from repro.train.registry import resolve_trainer_name
+    from repro.tune import (
+        ASHAConfig,
+        build_leaderboard,
+        default_space,
+        load_trial_records,
+        run_asha,
+        write_leaderboard,
+    )
+
+    if args.smoke:
+        trainers = ["ERM", "LightMIRM"]
+        config = ASHAConfig(
+            n_trials=4, eta=2, min_epochs=4, max_epochs=8,
+            objective=args.objective, blend_weight=args.blend_weight,
+            validation_fraction=args.validation_fraction, seed=args.seed,
+        )
+        n_samples = 3_000
+    else:
+        trainers = list(args.trainers)
+        config = ASHAConfig(
+            n_trials=args.trials, eta=args.eta,
+            min_epochs=args.min_epochs, max_epochs=args.max_epochs,
+            objective=args.objective, blend_weight=args.blend_weight,
+            validation_fraction=args.validation_fraction, seed=args.seed,
+        )
+        n_samples = args.n_samples
+    # Resolve (and validate) names up front so a typo fails before any
+    # data is generated.
+    trainers = [resolve_trainer_name(name) for name in trainers]
+
+    resume = None
+    if args.resume:
+        resume = load_trial_records(args.resume)
+        print(f"resuming: {len(resume)} trial records from {args.resume}")
+
+    tracer = _make_tracer(
+        args, "tune",
+        config={**dataclasses.asdict(config), "trainers": trainers,
+                "n_samples": n_samples, "jobs": args.jobs},
+        seed=args.seed,
+    )
+    context = ExperimentContext(
+        ExperimentSettings(n_samples=n_samples, data_seed=args.data_seed)
+    )
+    results = []
+    for name in trainers:
+        result = run_asha(
+            default_space(name),
+            context.train_environments,
+            config,
+            n_jobs=args.jobs,
+            tracer=tracer,
+            resume=resume,
+        )
+        best = result.best
+        value = best.objective_value(config.objective, config.blend_weight)
+        print(f"{name}: best {best.trial_id} "
+              f"{config.objective}={value:.4f} params={dict(best.params)}")
+        results.append(result)
+    tracer.close()
+    if args.trace:
+        print(f"wrote run log to {args.trace}")
+
+    leaderboard = build_leaderboard(
+        results,
+        seed=args.seed,
+        search_config={**dataclasses.asdict(config), "trainers": trainers,
+                       "n_samples": n_samples, "data_seed": args.data_seed},
+    )
+    write_leaderboard(leaderboard, args.out)
+    winner = leaderboard["leaderboard"][0]
+    print(f"wrote {args.out} "
+          f"({len(leaderboard['leaderboard'])} trials; winner: "
+          f"{winner['trainer']} {winner['trial']})")
+
+    if args.registry:
+        overrides = dict(winner["params"])
+        if winner["budget"] is not None:
+            overrides["n_epochs"] = winner["budget"]
+        pipeline = LoanDefaultPipeline(
+            make_trainer(winner["trainer"], seed=winner["seed"], **overrides)
+        )
+        pipeline.fit(context.split.train)
+        metadata = {
+            "tuned": True,
+            "trainer": winner["trainer"],
+            "trial": winner["trial"],
+            "objective": leaderboard["objective"],
+            "objective_value": winner["objective_value"],
+            "search_seed": args.seed,
+        }
+        registry = ModelRegistry(args.registry)
+        with tempfile.TemporaryDirectory() as tmp:
+            artifact = f"{tmp}/tuned_model.json"
+            ModelRegistry.save_file(pipeline, artifact, metadata=metadata)
+            version = registry.import_file(artifact, slot="challenger")
+        print(f"imported winner as challenger version {version} "
+              f"(slots: {registry.slots()})")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import format_diff, format_report, format_summary, load_run
 
@@ -685,6 +841,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "scale-bench": _cmd_scale_bench,
     "verify": _cmd_verify,
+    "tune": _cmd_tune,
     "obs": _cmd_obs,
     "list": _cmd_list,
 }

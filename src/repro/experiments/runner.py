@@ -21,7 +21,7 @@ from repro.data.splits import TrainTestSplit, iid_split, temporal_split
 from repro.metrics.fairness import FairnessReport, evaluate_environments
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.engine import ParallelEngine, spawn_task_seeds
-from repro.parallel.shared import SharedArrayPack, environments_to_arrays
+from repro.parallel.shared import pack_train_test
 from repro.pipeline.extractor import GBDTFeatureExtractor
 from repro.timing import StepTimer
 from repro.train.base import EpochCallback, Trainer, TrainResult
@@ -301,14 +301,8 @@ class ExperimentContext:
             for method, spec in methods
             for seed in seeds
         ]
-        arrays, meta = environments_to_arrays(self.train_environments,
-                                              "train")
-        test_arrays, test_meta = environments_to_arrays(
-            self.test_environments, "test"
-        )
-        arrays.update(test_arrays)
-        meta.update(test_meta)
-        pack = SharedArrayPack.pack(arrays, meta)
+        pack = pack_train_test(self.train_environments,
+                               self.test_environments)
         try:
             with self.tracer.span("score_methods", n_jobs=jobs,
                                   n_tasks=len(tasks)):

@@ -41,6 +41,9 @@ __all__ = [
     "SCHEMA_VERSION",
     "LIFECYCLE_SPAN",
     "LIFECYCLE_STAGE_EVENT",
+    "TUNE_SPAN",
+    "TUNE_TRIAL_EVENT",
+    "TUNE_RUNG_EVENT",
     "RunLogWriter",
     "RunLog",
     "RunLogReader",
@@ -61,6 +64,15 @@ SCHEMA_VERSION = 1
 #: ``repro obs report`` replays the drift→retrain→promote loop verbatim.
 LIFECYCLE_SPAN = "serve_lifecycle"
 LIFECYCLE_STAGE_EVENT = "lifecycle_stage"
+
+#: Well-known hyper-parameter-search names: one ``TUNE_SPAN`` span wraps
+#: each trainer's search; every completed (trial, rung) evaluation emits
+#: one ``TUNE_TRIAL_EVENT`` (params, seed, budget, per-environment
+#: scores — the resumable state of the search) and every rung close one
+#: ``TUNE_RUNG_EVENT`` (evaluated + promoted trial ids).
+TUNE_SPAN = "tune_search"
+TUNE_TRIAL_EVENT = "tune_trial"
+TUNE_RUNG_EVENT = "tune_rung"
 
 #: Required keys per record kind (beyond the ``kind`` discriminator).
 _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {

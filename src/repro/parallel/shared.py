@@ -35,6 +35,7 @@ __all__ = [
     "SharedArrayPack",
     "environments_to_arrays",
     "environments_from_arrays",
+    "pack_train_test",
     "ragged_to_arrays",
     "ragged_from_arrays",
 ]
@@ -315,6 +316,25 @@ def environments_to_arrays(
             described.append({"name": env.name, "sparse": False})
         arrays[f"{base}/labels"] = env.labels
     return arrays, {prefix: described}
+
+
+def pack_train_test(
+    train_environments: list[EnvironmentData],
+    test_environments: list[EnvironmentData],
+) -> SharedArrayPack:
+    """One owning pack holding both environment lists, under the
+    ``"train"``/``"test"`` prefixes ``init_experiment_worker`` expects.
+
+    The experiment fan-out and the tuning scheduler both ship the same
+    shape of payload — fit on one list, evaluate on the other — so the
+    pack layout lives here rather than being rebuilt inline per caller.
+    The caller owns disposal (``pack.dispose()`` once workers are done).
+    """
+    arrays, meta = environments_to_arrays(train_environments, "train")
+    test_arrays, test_meta = environments_to_arrays(test_environments, "test")
+    arrays.update(test_arrays)
+    meta.update(test_meta)
+    return SharedArrayPack.pack(arrays, meta)
 
 
 def environments_from_arrays(

@@ -13,6 +13,7 @@ simply populates the module state of the calling process.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.data.dataset import EnvironmentData
@@ -25,7 +26,15 @@ from repro.parallel.shared import (
 )
 from repro.train.registry import TrainerSpec
 
-__all__ = ["FitTask", "FitOutcome", "init_experiment_worker", "run_fit_task"]
+__all__ = [
+    "FitTask",
+    "FitOutcome",
+    "TrialTask",
+    "TrialOutcome",
+    "init_experiment_worker",
+    "run_fit_task",
+    "run_trial_task",
+]
 
 #: Per-process state: the attached pack plus rebuilt environments.
 _STATE: dict = {}
@@ -109,3 +118,63 @@ def run_fit_task(task: FitTask) -> FitOutcome:
     records = list(tracer.records) if task.traced else None
     return FitOutcome(report=report, records=records,
                       start_unix=tracer.start_unix)
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One (trial, rung) unit of a hyper-parameter search fan-out.
+
+    Attributes:
+        trial_id: Trial identity the parent aggregates under.
+        rung: Rung index this evaluation runs at.
+        budget: Epoch budget of the rung; already baked into ``spec`` as
+            its ``n_epochs`` override (``None`` — the grid path — leaves
+            the config's own epoch count in force).
+        spec: Trainer recipe with the trial's sampled configuration.
+        seed: Per-trial training seed, derived in the parent from the
+            trial's ``SeedSequence`` stream — same rule as
+            :class:`FitTask`, so search results cannot depend on which
+            worker runs which trial.
+    """
+
+    trial_id: str
+    rung: int
+    budget: int | None
+    spec: TrainerSpec
+    seed: int
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """What a trial evaluation sends back to the scheduler.
+
+    Attributes:
+        trial_id: Echoed task identity.
+        rung: Echoed rung index.
+        report: Fairness report on the shared validation ("test")
+            environments — the scheduler scores its objective off this.
+        train_seconds: Wall-clock of the fit alone (non-deterministic;
+            excluded from bit-identity comparisons downstream).
+    """
+
+    trial_id: str
+    rung: int
+    report: FairnessReport
+    train_seconds: float
+
+
+def run_trial_task(task: TrialTask) -> TrialOutcome:
+    """Train one trial configuration at its rung budget and evaluate it.
+
+    Fits on the shared ``"train"`` environments and scores on ``"test"``
+    — for tuning, the parent packs the *validation* slice under the test
+    prefix, keeping the true test set out of the selection loop.
+    """
+    from repro.experiments.runner import evaluate_result_on
+
+    started = time.perf_counter()
+    result = task.spec.build(task.seed).fit(worker_environments("train"))
+    train_seconds = time.perf_counter() - started
+    report = evaluate_result_on(result, worker_environments("test"))
+    return TrialOutcome(trial_id=task.trial_id, rung=task.rung,
+                        report=report, train_seconds=train_seconds)

@@ -1,15 +1,88 @@
-"""Hyper-parameter search utilities."""
+"""Hyper-parameter search: typed spaces, ASHA scheduling, leaderboards.
 
+The subsystem in one sentence: declare *what* to search with a typed
+:class:`HPSpace` (validated against the trainer's config dataclass),
+let :func:`run_asha` fan trials across the parallel engine on
+per-trial ``SeedSequence`` streams (bit-reproducible at any ``--jobs``,
+resumable from the obs run log), and read the answer off a
+schema-validated leaderboard.
+
+The legacy dict-of-lists :func:`grid_search` remains as a deprecated
+shim over the same machinery.
+"""
+
+from repro.tune.asha import (
+    ASHAConfig,
+    run_asha,
+    run_grid,
+    rung_budgets,
+    sample_trials,
+    select_promotions,
+)
+from repro.tune.buffer import ResultBuffer, TrialRecord, load_trial_records
+from repro.tune.leaderboard import (
+    LEADERBOARD_FORMAT,
+    LeaderboardError,
+    build_leaderboard,
+    ranked_trials,
+    validate_leaderboard,
+    write_leaderboard,
+)
 from repro.tune.search import (
+    SUPPORTED_OBJECTIVES,
     GridSearchResult,
+    RungSummary,
+    SearchResult,
     TrialResult,
     grid_search,
     split_environments,
 )
+from repro.tune.space import (
+    Choice,
+    HPSpace,
+    IntRange,
+    LogUniform,
+    ParamSpec,
+    SpaceError,
+    Uniform,
+    default_space,
+    register_space,
+)
 
 __all__ = [
-    "GridSearchResult",
+    # spaces
+    "SpaceError",
+    "ParamSpec",
+    "Uniform",
+    "LogUniform",
+    "Choice",
+    "IntRange",
+    "HPSpace",
+    "default_space",
+    "register_space",
+    # scheduler
+    "ASHAConfig",
+    "run_asha",
+    "run_grid",
+    "rung_budgets",
+    "sample_trials",
+    "select_promotions",
+    # results
+    "SUPPORTED_OBJECTIVES",
     "TrialResult",
+    "RungSummary",
+    "SearchResult",
+    "GridSearchResult",
     "grid_search",
     "split_environments",
+    # persistence
+    "ResultBuffer",
+    "TrialRecord",
+    "load_trial_records",
+    "LEADERBOARD_FORMAT",
+    "LeaderboardError",
+    "build_leaderboard",
+    "validate_leaderboard",
+    "ranked_trials",
+    "write_leaderboard",
 ]

@@ -1,0 +1,549 @@
+"""Successive-halving (ASHA-style) search over the parallel engine.
+
+The paper's headline numbers hinge on the IRM penalty settings (λ, α,
+MRQ length L, decay γ); this module makes selecting them a first-class,
+reproducible computation instead of a hand-picked constant.  The
+schedule is synchronous successive halving: sample ``n_trials``
+configurations from a typed :class:`~repro.tune.space.HPSpace`, train
+every survivor at a geometrically growing epoch budget, and after each
+rung promote only the top ``1/eta`` fraction (fairness-blend objective,
+deterministic trial-id tiebreak).
+
+Reproducibility rules, inherited from the experiment runner:
+
+* Every trial owns a ``SeedSequence`` stream derived in the parent from
+  ``(search seed, "tune", crc32(trainer))`` — one child per trial, split
+  into a parameter-sampling stream and a training seed.  Workers never
+  derive seeds, so :func:`run_asha` is bit-identical at any ``n_jobs``.
+* Trials ship to workers as :class:`~repro.parallel.worker.TrialTask`
+  recipes over one shared-memory pack; results come back in submission
+  order.
+* Every completed (trial, rung) lands in a
+  :class:`~repro.tune.buffer.ResultBuffer` and — when traced — the run
+  log, which is the search's durable state: pass the reloaded records
+  back as ``resume`` and matching evaluations replay instead of
+  retraining.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import EnvironmentData
+from repro.obs.runlog import TUNE_RUNG_EVENT, TUNE_SPAN
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.engine import ParallelEngine
+from repro.parallel.shared import pack_train_test
+from repro.parallel.worker import (
+    TrialOutcome,
+    TrialTask,
+    init_experiment_worker,
+    run_trial_task,
+)
+from repro.train.registry import TrainerSpec, resolve_trainer_name
+from repro.tune.buffer import ResultBuffer, TrialRecord
+from repro.tune.search import (
+    RungSummary,
+    SearchResult,
+    TrialResult,
+    check_objective,
+    split_environments,
+)
+from repro.tune.space import HPSpace, SpaceError
+
+__all__ = [
+    "ASHAConfig",
+    "Trial",
+    "rung_budgets",
+    "sample_trials",
+    "select_promotions",
+    "run_asha",
+    "run_grid",
+    "run_builder_grid",
+]
+
+#: Domain-separation tag of the tuning RNG stream root ("tune").
+_TUNE_TAG = 0x74756E65
+
+
+@dataclass(frozen=True)
+class ASHAConfig:
+    """Knobs of one successive-halving search.
+
+    Attributes:
+        n_trials: Configurations sampled into rung 0.
+        eta: Halving rate: each rung keeps the top ``1/eta`` fraction
+            and multiplies the epoch budget by ``eta``.
+        min_epochs: Budget of rung 0.
+        max_epochs: Budget cap; rungs stop once the next budget would
+            exceed it (see :func:`rung_budgets`).
+        objective: Ranking metric — see
+            :data:`~repro.tune.search.SUPPORTED_OBJECTIVES`.
+        blend_weight: Worst-province weight of the ``"blend"`` objective.
+        validation_fraction: Share of each environment held out for
+            scoring trials (the true test set never enters the search).
+        seed: Root entropy of the whole search: the validation split,
+            every trial's sampled configuration and every training seed
+            derive from it.
+    """
+
+    n_trials: int = 9
+    eta: int = 3
+    min_epochs: int = 5
+    max_epochs: int = 45
+    objective: str = "blend"
+    blend_weight: float = 0.5
+    validation_fraction: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        if self.eta < 2:
+            raise ValueError("eta must be >= 2")
+        if self.min_epochs < 1:
+            raise ValueError("min_epochs must be >= 1")
+        if self.max_epochs < self.min_epochs:
+            raise ValueError("max_epochs must be >= min_epochs")
+        check_objective(self.objective, self.blend_weight)
+        if not 0.0 < self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in (0, 1)")
+
+
+def rung_budgets(config: ASHAConfig) -> list[int]:
+    """Epoch budgets of every rung: ``min_epochs * eta^k`` up to the cap.
+
+    ``min_epochs=5, eta=3, max_epochs=45`` → ``[5, 15, 45]``.
+    """
+    budgets = []
+    budget = config.min_epochs
+    while budget <= config.max_epochs:
+        budgets.append(budget)
+        budget *= config.eta
+    return budgets
+
+
+def select_promotions(scores: Mapping[str, float], eta: int) -> list[str]:
+    """Trial ids promoted to the next rung: the top ``1/eta`` fraction.
+
+    At least one trial always survives.  Ties break on trial id, so the
+    promotion set is a pure function of the scores — no dict-order or
+    scheduling dependence.
+
+    Args:
+        scores: Trial id -> objective value at the current rung.
+        eta: Halving rate.
+
+    Returns:
+        Promoted ids, best-first.
+    """
+    n_promote = max(1, len(scores) // eta)
+    ranked = sorted(scores, key=lambda tid: (-scores[tid], tid))
+    return ranked[:n_promote]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One sampled configuration with its pre-derived training seed."""
+
+    trial_id: str
+    params: dict
+    seed: int
+
+
+def sample_trials(space: HPSpace, n_trials: int, seed: int,
+                  trainer: str) -> list[Trial]:
+    """Sample the rung-0 trial population from per-trial seed streams.
+
+    The root stream is ``SeedSequence([seed, "tune", crc32(trainer)])``
+    — tagged so tuning never shares a stream with data generation or the
+    experiment fan-out, and trainer-salted so a multi-trainer search
+    explores independently per trainer.  Each trial's child splits into
+    a parameter-sampling stream and a training seed; both depend only on
+    ``(seed, trainer, trial index)``, never on scheduling.
+    """
+    root = np.random.SeedSequence(
+        [int(seed), _TUNE_TAG, zlib.crc32(trainer.encode("utf-8"))]
+    )
+    trials = []
+    for index, child in enumerate(root.spawn(n_trials)):
+        param_stream, train_stream = child.spawn(2)
+        params = space.sample(np.random.default_rng(param_stream))
+        trials.append(Trial(
+            trial_id=f"t{index:03d}",
+            params=params,
+            seed=int(train_stream.generate_state(1)[0]),
+        ))
+    return trials
+
+
+# ---------------------------------------------------------------- rung core
+
+
+def _reusable(
+    resume: Mapping[tuple[str | None, str, int], TrialRecord] | None,
+    trainer: str | None,
+    trial: Trial,
+    rung: int,
+    budget: int | None,
+) -> TrialRecord | None:
+    """A previous run's record for this exact (trial, rung), if it still
+    describes the same work: same trainer, params, seed and budget.  A
+    search re-run with different knobs regenerates different trials, so
+    stale records simply stop matching instead of poisoning the resume."""
+    if resume is None:
+        return None
+    record = resume.get((trainer, trial.trial_id, rung))
+    if record is None:
+        return None
+    if (
+        record.params == trial.params
+        and record.seed == trial.seed
+        and record.budget == budget
+    ):
+        return record
+    return None
+
+
+def _evaluate_rung(
+    trainer: str | None,
+    trials: Sequence[Trial],
+    rung: int,
+    budget: int | None,
+    evaluate: Callable[[list[Trial]], list[TrialOutcome]],
+    buffer: ResultBuffer,
+    resume: Mapping[tuple[str | None, str, int], TrialRecord] | None,
+) -> dict[str, TrialResult]:
+    """Score every trial at one rung, replaying resumable records.
+
+    Cache hits skip training entirely; misses go through ``evaluate``
+    (the engine fan-out, or the inline builder path) as one batch.
+    Every result — replayed or fresh — is re-recorded into ``buffer`` in
+    trial order, so the current run log is self-contained.
+    """
+    reports: dict[str, tuple] = {}
+    pending: list[Trial] = []
+    for trial in trials:
+        record = _reusable(resume, trainer, trial, rung, budget)
+        if record is not None:
+            reports[trial.trial_id] = (record.fairness_report(),
+                                       record.train_seconds)
+        else:
+            pending.append(trial)
+    for trial, outcome in zip(pending, evaluate(pending) if pending else []):
+        reports[trial.trial_id] = (outcome.report, outcome.train_seconds)
+    results: dict[str, TrialResult] = {}
+    for trial in trials:
+        report, train_seconds = reports[trial.trial_id]
+        buffer.add(TrialRecord.from_report(
+            trainer=trainer,
+            trial_id=trial.trial_id,
+            rung=rung,
+            budget=budget,
+            params=trial.params,
+            seed=trial.seed,
+            train_seconds=train_seconds,
+            report=report,
+        ))
+        results[trial.trial_id] = TrialResult(
+            params=dict(trial.params),
+            report=report,
+            train_seconds=train_seconds,
+            trial_id=trial.trial_id,
+            seed=trial.seed,
+            rung=rung,
+            budget=budget,
+        )
+    return results
+
+
+def _run_schedule(
+    trainer: str,
+    trials: list[Trial],
+    budgets: Sequence[int | None],
+    environments: Sequence[EnvironmentData],
+    *,
+    objective: str,
+    blend_weight: float,
+    validation_fraction: float,
+    seed: int,
+    eta: int | None,
+    n_jobs: int,
+    tracer: Tracer,
+    resume: Mapping[tuple[str | None, str, int], TrialRecord] | None,
+) -> SearchResult:
+    """Drive a trial population through a budget ladder over the engine.
+
+    Shared by ASHA (several budgets, promotions between them) and the
+    engine-driven grid (one budget, no promotions — ``eta=None``).
+    """
+    fit_envs, valid_envs = split_environments(
+        environments, validation_fraction, seed=seed
+    )
+    # Validation doubles as the workers' "test" prefix: trials are scored
+    # on held-out rows, never on the true test environments.
+    pack = pack_train_test(fit_envs, valid_envs)
+    engine = ParallelEngine(n_jobs=n_jobs)
+    buffer = ResultBuffer(tracer)
+    best_results: dict[str, TrialResult] = {}
+    rungs: list[RungSummary] = []
+    try:
+        with tracer.span(
+            TUNE_SPAN,
+            trainer=trainer,
+            n_trials=len(trials),
+            budgets=list(budgets),
+            eta=eta,
+            objective=objective,
+            blend_weight=blend_weight,
+            seed=seed,
+            n_jobs=n_jobs,
+        ):
+            survivors = list(trials)
+            for rung, budget in enumerate(budgets):
+                def evaluate(pending: list[Trial],
+                             budget=budget, rung=rung) -> list[TrialOutcome]:
+                    tasks = [
+                        TrialTask(
+                            trial_id=t.trial_id,
+                            rung=rung,
+                            budget=budget,
+                            spec=(
+                                TrainerSpec.of(trainer, **t.params)
+                                if budget is None
+                                else TrainerSpec.of(trainer, n_epochs=budget,
+                                                    **t.params)
+                            ),
+                            seed=t.seed,
+                        )
+                        for t in pending
+                    ]
+                    return engine.map(
+                        run_trial_task,
+                        tasks,
+                        initializer=init_experiment_worker,
+                        initargs=(pack.spec,),
+                    )
+
+                results = _evaluate_rung(
+                    trainer, survivors, rung, budget, evaluate, buffer, resume
+                )
+                best_results.update(results)
+                last_rung = rung + 1 == len(budgets)
+                if eta is None or last_rung:
+                    promoted: list[str] = []
+                else:
+                    scores = {
+                        tid: r.objective_value(objective, blend_weight)
+                        for tid, r in results.items()
+                    }
+                    promoted = select_promotions(scores, eta)
+                evaluated = tuple(t.trial_id for t in survivors)
+                rungs.append(RungSummary(
+                    rung=rung, budget=budget,
+                    evaluated=evaluated, promoted=tuple(promoted),
+                ))
+                tracer.event(
+                    TUNE_RUNG_EVENT,
+                    trainer=trainer,
+                    rung=rung,
+                    budget=budget,
+                    evaluated=list(evaluated),
+                    promoted=list(promoted),
+                )
+                if eta is None or last_rung:
+                    break
+                keep = set(promoted)
+                survivors = [t for t in survivors if t.trial_id in keep]
+    finally:
+        pack.dispose()
+    result = SearchResult(
+        trials=tuple(best_results[t.trial_id] for t in trials),
+        objective=objective,
+        blend_weight=blend_weight,
+        rungs=tuple(rungs),
+        trainer=trainer,
+    )
+    return replace(result, best=result.ranked()[0])
+
+
+# -------------------------------------------------------------- entry points
+
+
+def run_asha(
+    space: HPSpace,
+    environments: Sequence[EnvironmentData],
+    config: ASHAConfig | None = None,
+    *,
+    n_jobs: int = 1,
+    tracer: Tracer = NULL_TRACER,
+    resume: Mapping[tuple[str | None, str, int], TrialRecord] | None = None,
+) -> SearchResult:
+    """Successive-halving search over a trainer-bound space.
+
+    Args:
+        space: A :class:`HPSpace` bound to a registered trainer.
+        environments: Training environments; each is row-split into fit
+            and validation parts (the validation side scores trials).
+        config: Search knobs; defaults to :class:`ASHAConfig`.
+        n_jobs: Worker processes for the trial fan-out.  Any value
+            yields bit-identical results — seeds belong to trials.
+        tracer: Run tracer; the search runs inside one ``tune_search``
+            span with per-trial ``tune_trial`` and per-rung ``tune_rung``
+            events, making the log the search's durable state.
+        resume: ``(trainer, trial_id, rung) -> TrialRecord`` from a previous
+            run's log (:func:`~repro.tune.buffer.load_trial_records`);
+            records matching regenerated trials replay instead of
+            retraining.
+
+    Returns:
+        A :class:`SearchResult` whose ``best`` reached the deepest rung
+        with the highest objective.
+
+    Raises:
+        SpaceError: For an unbound space — scheduling requires a
+            registry name to rebuild trainers in workers.
+    """
+    config = config or ASHAConfig()
+    if space.trainer is None:
+        raise SpaceError(
+            "run_asha requires a trainer-bound HPSpace; unbound spaces "
+            "only support the inline run_builder_grid path"
+        )
+    trainer = resolve_trainer_name(space.trainer)
+    trials = sample_trials(space, config.n_trials, config.seed, trainer)
+    return _run_schedule(
+        trainer,
+        trials,
+        rung_budgets(config),
+        environments,
+        objective=config.objective,
+        blend_weight=config.blend_weight,
+        validation_fraction=config.validation_fraction,
+        seed=config.seed,
+        eta=config.eta,
+        n_jobs=n_jobs,
+        tracer=tracer,
+        resume=resume,
+    )
+
+
+def run_grid(
+    space: HPSpace,
+    environments: Sequence[EnvironmentData],
+    *,
+    objective: str = "blend",
+    blend_weight: float = 0.5,
+    validation_fraction: float = 0.25,
+    seed: int = 0,
+    n_epochs: int | None = None,
+    n_jobs: int = 1,
+    tracer: Tracer = NULL_TRACER,
+    resume: Mapping[tuple[str | None, str, int], TrialRecord] | None = None,
+) -> SearchResult:
+    """Exhaustive engine-driven search over an enumerable bound space.
+
+    The degenerate single-rung schedule: every grid point is one trial,
+    nothing is promoted.  Trials still get independent training seeds
+    from the tagged per-trial streams, results still flow through the
+    buffer/run-log machinery, and ``n_jobs``/``resume`` work exactly as
+    in :func:`run_asha`.
+
+    Args:
+        n_epochs: Epoch budget of every trial (``None`` keeps each
+            config's own default).
+        (others): As :func:`run_asha`.
+    """
+    check_objective(objective, blend_weight)
+    if space.trainer is None:
+        raise SpaceError(
+            "run_grid requires a trainer-bound HPSpace; unbound spaces "
+            "only support the inline run_builder_grid path"
+        )
+    trainer = resolve_trainer_name(space.trainer)
+    root = np.random.SeedSequence(
+        [int(seed), _TUNE_TAG, zlib.crc32(trainer.encode("utf-8"))]
+    )
+    points = space.grid_points()
+    trials = [
+        Trial(
+            trial_id=f"g{index:03d}",
+            params=dict(params),
+            seed=int(child.spawn(2)[1].generate_state(1)[0]),
+        )
+        for (index, params), child in zip(enumerate(points),
+                                          root.spawn(len(points)))
+    ]
+    return _run_schedule(
+        trainer,
+        trials,
+        [n_epochs],
+        environments,
+        objective=objective,
+        blend_weight=blend_weight,
+        validation_fraction=validation_fraction,
+        seed=seed,
+        eta=None,
+        n_jobs=n_jobs,
+        tracer=tracer,
+        resume=resume,
+    )
+
+
+def run_builder_grid(
+    builder: Callable,
+    space: HPSpace,
+    environments: Sequence[EnvironmentData],
+    *,
+    objective: str = "blend",
+    blend_weight: float = 0.5,
+    validation_fraction: float = 0.25,
+    seed: int = 0,
+) -> SearchResult:
+    """Inline grid evaluation through a trainer-builder callable.
+
+    The compatibility path under the deprecated
+    :func:`~repro.tune.search.grid_search`: a builder closure cannot
+    cross a process boundary or be validated against a config dataclass,
+    so every grid point is built and fitted in-process.  Results use the
+    same :class:`SearchResult` surface as the engine paths.
+    """
+    from repro.experiments.runner import evaluate_result_on
+
+    check_objective(objective, blend_weight)
+    fit_envs, valid_envs = split_environments(
+        environments, validation_fraction, seed=seed
+    )
+    trials = []
+    for index, params in enumerate(space.grid_points()):
+        started = time.perf_counter()
+        result = builder(**params).fit(fit_envs)
+        train_seconds = time.perf_counter() - started
+        report = evaluate_result_on(result, valid_envs)
+        trials.append(TrialResult(
+            params=dict(params),
+            report=report,
+            train_seconds=train_seconds,
+            trial_id=f"g{index:03d}",
+            seed=None,
+            rung=0,
+            budget=None,
+        ))
+    rungs = (RungSummary(
+        rung=0, budget=None,
+        evaluated=tuple(t.trial_id for t in trials),
+        promoted=(),
+    ),)
+    result = SearchResult(
+        trials=tuple(trials),
+        objective=objective,
+        blend_weight=blend_weight,
+        rungs=rungs,
+        trainer=space.trainer,
+    )
+    return replace(result, best=result.ranked()[0])

@@ -1,0 +1,210 @@
+"""Persisted trial-result buffer: the search's memory, in the run log.
+
+Every completed trial becomes one :class:`TrialRecord` held in a
+:class:`ResultBuffer` and — when the search is traced — emitted as a
+``tune_trial`` event in the obs run log.  Because trial sampling is a
+pure function of (space, search seed), the run log *is* the search's
+durable state: :func:`load_trial_records` reads a (possibly truncated)
+log back into records, and the scheduler replays any (trial, rung) whose
+record matches the regenerated trial instead of re-training it.  An
+interrupted search therefore resumes to the bit-identical leaderboard —
+floats survive the JSON round trip exactly (shortest-repr encoding).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.metrics.fairness import EnvironmentScores, FairnessReport
+from repro.obs.runlog import TUNE_TRIAL_EVENT
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["TrialRecord", "ResultBuffer", "load_trial_records"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One completed (trial, rung) evaluation, JSON-round-trippable.
+
+    Attributes:
+        trainer: Canonical trainer name (None for legacy builder trials).
+        trial_id: Trial identity within the search.
+        rung: Rung index the evaluation ran at.
+        budget: Epoch budget of the rung (None = the config's own).
+        params: The configuration evaluated.
+        seed: Per-trial training seed (None for builder trials).
+        train_seconds: Wall-clock of the fit.
+        per_environment: Province -> {ks, auc, n_samples, n_positive}.
+        skipped: Environments the fairness report skipped.
+    """
+
+    trainer: str | None
+    trial_id: str
+    rung: int
+    budget: int | None
+    params: dict
+    seed: int | None
+    train_seconds: float
+    per_environment: dict
+    skipped: tuple[str, ...] = ()
+
+    @classmethod
+    def from_report(
+        cls,
+        *,
+        trainer: str | None,
+        trial_id: str,
+        rung: int,
+        budget: int | None,
+        params: dict,
+        seed: int | None,
+        train_seconds: float,
+        report: FairnessReport,
+    ) -> "TrialRecord":
+        """Record one evaluation from its live fairness report."""
+        return cls(
+            trainer=trainer,
+            trial_id=trial_id,
+            rung=rung,
+            budget=budget,
+            params=dict(params),
+            seed=seed,
+            train_seconds=float(train_seconds),
+            per_environment={
+                name: {
+                    "ks": scores.ks,
+                    "auc": scores.auc,
+                    "n_samples": scores.n_samples,
+                    "n_positive": scores.n_positive,
+                }
+                for name, scores in report.per_environment.items()
+            },
+            skipped=tuple(report.skipped),
+        )
+
+    def fairness_report(self) -> FairnessReport:
+        """Rebuild the validation report (exact — floats round-trip)."""
+        return FairnessReport(
+            per_environment={
+                name: EnvironmentScores(
+                    environment=name,
+                    ks=float(entry["ks"]),
+                    auc=float(entry["auc"]),
+                    n_samples=int(entry["n_samples"]),
+                    n_positive=int(entry["n_positive"]),
+                )
+                for name, entry in self.per_environment.items()
+            },
+            skipped=tuple(self.skipped),
+        )
+
+    def to_fields(self) -> dict:
+        """The ``tune_trial`` event payload of this record."""
+        return {
+            "trainer": self.trainer,
+            "trial": self.trial_id,
+            "rung": self.rung,
+            "budget": self.budget,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "train_seconds": self.train_seconds,
+            "per_environment": self.per_environment,
+            "skipped": list(self.skipped),
+        }
+
+    @classmethod
+    def from_fields(cls, fields: dict) -> "TrialRecord":
+        """Inverse of :meth:`to_fields` (run-log replay)."""
+        return cls(
+            trainer=fields.get("trainer"),
+            trial_id=fields["trial"],
+            rung=int(fields["rung"]),
+            budget=(None if fields.get("budget") is None
+                    else int(fields["budget"])),
+            params=dict(fields["params"]),
+            seed=(None if fields.get("seed") is None
+                  else int(fields["seed"])),
+            train_seconds=float(fields["train_seconds"]),
+            per_environment=dict(fields["per_environment"]),
+            skipped=tuple(fields.get("skipped", ())),
+        )
+
+
+class ResultBuffer:
+    """In-memory (trial, rung) -> record store that mirrors to a tracer.
+
+    Args:
+        tracer: Every :meth:`add` emits one ``tune_trial`` event here, so
+            a traced search leaves a complete, resumable record stream —
+            including records replayed from a previous run's log, which
+            keeps the resumed log self-contained.
+    """
+
+    def __init__(self, tracer: Tracer | None = None):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._records: dict[tuple[str | None, str, int], TrialRecord] = {}
+
+    def add(self, record: TrialRecord) -> None:
+        """Store one completed evaluation and emit its run-log event."""
+        key = (record.trainer, record.trial_id, record.rung)
+        if key in self._records:
+            return
+        self._records[key] = record
+        self.tracer.event(TUNE_TRIAL_EVENT, **record.to_fields())
+
+    def get(self, trainer: str | None, trial_id: str,
+            rung: int) -> TrialRecord | None:
+        """The stored record of one (trainer, trial, rung), if any."""
+        return self._records.get((trainer, trial_id, rung))
+
+    def records(self) -> list[TrialRecord]:
+        """All stored records, in insertion order."""
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def load_trial_records(
+    path: str | pathlib.Path,
+) -> dict[tuple[str | None, str, int], TrialRecord]:
+    """Read a run log's ``tune_trial`` events back into trial records.
+
+    Deliberately tolerant where :class:`~repro.obs.runlog.RunLogReader`
+    is strict: an interrupted search can leave a torn final line, and
+    resume should salvage every complete record before it.  Malformed
+    lines and non-trial records are skipped; on duplicate keys the last
+    complete record wins.  Keys include the trainer because one log can
+    hold several trainers' searches whose local trial ids collide.
+
+    Args:
+        path: A JSONL run log written by a traced search.
+
+    Returns:
+        ``(trainer, trial_id, rung) -> TrialRecord`` for every
+        recoverable event.
+    """
+    records: dict[tuple[str | None, str, int], TrialRecord] = {}
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                decoded = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of an interrupted run
+            if (
+                not isinstance(decoded, dict)
+                or decoded.get("kind") != "event"
+                or decoded.get("name") != TUNE_TRIAL_EVENT
+            ):
+                continue
+            try:
+                record = TrialRecord.from_fields(decoded["fields"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            records[(record.trainer, record.trial_id, record.rung)] = record
+    return records

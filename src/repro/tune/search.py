@@ -1,45 +1,95 @@
-"""Hyper-parameter search over trainer configurations.
+"""Search-result surface and the legacy ``grid_search`` shim.
 
 The production model "has to be updated periodically at a relatively high
 frequency", which in practice means an automated retrain-and-select loop.
-This module provides the selection half: a grid search over any trainer's
-config space, scored on a held-out validation slice with the paper's
-fairness-aware metrics, so e.g. λ and the MRQ length can be re-tuned on
-every refresh.
+This module holds the *result* half of that loop's vocabulary — the
+unified :class:`TrialResult` / :class:`SearchResult` surface shared by
+the grid and ASHA paths — plus :func:`split_environments` and the
+deprecated dict-of-lists :func:`grid_search` entry point, which now
+degenerates into the same scheduler that drives
+:func:`~repro.tune.asha.run_asha` (mirroring how ``save_pipeline``
+became a shim over :class:`~repro.serve.registry.ModelRegistry`).
 """
 
 from __future__ import annotations
 
-import itertools
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.data.dataset import EnvironmentData
-from repro.metrics.fairness import FairnessReport, evaluate_environments
+from repro.metrics.fairness import FairnessReport
 from repro.train.base import Trainer
 
-__all__ = ["TrialResult", "GridSearchResult", "grid_search", "split_environments"]
+__all__ = [
+    "SUPPORTED_OBJECTIVES",
+    "TrialResult",
+    "RungSummary",
+    "SearchResult",
+    "GridSearchResult",
+    "check_objective",
+    "grid_search",
+    "split_environments",
+]
 
-#: Builds a trainer from one point of the grid.
+#: Builds a trainer from one point of the grid (legacy shim surface).
 TrainerBuilder = Callable[..., Trainer]
 
 #: Metric used to rank trials: one of the FairnessReport summary keys, or a
 #: weighted blend via `objective="blend"`.
 SUPPORTED_OBJECTIVES = ("mKS", "wKS", "mAUC", "wAUC", "blend")
 
+#: Domain-separation tag of the validation-split RNG stream ("spli").
+_SPLIT_STREAM_TAG = 0x73706C69
+
+
+def check_objective(objective: str, blend_weight: float) -> None:
+    """Validate a ranking objective; shared by every search entry point.
+
+    Raises:
+        ValueError: On an unknown objective or out-of-range blend weight.
+    """
+    if objective not in SUPPORTED_OBJECTIVES:
+        raise ValueError(
+            f"objective must be one of {SUPPORTED_OBJECTIVES}, "
+            f"got {objective!r}"
+        )
+    if not 0.0 <= blend_weight <= 1.0:
+        raise ValueError("blend_weight must be in [0, 1]")
+
 
 @dataclass(frozen=True)
 class TrialResult:
-    """One grid point's configuration and validation scores."""
+    """One evaluated configuration's scores — grid point or ASHA trial.
+
+    This is the unified per-trial surface: the grid shim and the ASHA
+    scheduler both produce it, and ranking/serialization below never
+    care which path a trial came from.
+
+    Attributes:
+        params: The configuration evaluated.
+        report: Validation fairness report of the fitted head.
+        train_seconds: Wall-clock of the fit (non-deterministic; excluded
+            from bit-identity comparisons).
+        trial_id: Stable identity within one search ("" for legacy grid
+            trials built before ids existed).
+        seed: Per-trial training seed (None when the builder owned it).
+        rung: Highest completed rung (grid trials are all rung 0).
+        budget: Epoch budget of that rung (None = the config's own).
+    """
 
     params: Mapping[str, object]
     report: FairnessReport
     train_seconds: float
+    trial_id: str = ""
+    seed: int | None = None
+    rung: int = 0
+    budget: int | None = None
 
     def objective_value(self, objective: str, blend_weight: float) -> float:
+        """The trial's score under a ranking objective."""
         if objective == "blend":
             return (
                 (1 - blend_weight) * self.report.mean_ks
@@ -47,38 +97,132 @@ class TrialResult:
             )
         return self.report.summary()[objective]
 
+    def to_json(self) -> dict:
+        """JSON-compatible record (leaderboard / run-log payloads)."""
+        return {
+            "trial": self.trial_id,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "rung": self.rung,
+            "budget": self.budget,
+            "train_seconds": self.train_seconds,
+            "metrics": self.report.summary(),
+            "per_environment": {
+                name: {"ks": scores.ks, "auc": scores.auc}
+                for name, scores in self.report.per_environment.items()
+            },
+            "worst_ks_environment": self.report.worst_ks_environment,
+        }
+
 
 @dataclass(frozen=True)
-class GridSearchResult:
-    """All trials plus the selected best."""
+class RungSummary:
+    """One rung of a successive-halving schedule, after the fact.
+
+    Attributes:
+        rung: Rung index (0 = the cheapest budget).
+        budget: Epoch budget every trial at this rung trained with
+            (None for the degenerate single-rung grid).
+        evaluated: Trial ids evaluated at this rung, in creation order.
+        promoted: Trial ids promoted to the next rung (empty at the last).
+    """
+
+    rung: int
+    budget: int | None
+    evaluated: tuple[str, ...]
+    promoted: tuple[str, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "rung": self.rung,
+            "budget": self.budget,
+            "evaluated": list(self.evaluated),
+            "promoted": list(self.promoted),
+        }
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """All trials of one search plus the selected best.
+
+    Shared by the grid and ASHA paths; the grid case is simply the
+    degenerate single-rung schedule with an empty promotion history.
+    """
 
     trials: tuple[TrialResult, ...]
     objective: str
     blend_weight: float
     best: TrialResult = field(hash=False, default=None)  # type: ignore[assignment]
+    rungs: tuple[RungSummary, ...] = ()
+    trainer: str | None = None
 
     def ranked(self) -> list[TrialResult]:
-        """Trials sorted best-first by the search objective."""
+        """Trials sorted best-first: deepest rung reached, then the
+        search objective, then trial id (a deterministic tiebreak)."""
         return sorted(
             self.trials,
-            key=lambda t: -t.objective_value(self.objective,
-                                             self.blend_weight),
+            key=lambda t: (
+                -t.rung,
+                -t.objective_value(self.objective, self.blend_weight),
+                t.trial_id,
+            ),
         )
+
+    def to_json(self) -> dict:
+        """JSON-compatible record: ranked trials plus rung history."""
+        ranked = self.ranked()
+        return {
+            "trainer": self.trainer,
+            "objective": self.objective,
+            "blend_weight": self.blend_weight,
+            "rungs": [r.to_json() for r in self.rungs],
+            "trials": [
+                {
+                    "rank": rank,
+                    "objective_value": t.objective_value(
+                        self.objective, self.blend_weight
+                    ),
+                    **t.to_json(),
+                }
+                for rank, t in enumerate(ranked, start=1)
+            ],
+        }
+
+
+#: Backwards-compatible name: the old grid-only result type is now the
+#: shared one.
+GridSearchResult = SearchResult
 
 
 def split_environments(
     environments: Sequence[EnvironmentData],
     validation_fraction: float = 0.25,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
 ) -> tuple[list[EnvironmentData], list[EnvironmentData]]:
     """Row-split every environment into (fit, validation) parts.
 
     Stratifies by environment (each province contributes to both sides) so
     the validation fairness report covers the same provinces as training.
+
+    The shuffle RNG is derived from a tagged ``SeedSequence`` stream
+    (``[seed, "spli"]``), matching the experiment runner's per-task
+    seeding convention, instead of feeding the raw int to
+    ``default_rng`` — a one-time change to which rows land in the
+    validation slice for a given seed (see ``docs/tuning.md``).
+
+    Args:
+        environments: Per-province data slices.
+        validation_fraction: Share of each environment held out.
+        seed: Root entropy of the shuffle stream; pass an int (tagged
+            internally) or a pre-derived ``SeedSequence``.
     """
     if not 0.0 < validation_fraction < 1.0:
         raise ValueError("validation_fraction must be in (0, 1)")
-    rng = np.random.default_rng(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        stream = seed
+    else:
+        stream = np.random.SeedSequence([int(seed), _SPLIT_STREAM_TAG])
+    rng = np.random.default_rng(stream)
     fit_parts, valid_parts = [], []
     for env in environments:
         order = rng.permutation(env.n_samples)
@@ -109,8 +253,16 @@ def grid_search(
     blend_weight: float = 0.5,
     validation_fraction: float = 0.25,
     seed: int = 0,
-) -> GridSearchResult:
+) -> SearchResult:
     """Exhaustive search over a config grid with fairness-aware selection.
+
+    .. deprecated::
+        Use a typed :class:`~repro.tune.space.HPSpace` with
+        :func:`~repro.tune.asha.run_grid` (engine-driven, resumable) or
+        :func:`~repro.tune.asha.run_asha` instead.  This shim builds the
+        degenerate ``HPSpace.grid`` space and drives the same scheduler
+        with the builder evaluated inline (closures cannot cross a
+        process boundary); it will be removed in a future release.
 
     Args:
         builder: Called with one keyword per grid axis (plus nothing else);
@@ -128,46 +280,28 @@ def grid_search(
         seed: Seed of the validation split.
 
     Returns:
-        A :class:`GridSearchResult`; ``result.best.params`` holds the
+        A :class:`SearchResult`; ``result.best.params`` holds the
         selected configuration.
     """
-    if objective not in SUPPORTED_OBJECTIVES:
-        raise ValueError(
-            f"objective must be one of {SUPPORTED_OBJECTIVES}, got {objective!r}"
-        )
+    warnings.warn(
+        "grid_search is deprecated; use repro.tune.HPSpace with "
+        "run_grid/run_asha (repro.tune.asha) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.tune.asha import run_builder_grid
+    from repro.tune.space import HPSpace
+
+    check_objective(objective, blend_weight)
     if not grid:
         raise ValueError("empty grid")
-    if not 0.0 <= blend_weight <= 1.0:
-        raise ValueError("blend_weight must be in [0, 1]")
-
-    fit_envs, valid_envs = split_environments(
-        environments, validation_fraction=validation_fraction, seed=seed
-    )
-    valid_labels = {e.name: e.labels for e in valid_envs}
-
-    axes = list(grid)
-    trials: list[TrialResult] = []
-    for values in itertools.product(*(grid[a] for a in axes)):
-        params = dict(zip(axes, values))
-        trainer = builder(**params)
-        start = time.perf_counter()
-        result = trainer.fit(fit_envs)
-        elapsed = time.perf_counter() - start
-        scores = {
-            e.name: result.model.predict_proba(result.theta, e.features)
-            for e in valid_envs
-        }
-        report = evaluate_environments(valid_labels, scores)
-        trials.append(
-            TrialResult(params=params, report=report, train_seconds=elapsed)
-        )
-
-    best = max(
-        trials, key=lambda t: t.objective_value(objective, blend_weight)
-    )
-    return GridSearchResult(
-        trials=tuple(trials),
+    space = HPSpace.grid(None, grid)
+    return run_builder_grid(
+        builder,
+        space,
+        environments,
         objective=objective,
         blend_weight=blend_weight,
-        best=best,
+        validation_fraction=validation_fraction,
+        seed=seed,
     )

@@ -1,0 +1,409 @@
+"""Typed, declarative hyper-parameter search spaces.
+
+An :class:`HPSpace` names a trainer and maps config fields to *parameter
+descriptors* — :class:`Uniform`, :class:`LogUniform`, :class:`Choice` and
+:class:`IntRange`.  Construction validates every descriptor against the
+trainer's config dataclass (unknown fields fail with the list of valid
+ones, reserved fields fail outright), so a typo'd space dies before any
+trial is spent on it — the same fail-fast contract the trainer registry
+gives `make_trainer`.
+
+Two consumption modes:
+
+* ``space.sample(rng)`` — one configuration drawn from the descriptors'
+  distributions; this is what the ASHA scheduler feeds per-trial
+  ``SeedSequence`` streams into.
+* ``space.grid_points()`` — the Cartesian product of enumerable
+  descriptors (``Choice``/``IntRange``); this is how the legacy
+  ``grid_search`` surface degenerates into the same machinery.
+
+Default spaces for all 8 registered trainers live here too, registered
+alongside the trainer registry's canonical names — ``default_space`` is
+how ``repro tune`` knows what to search without any user configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SpaceError",
+    "ParamSpec",
+    "Uniform",
+    "LogUniform",
+    "Choice",
+    "IntRange",
+    "HPSpace",
+    "default_space",
+    "register_space",
+    "config_class_for",
+]
+
+#: Fields a space may never search: ``seed`` belongs to the per-trial
+#: SeedSequence stream, ``n_epochs`` is the ASHA budget axis.
+RESERVED_FIELDS = ("seed", "n_epochs")
+
+
+class SpaceError(ValueError):
+    """An HPSpace or parameter descriptor is ill-formed."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Base descriptor: one searchable hyper-parameter's domain."""
+
+    def sample(self, rng: np.random.Generator):
+        """Draw one value from the descriptor's distribution."""
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        """Whether a value lies in the descriptor's domain."""
+        raise NotImplementedError
+
+    def grid_values(self) -> tuple:
+        """Enumerable candidate values, for grid-style consumption.
+
+        Raises:
+            SpaceError: For continuous descriptors, which cannot be
+                enumerated — sample them or supply a ``Choice`` instead.
+        """
+        raise SpaceError(
+            f"{type(self).__name__} is continuous and has no grid values; "
+            "use Choice/IntRange for grid-style searches"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-compatible description (leaderboard provenance)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Uniform(ParamSpec):
+    """Float drawn uniformly from ``[low, high)``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise SpaceError(
+                f"Uniform requires low < high, got [{self.low}, {self.high})"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def contains(self, value) -> bool:
+        return isinstance(value, (int, float)) \
+            and self.low <= float(value) <= self.high
+
+    def to_json(self) -> dict:
+        return {"kind": "uniform", "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class LogUniform(ParamSpec):
+    """Float whose *logarithm* is uniform on ``[log low, log high)``.
+
+    The right shape for scale parameters (learning rates, penalty
+    weights, l2) where "3 vs 10" matters as much as "0.003 vs 0.01".
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low <= 0:
+            raise SpaceError(f"LogUniform requires low > 0, got {self.low}")
+        if not self.low < self.high:
+            raise SpaceError(
+                f"LogUniform requires low < high, got [{self.low}, {self.high})"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.exp(rng.uniform(np.log(self.low),
+                                        np.log(self.high))))
+
+    def contains(self, value) -> bool:
+        return isinstance(value, (int, float)) \
+            and self.low <= float(value) <= self.high
+
+    def to_json(self) -> dict:
+        return {"kind": "loguniform", "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class Choice(ParamSpec):
+    """One of an explicit tuple of candidate values."""
+
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise SpaceError("Choice requires at least one value")
+
+    def sample(self, rng: np.random.Generator):
+        value = self.values[int(rng.integers(len(self.values)))]
+        return value.item() if isinstance(value, np.generic) else value
+
+    def contains(self, value) -> bool:
+        return value in self.values
+
+    def grid_values(self) -> tuple:
+        return self.values
+
+    def to_json(self) -> dict:
+        return {"kind": "choice", "values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class IntRange(ParamSpec):
+    """Integer drawn uniformly from the inclusive range ``[low, high]``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise SpaceError(
+                f"IntRange requires low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def contains(self, value) -> bool:
+        return isinstance(value, (int, np.integer)) \
+            and not isinstance(value, bool) \
+            and self.low <= int(value) <= self.high
+
+    def grid_values(self) -> tuple:
+        return tuple(range(self.low, self.high + 1))
+
+    def to_json(self) -> dict:
+        return {"kind": "intrange", "low": self.low, "high": self.high}
+
+
+def config_class_for(trainer: str) -> type:
+    """The config dataclass of a registered trainer, by any accepted name.
+
+    Imports happen lazily for the same reason they do in
+    :func:`~repro.train.registry.make_trainer` — the trainers import the
+    training base module, so module-scope imports would be circular.
+
+    Raises:
+        KeyError: For unknown trainer names (same error surface as the
+            registry).
+    """
+    from repro.baselines.finetune import FineTuneConfig
+    from repro.baselines.group_dro import GroupDROConfig
+    from repro.baselines.irmv1 import IRMv1Config
+    from repro.baselines.upsampling import UpSamplingConfig
+    from repro.baselines.vrex import VRExConfig
+    from repro.core.config import LightMIRMConfig, MetaIRMConfig
+    from repro.train.base import BaseTrainConfig
+    from repro.train.registry import resolve_trainer_name
+
+    canonical = resolve_trainer_name(trainer)
+    if canonical.startswith("meta-IRM("):
+        canonical = "meta-IRM"
+    return {
+        "ERM": BaseTrainConfig,
+        "ERM + fine-tuning": FineTuneConfig,
+        "Up Sampling": UpSamplingConfig,
+        "Group DRO": GroupDROConfig,
+        "V-REx": VRExConfig,
+        "IRMv1": IRMv1Config,
+        "meta-IRM": MetaIRMConfig,
+        "LightMIRM": LightMIRMConfig,
+    }[canonical]
+
+
+@dataclass(frozen=True)
+class HPSpace:
+    """A trainer name plus its searchable parameter descriptors.
+
+    Attributes:
+        trainer: Any spelling the trainer registry accepts, or ``None``
+            for an *unbound* space (no config-dataclass validation — the
+            escape hatch the legacy builder-based ``grid_search`` shim
+            uses, since a closure has no registry name to validate
+            against).
+        params: Config field name -> :class:`ParamSpec`.
+
+    Raises:
+        SpaceError: On an empty space, a reserved or unknown field, or a
+            value that is not a :class:`ParamSpec`.
+    """
+
+    trainer: str | None
+    params: Mapping[str, ParamSpec]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        if not self.params:
+            raise SpaceError("HPSpace requires at least one parameter")
+        for name, spec in self.params.items():
+            if not isinstance(spec, ParamSpec):
+                raise SpaceError(
+                    f"parameter {name!r} must be a ParamSpec "
+                    f"(Uniform/LogUniform/Choice/IntRange), "
+                    f"got {type(spec).__name__}"
+                )
+            if name in RESERVED_FIELDS:
+                raise SpaceError(
+                    f"parameter {name!r} is reserved: seeds come from the "
+                    "per-trial SeedSequence stream and n_epochs is the "
+                    "scheduler's budget axis"
+                )
+        if self.trainer is not None:
+            config_cls = config_class_for(self.trainer)
+            valid = sorted(
+                f.name for f in dataclass_fields(config_cls)
+                if f.name not in RESERVED_FIELDS
+            )
+            unknown = sorted(set(self.params) - set(valid))
+            if unknown:
+                raise SpaceError(
+                    f"unknown parameter(s) {unknown} for trainer "
+                    f"{self.trainer!r} ({config_cls.__name__}); "
+                    f"valid fields: {valid}"
+                )
+
+    @classmethod
+    def grid(cls, trainer: str | None,
+             axes: Mapping[str, Sequence]) -> "HPSpace":
+        """Degenerate grid space: every axis becomes a :class:`Choice`."""
+        return cls(
+            trainer=trainer,
+            params={name: Choice(tuple(values))
+                    for name, values in axes.items()},
+        )
+
+    def names(self) -> list[str]:
+        """Parameter names in the canonical (sorted) sampling order."""
+        return sorted(self.params)
+
+    def sample(self, rng: np.random.Generator) -> dict[str, object]:
+        """One configuration; fields are drawn in sorted-name order so a
+        given RNG stream always yields the same configuration."""
+        return {name: self.params[name].sample(rng) for name in self.names()}
+
+    def contains(self, params: Mapping[str, object]) -> bool:
+        """Whether a configuration lies inside the space."""
+        return set(params) == set(self.params) and all(
+            self.params[name].contains(value)
+            for name, value in params.items()
+        )
+
+    def grid_points(self) -> list[dict[str, object]]:
+        """Cartesian product of enumerable descriptors, in sorted-name
+        lexicographic order.
+
+        Raises:
+            SpaceError: If any descriptor is continuous.
+        """
+        names = self.names()
+        values = [self.params[name].grid_values() for name in names]
+        return [dict(zip(names, combo))
+                for combo in itertools.product(*values)]
+
+    def to_json(self) -> dict:
+        """JSON-compatible description (leaderboard provenance)."""
+        return {
+            "trainer": self.trainer,
+            "params": {name: self.params[name].to_json()
+                       for name in self.names()},
+        }
+
+
+# ------------------------------------------------------- default spaces
+#
+# One space per registered trainer, keyed by canonical Table I name.
+# Every space covers the shared optimisation knobs; IRM-family spaces add
+# the paper's penalty settings (λ, α) and LightMIRM the MRQ axes (L, γ).
+# Bounds bracket the tuned repo defaults by roughly an order of magnitude
+# — wide enough for the search to matter, narrow enough that smoke-sized
+# budgets stay numerically stable.
+
+_DEFAULT_SPACES: dict[str, HPSpace] = {}
+
+
+def register_space(trainer: str, space: HPSpace) -> None:
+    """Register (or replace) the default space of a trainer."""
+    from repro.train.registry import resolve_trainer_name
+
+    _DEFAULT_SPACES[resolve_trainer_name(trainer)] = space
+
+
+def default_space(trainer: str) -> HPSpace:
+    """The registered default space of a trainer, by any accepted name.
+
+    Raises:
+        KeyError: For unknown trainer names.
+    """
+    from repro.train.registry import resolve_trainer_name
+
+    canonical = resolve_trainer_name(trainer)
+    if canonical.startswith("meta-IRM("):
+        canonical = "meta-IRM"
+    return _DEFAULT_SPACES[canonical]
+
+
+def _register_defaults() -> None:
+    common = {
+        "learning_rate": LogUniform(0.5, 4.0),
+        "l2": LogUniform(1e-5, 1e-1),
+    }
+    meta_common = {
+        # The meta-learners use far smaller outer steps than plain GD.
+        "l2": LogUniform(1e-5, 1e-1),
+        "inner_lr": LogUniform(0.02, 0.5),
+        "lambda_penalty": LogUniform(0.3, 10.0),
+    }
+    for name, space in {
+        "ERM": HPSpace("ERM", dict(common)),
+        "ERM + fine-tuning": HPSpace("ERM + fine-tuning", {
+            **common,
+            "finetune_epochs": IntRange(5, 30),
+            "finetune_lr": LogUniform(0.05, 1.0),
+        }),
+        "Up Sampling": HPSpace("Up Sampling", {
+            **common,
+            "power": Uniform(0.0, 1.0),
+            "positive_weight": LogUniform(0.5, 4.0),
+        }),
+        "Group DRO": HPSpace("Group DRO", {
+            **common,
+            "group_lr": LogUniform(0.1, 4.0),
+        }),
+        "V-REx": HPSpace("V-REx", {
+            **common,
+            "variance_weight": LogUniform(0.1, 10.0),
+        }),
+        "IRMv1": HPSpace("IRMv1", {
+            "learning_rate": LogUniform(0.1, 1.0),
+            "l2": LogUniform(1e-5, 1e-1),
+            "penalty_weight": LogUniform(1.0, 50.0),
+        }),
+        "meta-IRM": HPSpace("meta-IRM", {
+            "learning_rate": LogUniform(0.005, 0.1),
+            **meta_common,
+        }),
+        "LightMIRM": HPSpace("LightMIRM", {
+            "learning_rate": LogUniform(0.05, 1.0),
+            **meta_common,
+            "queue_length": IntRange(1, 9),
+            "gamma": Uniform(0.5, 1.0),
+        }),
+    }.items():
+        _DEFAULT_SPACES[name] = space
+
+
+_register_defaults()

@@ -121,3 +121,57 @@ class TestExperimentAndList:
         ])
         assert code == 0
         assert "Fig 4" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_tune_parser_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.trainers == ["LightMIRM"]
+        assert args.trials == 9 and args.eta == 3
+        assert args.min_epochs == 5 and args.max_epochs == 45
+        assert args.objective == "blend"
+        assert args.jobs == 1 and args.seed == 0
+        assert args.out == "TUNE_leaderboard.json"
+
+    def test_tune_parser_shares_common_flags(self):
+        args = build_parser().parse_args([
+            "tune", "--trainers", "ERM", "IRMv1", "--jobs", "4",
+            "--seed", "5", "--trace", "t.jsonl", "--registry", "reg",
+            "--resume", "old.jsonl", "--smoke",
+        ])
+        assert args.trainers == ["ERM", "IRMv1"]
+        assert args.jobs == 4 and args.seed == 5
+        assert args.trace == "t.jsonl" and args.registry == "reg"
+        assert args.resume == "old.jsonl" and args.smoke is True
+
+    def test_tune_rejects_bad_objective(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--objective", "accuracy"])
+
+    def test_tune_end_to_end(self, tmp_path, capsys):
+        import json
+
+        from repro.tune import ranked_trials, validate_leaderboard
+
+        out = tmp_path / "lb.json"
+        trace = tmp_path / "tune.jsonl"
+        argv = [
+            "tune", "--trainers", "ERM", "--trials", "2", "--eta", "2",
+            "--min-epochs", "3", "--max-epochs", "3",
+            "--n-samples", "3000", "--seed", "1",
+            "--out", str(out), "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        payload = validate_leaderboard(json.loads(out.read_text()))
+        assert len(payload["leaderboard"]) == 2
+        assert payload["leaderboard"][0]["trainer"] == "ERM"
+        assert "best" in capsys.readouterr().out
+
+        # Resuming from the trace replays every trial to the identical
+        # ranking (the acceptance criterion for interrupted searches).
+        out2 = tmp_path / "lb2.json"
+        code = main(argv[:-4] + ["--out", str(out2),
+                                 "--resume", str(trace)])
+        assert code == 0
+        resumed = json.loads(out2.read_text())
+        assert ranked_trials(resumed) == ranked_trials(payload)

@@ -1,4 +1,4 @@
-"""Unit tests for the hyper-parameter grid search."""
+"""Unit tests for environment splitting and the legacy grid-search shim."""
 
 import numpy as np
 import pytest
@@ -7,7 +7,13 @@ from repro.core.config import LightMIRMConfig
 from repro.core.lightmirm import LightMIRMTrainer
 from repro.train.base import BaseTrainConfig
 from repro.baselines.erm import ERMTrainer
-from repro.tune import grid_search, split_environments
+from repro.tune import SearchResult, grid_search, split_environments
+
+
+def legacy_grid_search(*args, **kwargs):
+    """grid_search is a DeprecationWarning shim; assert it warns, always."""
+    with pytest.warns(DeprecationWarning, match="grid_search is deprecated"):
+        return grid_search(*args, **kwargs)
 
 
 class TestSplitEnvironments:
@@ -23,6 +29,14 @@ class TestSplitEnvironments:
         b_fit, _ = split_environments(tiny_envs, seed=3)
         np.testing.assert_array_equal(a_fit[0].labels, b_fit[0].labels)
 
+    def test_accepts_seed_sequence(self, tiny_envs):
+        # An int seed is tagged into a SeedSequence stream internally, so
+        # passing the pre-derived stream must give the identical split.
+        stream = np.random.SeedSequence([3, 0x73706C69])
+        a_fit, _ = split_environments(tiny_envs, seed=3)
+        b_fit, _ = split_environments(tiny_envs, seed=stream)
+        np.testing.assert_array_equal(a_fit[0].labels, b_fit[0].labels)
+
     def test_invalid_fraction(self, tiny_envs):
         with pytest.raises(ValueError):
             split_environments(tiny_envs, validation_fraction=1.0)
@@ -36,19 +50,20 @@ class TestSplitEnvironments:
             split_environments([env], validation_fraction=0.5)
 
 
-class TestGridSearch:
+class TestGridSearchShim:
     def test_evaluates_full_product(self, tiny_envs):
-        result = grid_search(
+        result = legacy_grid_search(
             lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=10, **kw)),
             grid={"learning_rate": [0.5, 1.0], "l2": [1e-4, 1e-2]},
             environments=tiny_envs,
         )
+        assert isinstance(result, SearchResult)
         assert len(result.trials) == 4
         seen = {tuple(sorted(t.params.items())) for t in result.trials}
         assert len(seen) == 4
 
     def test_best_maximises_objective(self, tiny_envs):
-        result = grid_search(
+        result = legacy_grid_search(
             lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=10, **kw)),
             grid={"learning_rate": [0.01, 1.0]},
             environments=tiny_envs,
@@ -58,7 +73,7 @@ class TestGridSearch:
         assert result.best.report.mean_ks == max(values)
 
     def test_ranked_order(self, tiny_envs):
-        result = grid_search(
+        result = legacy_grid_search(
             lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=10, **kw)),
             grid={"learning_rate": [0.01, 0.5, 1.0]},
             environments=tiny_envs,
@@ -72,7 +87,7 @@ class TestGridSearch:
         assert scores == sorted(scores, reverse=True)
 
     def test_blend_objective(self, tiny_envs):
-        result = grid_search(
+        result = legacy_grid_search(
             lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=10, **kw)),
             grid={"learning_rate": [0.5, 1.0]},
             environments=tiny_envs,
@@ -83,7 +98,7 @@ class TestGridSearch:
         assert result.best.report.worst_ks == max(values)
 
     def test_lightmirm_grid(self, tiny_envs):
-        result = grid_search(
+        result = legacy_grid_search(
             lambda **kw: LightMIRMTrainer(
                 LightMIRMConfig(n_epochs=15, **kw)
             ),
@@ -94,16 +109,36 @@ class TestGridSearch:
         assert result.best.params["gamma"] == 0.9
 
     def test_records_training_time(self, tiny_envs):
-        result = grid_search(
+        result = legacy_grid_search(
             lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=5, **kw)),
             grid={"learning_rate": [1.0]},
             environments=tiny_envs,
         )
         assert result.trials[0].train_seconds > 0
 
+    def test_trial_surface(self, tiny_envs):
+        # The shim shares the unified TrialResult surface with ASHA.
+        result = legacy_grid_search(
+            lambda **kw: ERMTrainer(BaseTrainConfig(n_epochs=5, **kw)),
+            grid={"learning_rate": [0.5, 1.0]},
+            environments=tiny_envs,
+        )
+        trial = result.trials[0]
+        payload = trial.to_json()
+        assert payload["trial"] == trial.trial_id
+        assert payload["rung"] == 0 and payload["budget"] is None
+        assert set(payload["metrics"]) == {"mKS", "wKS", "mAUC", "wAUC"}
+        value = trial.objective_value("blend", 0.5)
+        assert value == pytest.approx(
+            0.5 * trial.report.mean_ks + 0.5 * trial.report.worst_ks
+        )
+        assert result.rungs[0].evaluated == tuple(
+            t.trial_id for t in result.trials
+        )
+
     def test_invalid_objective(self, tiny_envs):
         with pytest.raises(ValueError, match="objective"):
-            grid_search(
+            legacy_grid_search(
                 lambda **kw: ERMTrainer(BaseTrainConfig(**kw)),
                 grid={"learning_rate": [1.0]},
                 environments=tiny_envs,
@@ -112,7 +147,7 @@ class TestGridSearch:
 
     def test_empty_grid_rejected(self, tiny_envs):
         with pytest.raises(ValueError, match="empty"):
-            grid_search(
+            legacy_grid_search(
                 lambda **kw: ERMTrainer(BaseTrainConfig(**kw)),
                 grid={},
                 environments=tiny_envs,

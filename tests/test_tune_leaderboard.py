@@ -1,0 +1,196 @@
+"""Unit tests for trial records, the result buffer and the leaderboard."""
+
+import json
+
+import pytest
+
+from repro.obs.runlog import TUNE_TRIAL_EVENT, RunLogReader
+from repro.obs.tracer import Tracer
+from repro.tune import (
+    ASHAConfig,
+    LeaderboardError,
+    ResultBuffer,
+    TrialRecord,
+    build_leaderboard,
+    default_space,
+    load_trial_records,
+    ranked_trials,
+    run_asha,
+    validate_leaderboard,
+    write_leaderboard,
+)
+
+SMALL = ASHAConfig(n_trials=3, eta=3, min_epochs=3, max_epochs=3, seed=1)
+
+
+@pytest.fixture
+def record():
+    return TrialRecord(
+        trainer="ERM",
+        trial_id="t001",
+        rung=1,
+        budget=8,
+        params={"learning_rate": 0.30000000000000004, "l2": 1e-4},
+        seed=12345,
+        train_seconds=0.25,
+        per_environment={
+            "zhejiang": {"ks": 0.1 + 0.2, "auc": 2.0 / 3.0,
+                         "n_samples": 90, "n_positive": 11},
+            "shandong": {"ks": 0.5, "auc": 0.75,
+                         "n_samples": 30, "n_positive": 4},
+        },
+        skipped=("gansu",),
+    )
+
+
+class TestTrialRecord:
+    def test_fields_round_trip(self, record):
+        assert TrialRecord.from_fields(record.to_fields()) == record
+
+    def test_json_round_trip_is_exact(self, record):
+        # Floats like 0.1 + 0.2 must survive the repr-JSON encoding
+        # exactly — this is what makes resume bit-identical.
+        encoded = json.dumps(record.to_fields())
+        assert TrialRecord.from_fields(json.loads(encoded)) == record
+
+    def test_fairness_report_rebuild(self, record):
+        report = record.fairness_report()
+        assert report.per_environment["zhejiang"].ks == 0.1 + 0.2
+        assert report.per_environment["shandong"].n_positive == 4
+        assert report.skipped == ("gansu",)
+        rebuilt = TrialRecord.from_report(
+            trainer=record.trainer,
+            trial_id=record.trial_id,
+            rung=record.rung,
+            budget=record.budget,
+            params=record.params,
+            seed=record.seed,
+            train_seconds=record.train_seconds,
+            report=report,
+        )
+        assert rebuilt == record
+
+
+class TestResultBuffer:
+    def test_add_get_and_dedup(self, record):
+        buffer = ResultBuffer()
+        buffer.add(record)
+        buffer.add(record)  # replays are ignored, first write wins
+        assert len(buffer) == 1
+        assert buffer.get("ERM", "t001", 1) is record
+        assert buffer.get("ERM", "t001", 0) is None
+        assert buffer.get("IRMv1", "t001", 1) is None
+        assert buffer.records() == [record]
+
+    def test_emits_trial_events(self, record, tmp_path):
+        path = tmp_path / "log.jsonl"
+        tracer = Tracer(path=path)
+        tracer.write_manifest(command="buffer-test")
+        ResultBuffer(tracer).add(record)
+        tracer.close()
+        events = RunLogReader.read(path).events(TUNE_TRIAL_EVENT)
+        assert len(events) == 1
+        assert TrialRecord.from_fields(events[0]["fields"]) == record
+
+
+class TestLoadTrialRecords:
+    def write_log(self, path, record):
+        tracer = Tracer(path=path)
+        tracer.write_manifest(command="load-test")
+        ResultBuffer(tracer).add(record)
+        tracer.close()
+
+    def test_round_trip(self, record, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.write_log(path, record)
+        assert load_trial_records(path) == {("ERM", "t001", 1): record}
+
+    def test_tolerates_torn_tail_and_junk(self, record, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.write_log(path, record)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"kind": "event", "name": "other", "fields": {}}\n')
+            handle.write('{"kind": "event", "name": "tune_tri')  # torn
+        assert load_trial_records(path) == {("ERM", "t001", 1): record}
+
+    def test_last_complete_record_wins(self, record, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.write_log(path, record)
+        import dataclasses
+
+        later = dataclasses.replace(record, train_seconds=9.0)
+        with path.open("a", encoding="utf-8") as handle:
+            line = {"ts": 0.0, "kind": "event", "name": TUNE_TRIAL_EVENT,
+                    "fields": later.to_fields()}
+            handle.write(json.dumps(line) + "\n")
+        assert load_trial_records(path)[("ERM", "t001", 1)] == later
+
+
+class TestLeaderboard:
+    @pytest.fixture
+    def results(self, tiny_envs):
+        return [
+            run_asha(default_space(name), tiny_envs, SMALL)
+            for name in ("ERM", "IRMv1")
+        ]
+
+    @pytest.fixture
+    def payload(self, results):
+        return build_leaderboard(
+            results, seed=1, search_config={"n_trials": 3}
+        )
+
+    def test_schema_valid(self, payload):
+        assert validate_leaderboard(payload) is payload
+        assert payload["kind"] == "tune_leaderboard"
+        assert payload["seed"] == 1
+        assert payload["search_config"] == {"n_trials": 3}
+        assert {s["trainer"] for s in payload["searches"]} == {"ERM", "IRMv1"}
+        assert "python" in payload["machine"]
+
+    def test_global_ranking(self, payload):
+        entries = payload["leaderboard"]
+        assert [e["rank"] for e in entries] == list(range(1, 7))
+        values = [e["objective_value"] for e in entries]
+        assert values == sorted(values, reverse=True)
+        assert {e["trainer"] for e in entries} == {"ERM", "IRMv1"}
+
+    def test_ranked_trials_projection(self, payload):
+        projected = ranked_trials(payload)
+        assert len(projected) == len(payload["leaderboard"])
+        for entry in projected:
+            assert "train_seconds" not in entry
+            assert "objective_value" in entry
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_leaderboard([], seed=0)
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda p: p.pop("machine"), "missing keys"),
+        (lambda p: p.update(kind="leaderboard"), "expected 'tune_leaderboard'"),
+        (lambda p: p.update(format=99), "format"),
+        (lambda p: p.update(searches=[]), "non-empty"),
+        (lambda p: p["searches"][0].pop("rungs"), "missing keys"),
+        (lambda p: p["leaderboard"][0].pop("metrics"), "missing keys"),
+        (lambda p: p["leaderboard"][0].update(rank=5), "ranks must be"),
+    ])
+    def test_validation_errors(self, payload, mutate, match):
+        broken = json.loads(json.dumps(payload))
+        mutate(broken)
+        with pytest.raises(LeaderboardError, match=match):
+            validate_leaderboard(broken)
+
+    def test_write_round_trip(self, payload, tmp_path):
+        path = tmp_path / "TUNE_leaderboard.json"
+        write_leaderboard(payload, path)
+        restored = json.loads(path.read_text())
+        assert validate_leaderboard(restored)
+        assert ranked_trials(restored) == ranked_trials(payload)
+
+    def test_write_rejects_invalid(self, payload, tmp_path):
+        broken = dict(payload)
+        broken.pop("git")
+        with pytest.raises(LeaderboardError):
+            write_leaderboard(broken, tmp_path / "nope.json")
