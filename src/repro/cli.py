@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``)::
     python -m repro registry promote --root reg/ --version v0002
     python -m repro serve-score --registry reg/ --data platform.npz
     python -m repro serve-run --registry reg/ --data platform.npz --workers 4
+    python -m repro serve-run --registry reg/ --data platform.npz \\
+        --workers 4 --metrics-port 9100 --trace serve.jsonl
+    python -m repro obs top --url http://127.0.0.1:9100
     python -m repro experiment table1
     python -m repro experiment table1 --jobs 4
     python -m repro bench --out BENCH_gbdt.json
@@ -29,7 +32,9 @@ Usage (after ``pip install -e .``)::
 scale and prints the same rows/series the paper reports.  ``--trace PATH``
 (on ``train``, ``verify``, ``serve-bench`` and ``experiment``) records a
 structured JSONL run log; ``repro obs report|summary|diff`` renders it
-offline (see ``docs/observability.md``).
+offline (see ``docs/observability.md``).  ``serve-run --metrics-port``
+turns on the live telemetry plane (Prometheus + JSON exposition, online
+drift/SLO monitors, health alerts) and ``repro obs top`` watches it.
 """
 
 from __future__ import annotations
@@ -145,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_run.add_argument("--drift-threshold", type=float,
                            help="enable the PSI drift guard at this "
                                 "threshold")
+    serve_run.add_argument("--repeat", type=int, default=1,
+                           help="score the row stream N times (soak runs)")
+    serve_run.add_argument("--metrics-port", type=int, metavar="PORT",
+                           help="enable the live telemetry plane and serve "
+                                "Prometheus text + JSON snapshots on this "
+                                "port (0 picks an ephemeral port)")
+    serve_run.add_argument("--metrics-snapshot", metavar="PATH",
+                           help="enable the live telemetry plane and append "
+                                "periodic JSON snapshot lines to PATH "
+                                "(headless CI alternative to a scraper)")
+    serve_run.add_argument("--snapshot-interval", type=float, default=2.0,
+                           help="seconds between --metrics-snapshot lines")
+    serve_run.add_argument("--trace", metavar="PATH",
+                           help="write a structured JSONL run log (health "
+                                "alerts and transitions land here)")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -295,13 +315,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "LightMIRM on a small generator")
 
     obs = sub.add_parser(
-        "obs", help="render a structured run log (report/summary/diff)"
+        "obs",
+        help="render a run log (report/summary/diff) or the live plane "
+             "(top)",
     )
-    obs.add_argument("action", choices=("report", "summary", "diff"))
-    obs.add_argument("paths", nargs="+", metavar="RUNLOG",
-                     help="run log path (diff takes exactly two)")
+    obs.add_argument("action", choices=("report", "summary", "diff", "top"))
+    obs.add_argument("paths", nargs="*", metavar="RUNLOG",
+                     help="run log path (diff takes exactly two; top takes "
+                          "none)")
     obs.add_argument("--max-curve-rows", type=int, default=20,
                      help="rows per convergence-curve table in `report`")
+    obs.add_argument("--url", metavar="URL",
+                     help="top: exporter base URL "
+                          "(e.g. http://127.0.0.1:9100)")
+    obs.add_argument("--file", metavar="PATH",
+                     help="top: tail a --metrics-snapshot file instead")
+    obs.add_argument("--interval", type=float, default=2.0,
+                     help="top: refresh period in seconds")
+    obs.add_argument("--iterations", type=int,
+                     help="top: stop after N redraws (default: until ^C)")
 
     sub.add_parser("list", help="list trainers and experiments")
     return parser
@@ -544,8 +576,10 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     dataset = LoanDataset.load(args.data)
     split = temporal_split(dataset)
     rows = split.test.features
+    provinces = split.test.provinces
     if args.limit is not None:
         rows = rows[: args.limit]
+        provinces = provinces[: args.limit]
 
     guard = None
     if args.drift_threshold is not None:
@@ -555,19 +589,78 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             StreamingPSI.from_dataset(split.train),
             psi_threshold=args.drift_threshold,
         )
+
+    live = args.metrics_port is not None or args.metrics_snapshot is not None
+    pipeline = registry.load("champion")
+    monitors: dict = {}
+    tracer = NULL_TRACER
+    if live:
+        from repro.obs.live import (
+            CalibrationMonitor, HealthMonitor, ScoreDriftMonitor, SLOConfig,
+            SLOTracker,
+        )
+
+        # Baseline the score monitors on the champion's own training
+        # scores: that is the distribution it was gated on, so any walk
+        # away from it is drift by definition.
+        baseline_rows = split.train.features[:5000]
+        baseline_scores = pipeline.predict_proba(baseline_rows)
+        tracer = _make_tracer(
+            args, "serve-run",
+            config={"workers": args.workers, "batch_size": args.batch_size},
+        )
+        monitors = {
+            "score_drift": ScoreDriftMonitor(
+                baseline_scores,
+                window_rows=max(50, min(500, len(rows) // 4 or 50)),
+            ),
+            "calibration": CalibrationMonitor(
+                reference_mean=float(baseline_scores.mean())
+            ),
+            "slo_tracker": SLOTracker([
+                SLOConfig("admission", error_budget=0.01),
+                SLOConfig("latency", error_budget=0.05),
+            ]),
+            "health_monitor": HealthMonitor(tracer=tracer),
+        }
     frontend = ScoringFrontend(
-        registry.load("champion"),
+        pipeline,
         FrontendConfig(n_workers=args.workers,
                        max_batch_size=args.batch_size,
-                       max_queue=args.max_queue),
+                       max_queue=args.max_queue,
+                       live_metrics=live),
         drift_guard=guard,
+        **monitors,
     )
     frontend.start()
+    exporter = writer = None
     try:
-        results = frontend.score_stream(rows)
+        if args.metrics_port is not None:
+            from repro.obs.live import MetricsExporter
+
+            exporter = MetricsExporter(frontend.live_snapshot,
+                                       port=args.metrics_port)
+            port = exporter.start()
+            print(f"metrics         http://127.0.0.1:{port}/metrics "
+                  f"(JSON at /snapshot)")
+        if args.metrics_snapshot is not None:
+            from repro.obs.live import SnapshotFileWriter
+
+            writer = SnapshotFileWriter(frontend.live_snapshot,
+                                        args.metrics_snapshot,
+                                        interval_s=args.snapshot_interval)
+            writer.start()
+        results = []
+        for _ in range(max(1, args.repeat)):
+            results.extend(frontend.score_stream(rows, provinces=provinces))
         snap = frontend.snapshot()  # before stop() retires the packs
     finally:
+        if writer is not None:
+            writer.stop()
+        if exporter is not None:
+            exporter.stop()
         frontend.stop()
+        tracer.close()
     scored = [r.score for r in results if r.ok]
     latency = snap["telemetry"]["request_latency"]
     print(f"scored {len(scored)}/{len(results)} rows across "
@@ -583,6 +676,22 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         state = guard.snapshot()
         print(f"drift guard     max_psi={state['max_psi']:.4f} "
               f"tripped={state['tripped']}")
+    workers = snap.get("workers")
+    if workers is not None:
+        hit_rate = workers.get("cache_hit_rate")
+        hit = "n/a" if hit_rate is None else f"{hit_rate:.2%}"
+        print(f"workers         rows={workers['counters']['rows_scored']} "
+              f"batches={workers['counters']['batches']} "
+              f"cache_hit_rate={hit} "
+              f"reporting={workers['workers_reporting']}")
+    if live:
+        health = frontend.health_monitor.snapshot()
+        print(f"health          state={health['state']} "
+              f"alerts={health['n_alerts']}")
+        if args.metrics_snapshot is not None:
+            print(f"wrote snapshots to {args.metrics_snapshot}")
+    if args.trace:
+        print(f"wrote run log to {args.trace}")
     return 0
 
 
@@ -793,6 +902,16 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import format_diff, format_report, format_summary, load_run
 
+    if args.action == "top":
+        from repro.obs.live import run_top
+
+        if args.paths or (args.url is None) == (args.file is None):
+            print("obs top takes no run logs; give exactly one of "
+                  "--url or --file", file=sys.stderr)
+            return 2
+        return run_top(url=args.url, file=args.file,
+                       interval_s=args.interval,
+                       iterations=args.iterations)
     if args.action == "diff":
         if len(args.paths) != 2:
             print("obs diff takes exactly two run logs", file=sys.stderr)

@@ -12,9 +12,13 @@ Four pieces, all zero-dependency (stdlib + numpy) and disabled-by-default:
 * :mod:`repro.obs.profile` — aggregate profiling hooks inside the GBDT
   hot paths (histogram build, leaf encode, boosting rounds), with opt-in
   tracemalloc allocation tracking.
+* :mod:`repro.obs.live` — the live telemetry plane for the serving
+  stack: shared-memory metrics slabs, cross-process aggregation, online
+  quality monitors, health alerts and Prometheus/JSON exposition.
 
 ``repro obs report|summary|diff`` renders a run log offline — per-step
-Table III timings and convergence curves without re-running training.
+Table III timings and convergence curves without re-running training —
+and ``repro obs top`` renders the live plane while serving.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -23,10 +27,13 @@ from repro.obs.report import (
     format_diff,
     format_report,
     format_summary,
+    health_lines,
     load_run,
     timing_tables,
 )
 from repro.obs.runlog import (
+    ALERT_EVENT,
+    HEALTH_TRANSITION_EVENT,
     LIFECYCLE_SPAN,
     LIFECYCLE_STAGE_EVENT,
     SCHEMA_VERSION,
@@ -50,8 +57,11 @@ __all__ = [
     "format_diff",
     "format_report",
     "format_summary",
+    "health_lines",
     "load_run",
     "timing_tables",
+    "ALERT_EVENT",
+    "HEALTH_TRANSITION_EVENT",
     "LIFECYCLE_SPAN",
     "LIFECYCLE_STAGE_EVENT",
     "SCHEMA_VERSION",

@@ -1,0 +1,71 @@
+"""Live telemetry plane: slabs, aggregation, monitors, health, exposition.
+
+``repro.obs`` (PR 4) is post-hoc — logs read after the run.  This
+subpackage is the *live* half for the multi-worker serving stack:
+per-worker shared-memory metrics slabs with seqlock torn-free parent
+reads (:mod:`~repro.obs.live.slab`), online quality monitors
+(:mod:`~repro.obs.live.monitors`), a declarative health state machine
+emitting schema-v2 alerts (:mod:`~repro.obs.live.health`), and
+stdlib-only Prometheus/JSON exposition plus the ``repro obs top``
+terminal view (:mod:`~repro.obs.live.export`,
+:mod:`~repro.obs.live.top`).
+
+Deliberately serve-agnostic: nothing here imports ``repro.serve``;
+:class:`~repro.serve.frontend.ScoringFrontend` and the CLI do the
+wiring.  ``docs/observability.md`` documents the slab layout, snapshot
+shapes and alert schema.
+"""
+
+from repro.obs.live.export import (
+    MetricsExporter,
+    SnapshotFileWriter,
+    render_prometheus,
+)
+from repro.obs.live.health import (
+    DEFAULT_SERVING_RULES,
+    HealthMonitor,
+    HealthRule,
+)
+from repro.obs.live.monitors import (
+    CalibrationMonitor,
+    SLOConfig,
+    SLOTracker,
+    ScoreDriftMonitor,
+)
+from repro.obs.live.slab import (
+    SERVING_SLAB_LAYOUT,
+    MetricsAggregator,
+    MetricsSlab,
+    SlabLayout,
+    SlabWriter,
+    telemetry_to_row,
+)
+from repro.obs.live.top import (
+    fetch_snapshot,
+    read_snapshot_file,
+    render_top,
+    run_top,
+)
+
+__all__ = [
+    "SlabLayout",
+    "MetricsSlab",
+    "SlabWriter",
+    "MetricsAggregator",
+    "SERVING_SLAB_LAYOUT",
+    "telemetry_to_row",
+    "ScoreDriftMonitor",
+    "CalibrationMonitor",
+    "SLOTracker",
+    "SLOConfig",
+    "HealthRule",
+    "HealthMonitor",
+    "DEFAULT_SERVING_RULES",
+    "MetricsExporter",
+    "SnapshotFileWriter",
+    "render_prometheus",
+    "render_top",
+    "fetch_snapshot",
+    "read_snapshot_file",
+    "run_top",
+]

@@ -1,0 +1,228 @@
+"""Health state machine: declarative thresholds → alerts → transitions.
+
+:class:`HealthMonitor` closes the gap between "a monitor computed a
+number" and "an operator (or the lifecycle controller) acts on it".
+Each poll, the front-end hands it a flat ``{signal_name: value}`` dict
+(drift PSI, calibration shift, SLO burns, stale-worker count — anything
+numeric); every :class:`HealthRule` compares its signal against warning
+and critical thresholds; the overall state is the worst rule outcome,
+with hysteresis on the way down so one clean poll doesn't un-page a
+flapping service.
+
+Two kinds of records land in the run log (schema v2, validated by
+:func:`repro.obs.runlog.validate_record`):
+
+* one :data:`~repro.obs.runlog.ALERT_EVENT` per *onset* of a breach
+  (edge-triggered — re-emitted only when severity escalates or after the
+  breach clears and re-fires, never once per poll);
+* one :data:`~repro.obs.runlog.HEALTH_TRANSITION_EVENT` per state
+  change, carrying the rule names that drove it.
+
+Registered ``on_transition`` hooks fire after the event is written;
+:class:`~repro.serve.lifecycle.LifecycleController` subscribes one to
+make drift-triggered retrains observable end-to-end.  This module stays
+serve-agnostic: it knows signals, thresholds and a tracer — not where
+the numbers come from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs.runlog import ALERT_EVENT, HEALTH_TRANSITION_EVENT
+from repro.obs.tracer import NULL_TRACER
+
+__all__ = ["HealthRule", "HealthMonitor", "DEFAULT_SERVING_RULES"]
+
+#: Health states, in increasing severity order.
+HEALTHY, DEGRADED, CRITICAL = "healthy", "degraded", "critical"
+_SEVERITY_RANK = {HEALTHY: 0, DEGRADED: 1, CRITICAL: 2}
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One declarative threshold pair over one named signal.
+
+    Attributes:
+        signal: Key looked up in the signals dict passed to ``evaluate``.
+        warning: Value at/above which the rule reports *degraded*.
+        critical: Value at/above which the rule reports *critical*
+            (must be >= ``warning``).
+        description: One line for alerts and the runbook.
+    """
+
+    signal: str
+    warning: float
+    critical: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.critical < self.warning:
+            raise ValueError(
+                f"rule {self.signal}: critical threshold below warning"
+            )
+
+    def classify(self, value: float) -> str:
+        """healthy / degraded / critical for one observed value."""
+        if value >= self.critical:
+            return CRITICAL
+        if value >= self.warning:
+            return DEGRADED
+        return HEALTHY
+
+
+#: Default serving rules; thresholds follow the conventions already in
+#: the repo (PSI 0.1/0.25 industry bands as in ``repro.monitor.drift``,
+#: burn-rate 1×/10× fast-page pairing) — override per deployment.
+DEFAULT_SERVING_RULES = (
+    HealthRule("score_psi", warning=0.10, critical=0.25,
+               description="worst per-province score-distribution PSI"),
+    HealthRule("feature_psi", warning=0.10, critical=0.25,
+               description="max per-feature input-drift PSI (DriftGuard)"),
+    HealthRule("mean_shift", warning=0.05, critical=0.15,
+               description="windowed score-mean shift vs reference"),
+    HealthRule("slo_burn", warning=1.0, critical=10.0,
+               description="worst SLO burn rate across objectives/windows"),
+    HealthRule("stale_workers", warning=1.0, critical=2.0,
+               description="workers with stale slab heartbeats"),
+)
+
+
+class HealthMonitor:
+    """Evaluates rules each poll, tracks state, emits alerts + hooks.
+
+    Args:
+        rules: The declarative thresholds (defaults to serving rules).
+        tracer: Run-log sink for alert / health_transition events.
+        recovery_polls: Consecutive fully-clean evaluations required
+            before the state steps *down* (critical→degraded→healthy
+            collapses directly to the evaluated state after the streak).
+        clock: Unix-time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rules=DEFAULT_SERVING_RULES,
+        tracer=NULL_TRACER,
+        recovery_polls: int = 3,
+        clock=time.time,
+    ):
+        names = [r.signal for r in rules]
+        if len(names) != len(set(names)):
+            raise ValueError("one rule per signal name")
+        if recovery_polls < 1:
+            raise ValueError("recovery_polls must be >= 1")
+        self.rules = tuple(rules)
+        self.tracer = tracer
+        self.recovery_polls = recovery_polls
+        self._clock = clock
+        self.state = HEALTHY
+        self._active_severity: dict[str, str] = {}
+        self._clean_streak = 0
+        self._on_transition: list = []
+        self.n_alerts = 0
+        self.n_transitions = 0
+
+    def on_transition(self, hook) -> None:
+        """Register ``hook(from_state, to_state, reasons: list[str])``.
+
+        Hooks run after the transition event is logged; exceptions
+        propagate to the caller of :meth:`evaluate` (the collector loop
+        guards itself).
+        """
+        self._on_transition.append(hook)
+
+    # ----------------------------------------------------------- evaluate
+
+    def evaluate(self, signals: dict, detail: dict | None = None) -> str:
+        """Classify one poll's signals; emit alerts/transitions as needed.
+
+        Args:
+            signals: ``{signal_name: numeric value}``; rules whose signal
+                is absent (or None) are skipped — a monitor that has not
+                completed a window yet simply doesn't vote.
+            detail: Optional per-signal extra alert fields, e.g.
+                ``{"score_psi": {"province": "guangdong"}}``.
+
+        Returns:
+            The (possibly unchanged) current state.
+        """
+        detail = detail or {}
+        now = self._clock()
+        worst = HEALTHY
+        breaching: list[str] = []
+        for rule in self.rules:
+            value = signals.get(rule.signal)
+            if value is None:
+                self._active_severity.pop(rule.signal, None)
+                continue
+            severity = rule.classify(float(value))
+            previous = self._active_severity.get(rule.signal, HEALTHY)
+            if severity == HEALTHY:
+                self._active_severity.pop(rule.signal, None)
+            else:
+                breaching.append(rule.signal)
+                if _SEVERITY_RANK[severity] > _SEVERITY_RANK[previous]:
+                    self._emit_alert(rule, severity, float(value), now,
+                                     detail.get(rule.signal, {}))
+                self._active_severity[rule.signal] = severity
+            if _SEVERITY_RANK[severity] > _SEVERITY_RANK[worst]:
+                worst = severity
+        self._step_state(worst, breaching, now)
+        return self.state
+
+    def _emit_alert(self, rule: HealthRule, severity: str, value: float,
+                    now: float, extra: dict) -> None:
+        threshold = rule.critical if severity == CRITICAL else rule.warning
+        self.n_alerts += 1
+        self.tracer.event(
+            ALERT_EVENT,
+            monitor=rule.signal,
+            severity="critical" if severity == CRITICAL else "warning",
+            value=value,
+            threshold=threshold,
+            unix=now,
+            description=rule.description,
+            **extra,
+        )
+
+    def _step_state(self, evaluated: str, reasons: list[str],
+                    now: float) -> None:
+        if _SEVERITY_RANK[evaluated] >= _SEVERITY_RANK[self.state]:
+            self._clean_streak = 0
+            if evaluated != self.state:
+                self._transition(evaluated, reasons, now)
+            return
+        # Stepping down: require a streak of polls at the lower severity.
+        self._clean_streak += 1
+        if self._clean_streak >= self.recovery_polls:
+            self._clean_streak = 0
+            self._transition(evaluated, reasons or ["recovered"], now)
+
+    def _transition(self, to_state: str, reasons: list[str],
+                    now: float) -> None:
+        from_state = self.state
+        self.state = to_state
+        self.n_transitions += 1
+        self.tracer.event(
+            HEALTH_TRANSITION_EVENT,
+            from_state=from_state,
+            to_state=to_state,
+            reasons=list(reasons),
+            unix=now,
+        )
+        for hook in self._on_transition:
+            hook(from_state, to_state, list(reasons))
+
+    # ----------------------------------------------------------- snapshot
+
+    def snapshot(self) -> dict:
+        """JSON-compatible current health (exposition + merged snapshot)."""
+        return {
+            "state": self.state,
+            "active_breaches": dict(sorted(self._active_severity.items())),
+            "n_alerts": self.n_alerts,
+            "n_transitions": self.n_transitions,
+            "recovery_polls": self.recovery_polls,
+        }

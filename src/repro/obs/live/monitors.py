@@ -1,0 +1,360 @@
+"""Online quality monitors: score drift, calibration drift, SLO burn rate.
+
+The post-hoc observability layer (PR 4) answers "what happened"; these
+monitors answer "is the model still good *right now*", one update per
+resolved request.  Three signal families, all windowed so stale traffic
+ages out instead of diluting fresh degradation:
+
+* :class:`ScoreDriftMonitor` — per-province score-distribution PSI over
+  tumbling windows, wrapping :class:`repro.monitor.StreamingPSI` with a
+  baseline frozen from reference scores.  The paper's whole trust story
+  is per-province invariance; a province whose score distribution walks
+  away from the baseline is the earliest observable symptom.
+* :class:`CalibrationMonitor` — rolling score-mean (and, when labels
+  arrive, observed default rate) per window; a score-mean shift flags
+  drift even when the shape-sensitive PSI stays quiet.
+* :class:`SLOTracker` — multi-window burn rates for admission, shed and
+  latency objectives: ``burn = bad_fraction / error_budget``, so burn
+  1.0 consumes the budget exactly at the sustainable rate and burn 10
+  exhausts it 10× too fast (the standard fast/slow paging pair).
+
+Everything here is plain-python O(1)-per-update state fed from the
+front-end collector thread; nothing imports ``repro.serve`` (the serve
+layer wires itself to these, not the other way round).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.monitor.streaming import StreamingPSI
+
+__all__ = [
+    "ScoreDriftMonitor",
+    "CalibrationMonitor",
+    "SLOTracker",
+    "SLOConfig",
+]
+
+
+class ScoreDriftMonitor:
+    """Tumbling-window per-province PSI over *score* distributions.
+
+    The baseline is the score distribution on a reference window (e.g.
+    the holdout the champion was gated on), frozen once into quantile
+    bins; each province accumulates its own monitoring counts and rolls
+    over after ``window_rows`` scores, keeping the last *completed*
+    window's PSI as the reported value (a half-filled window is noise).
+
+    Scores are buffered per key and handed to :class:`StreamingPSI` in
+    vectorised chunks: a 1-element ``update`` per resolved request costs
+    ~16 µs of numpy dispatch, which at front-end throughput blows the
+    live plane's <2% overhead budget; buffered, the same accounting is
+    ~0.3 µs/row.  All mutation (``observe``/``flush``) must stay on one
+    thread — the front-end's collector — while ``psi``/``worst``/
+    ``snapshot`` only *read* and may run from exposition threads.
+
+    Args:
+        baseline_scores: 1-D reference scores the bins are frozen from.
+        window_rows: Scores per tumbling window, per province.
+        n_bins: Quantile bins (forwarded to :class:`StreamingPSI`).
+        chunk_rows: Buffered scores per key before a vectorised update
+            (windows therefore roll with up to this much slack).
+    """
+
+    GLOBAL = "__all__"
+
+    def __init__(self, baseline_scores: np.ndarray, window_rows: int = 500,
+                 n_bins: int = 10, chunk_rows: int = 64):
+        baseline = np.asarray(baseline_scores, dtype=np.float64).reshape(-1, 1)
+        if baseline.shape[0] < n_bins:
+            raise ValueError("need at least n_bins baseline scores")
+        if window_rows < 1:
+            raise ValueError("window_rows must be >= 1")
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        self._baseline = baseline
+        self._n_bins = n_bins
+        self.window_rows = window_rows
+        self.chunk_rows = chunk_rows
+        self._streams: dict[str, StreamingPSI] = {}
+        self._buffers: dict[str, list[float]] = {}
+        self._streamed: dict[str, int] = {}   # rows in stream since reset
+        self._completed_psi: dict[str, float] = {}
+        self._windows_completed: dict[str, int] = {}
+
+    def _stream_for(self, province: str) -> StreamingPSI:
+        stream = self._streams.get(province)
+        if stream is None:
+            stream = StreamingPSI.from_baseline(
+                self._baseline, n_bins=self._n_bins, names=["score"]
+            )
+            self._streams[province] = stream
+        return stream
+
+    def observe(self, score: float, province: str | None = None) -> None:
+        """Feed one resolved score (also accumulated into the global key)."""
+        keys = (self.GLOBAL,) if province is None else (self.GLOBAL, province)
+        for key in keys:
+            buffer = self._buffers.get(key)
+            if buffer is None:
+                buffer = self._buffers[key] = []
+            buffer.append(score)
+            # Flush on a full chunk, or exactly at a window boundary so
+            # windows still complete at precisely ``window_rows`` rows.
+            if (len(buffer) >= self.chunk_rows
+                    or self._streamed.get(key, 0) + len(buffer)
+                    >= self.window_rows):
+                self._flush_key(key)
+
+    def _flush_key(self, key: str) -> None:
+        buffer = self._buffers.get(key)
+        if not buffer:
+            return
+        stream = self._stream_for(key)
+        stream.update(np.asarray(buffer, dtype=np.float64).reshape(-1, 1))
+        buffer.clear()
+        if stream.n_rows_seen >= self.window_rows:
+            self._completed_psi[key] = stream.max_psi()
+            self._windows_completed[key] = (
+                self._windows_completed.get(key, 0) + 1
+            )
+            stream.reset()
+            self._streamed[key] = 0
+        else:
+            self._streamed[key] = stream.n_rows_seen
+
+    def flush(self) -> None:
+        """Push buffered scores into the streams (writer thread only)."""
+        for key in list(self._buffers):
+            self._flush_key(key)
+
+    def psi(self, province: str | None = None) -> float:
+        """Last completed-window PSI for a province (0.0 before any)."""
+        key = self.GLOBAL if province is None else province
+        return self._completed_psi.get(key, 0.0)
+
+    def worst(self) -> tuple[str | None, float]:
+        """``(province, psi)`` of the worst completed window (None, 0.0)."""
+        completed = dict(self._completed_psi)  # copy: observer thread writes
+        per_province = {k: v for k, v in completed.items()
+                        if k != self.GLOBAL}
+        if not per_province:
+            return None, completed.get(self.GLOBAL, 0.0)
+        worst_key = max(per_province, key=per_province.get)
+        return worst_key, per_province[worst_key]
+
+    def snapshot(self) -> dict:
+        """JSON-compatible monitor state for exposition and the run log."""
+        completed = dict(self._completed_psi)
+        streams = dict(self._streams)
+        worst_province, worst_psi = self.worst()
+        return {
+            "window_rows": self.window_rows,
+            "global_psi": completed.get(self.GLOBAL, 0.0),
+            "worst_province": worst_province,
+            "worst_psi": worst_psi,
+            "provinces": {
+                k: {"psi": v,
+                    "windows_completed": self._windows_completed.get(k, 0),
+                    "pending_rows": (
+                        (streams[k].n_rows_seen if k in streams else 0)
+                        + len(self._buffers.get(k, ()))
+                    )}
+                for k, v in sorted(completed.items())
+                if k != self.GLOBAL
+            },
+        }
+
+
+class CalibrationMonitor:
+    """Rolling score-mean and default-rate drift vs a fixed reference.
+
+    Tracks the mean predicted score over a sliding window of the last
+    ``window_rows`` resolutions and reports its absolute shift from the
+    reference mean (the training/holdout score mean the model shipped
+    with).  When ground-truth labels arrive (delayed, as loan outcomes
+    are), ``observe(score, label=...)`` additionally tracks the observed
+    default rate, giving mean(score) − mean(label) as a live calibration
+    gap.
+
+    Args:
+        reference_mean: Expected score mean under no drift.
+        window_rows: Sliding-window length in resolutions.
+    """
+
+    def __init__(self, reference_mean: float, window_rows: int = 1000):
+        if window_rows < 1:
+            raise ValueError("window_rows must be >= 1")
+        self.reference_mean = float(reference_mean)
+        self.window_rows = window_rows
+        self._scores: deque[float] = deque(maxlen=window_rows)
+        self._score_sum = 0.0
+        self._labels: deque[float] = deque(maxlen=window_rows)
+        self._label_sum = 0.0
+
+    def observe(self, score: float, label: float | None = None) -> None:
+        """Feed one resolved score (and its eventual label, if known)."""
+        if len(self._scores) == self._scores.maxlen:
+            self._score_sum -= self._scores[0]
+        self._scores.append(float(score))
+        self._score_sum += float(score)
+        if label is not None:
+            if len(self._labels) == self._labels.maxlen:
+                self._label_sum -= self._labels[0]
+            self._labels.append(float(label))
+            self._label_sum += float(label)
+
+    @property
+    def n_seen(self) -> int:
+        return len(self._scores)
+
+    def score_mean(self) -> float:
+        """Mean score over the current window (reference before any data)."""
+        if not self._scores:
+            return self.reference_mean
+        return self._score_sum / len(self._scores)
+
+    def mean_shift(self) -> float:
+        """Absolute shift of the windowed score mean from the reference."""
+        return abs(self.score_mean() - self.reference_mean)
+
+    def calibration_gap(self) -> float | None:
+        """mean(score) − mean(label) over labelled rows (None if unlabelled)."""
+        if not self._labels:
+            return None
+        return self.score_mean() - self._label_sum / len(self._labels)
+
+    def snapshot(self) -> dict:
+        """JSON-compatible monitor state."""
+        return {
+            "reference_mean": self.reference_mean,
+            "window_rows": self.window_rows,
+            "n_seen": self.n_seen,
+            "score_mean": self.score_mean(),
+            "mean_shift": self.mean_shift(),
+            "calibration_gap": self.calibration_gap(),
+            "n_labelled": len(self._labels),
+        }
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """One service-level objective: a name, a budget, and windows.
+
+    Attributes:
+        name: Objective identifier (e.g. ``"availability"``).
+        error_budget: Allowed bad fraction (e.g. 0.01 = 99% objective).
+        windows_s: Burn-rate window lengths in seconds, shortest first
+            (the classic fast/slow multi-window pair).
+    """
+
+    name: str
+    error_budget: float
+    windows_s: tuple[float, ...] = (60.0, 600.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.error_budget < 1.0:
+            raise ValueError("error_budget must be in (0, 1)")
+        if not self.windows_s:
+            raise ValueError("at least one burn-rate window required")
+
+
+@dataclass
+class _Window:
+    """Ring of (timestamp, good, bad) samples for one objective."""
+
+    samples: deque = field(default_factory=deque)
+    good: int = 0
+    bad: int = 0
+
+
+class SLOTracker:
+    """Multi-window burn rates for counted good/bad events.
+
+    ``observe(name, good=…, bad=…, now=…)`` feeds outcome counts; a
+    burn rate per configured window is ``(bad / total) / error_budget``
+    over the events inside that window.  Timestamps are caller-supplied
+    (the collector thread's clock), which keeps the tracker trivially
+    testable and monotonic under one writer.
+
+    Args:
+        configs: Objectives to track; names must be unique.
+    """
+
+    def __init__(self, configs: list[SLOConfig] | tuple[SLOConfig, ...]):
+        names = [c.name for c in configs]
+        if len(names) != len(set(names)):
+            raise ValueError("SLO names must be unique")
+        if not configs:
+            raise ValueError("at least one SLOConfig required")
+        self.configs = {c.name: c for c in configs}
+        self._windows: dict[str, _Window] = {name: _Window()
+                                             for name in self.configs}
+        # Written by the collector thread, read by exposition threads.
+        self._lock = threading.Lock()
+
+    def observe(self, name: str, good: int = 0, bad: int = 0,
+                now: float = 0.0) -> None:
+        """Add outcome counts for one objective at time ``now``."""
+        with self._lock:
+            window = self._windows[name]
+            if good or bad:
+                window.samples.append((float(now), int(good), int(bad)))
+                window.good += int(good)
+                window.bad += int(bad)
+            self._evict(name, now)
+
+    def _evict(self, name: str, now: float) -> None:
+        horizon = now - max(self.configs[name].windows_s)
+        window = self._windows[name]
+        while window.samples and window.samples[0][0] < horizon:
+            _, good, bad = window.samples.popleft()
+            window.good -= good
+            window.bad -= bad
+
+    def burn_rates(self, name: str, now: float = 0.0) -> dict[str, float]:
+        """Burn rate per configured window, keyed ``"<seconds:g>s"``."""
+        config = self.configs[name]
+        with self._lock:
+            self._evict(name, now)
+            samples = list(self._windows[name].samples)
+        out: dict[str, float] = {}
+        for span in config.windows_s:
+            good = bad = 0
+            horizon = now - span
+            for t, g, b in reversed(samples):
+                if t < horizon:
+                    break
+                good += g
+                bad += b
+            total = good + bad
+            rate = 0.0 if total == 0 else (bad / total) / config.error_budget
+            out[f"{span:g}s"] = rate
+        return out
+
+    def worst_burn(self, now: float = 0.0) -> tuple[str | None, float]:
+        """``(objective, burn)`` of the hottest window across objectives."""
+        worst_name, worst = None, 0.0
+        for name in self.configs:
+            for burn in self.burn_rates(name, now=now).values():
+                if burn > worst:
+                    worst_name, worst = name, burn
+        return worst_name, worst
+
+    def snapshot(self, now: float = 0.0) -> dict:
+        """JSON-compatible burn-rate state across every objective."""
+        return {
+            name: {
+                "error_budget": config.error_budget,
+                "events_tracked": (self._windows[name].good
+                                   + self._windows[name].bad),
+                "bad_tracked": self._windows[name].bad,
+                "burn_rates": self.burn_rates(name, now=now),
+            }
+            for name, config in sorted(self.configs.items())
+        }

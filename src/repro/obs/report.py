@@ -16,13 +16,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.eval.reports import format_table
-from repro.obs.runlog import RunLog, RunLogReader
+from repro.obs.runlog import (
+    ALERT_EVENT,
+    HEALTH_TRANSITION_EVENT,
+    RunLog,
+    RunLogReader,
+)
 from repro.timing import STEP_NAMES
 
 __all__ = [
     "TimingTable",
     "load_run",
     "timing_tables",
+    "health_lines",
     "format_report",
     "format_summary",
     "format_diff",
@@ -223,6 +229,63 @@ def _manifest_lines(run: RunLog) -> list[str]:
     return lines
 
 
+def _format_unix(unix: float) -> str:
+    import datetime
+
+    return datetime.datetime.fromtimestamp(
+        unix, tz=datetime.timezone.utc
+    ).strftime("%Y-%m-%d %H:%M:%SZ")
+
+
+def health_lines(run: RunLog) -> list[str]:
+    """Summarize ``alert``/``health_transition`` events from a serving run.
+
+    Empty when the log holds neither (training logs stay unchanged);
+    otherwise counts per monitor/severity, the first/last alert
+    timestamps, a per-province breakdown where alerts carried one, and
+    the health-state transition path.
+    """
+    alerts = run.events(ALERT_EVENT)
+    transitions = run.events(HEALTH_TRANSITION_EVENT)
+    if not alerts and not transitions:
+        return []
+    lines = [f"health: {len(alerts)} alerts, "
+             f"{len(transitions)} state transitions"]
+    if alerts:
+        stamps = [float(e["fields"]["unix"]) for e in alerts]
+        lines.append(f"  first alert  {_format_unix(min(stamps))}   "
+                     f"last {_format_unix(max(stamps))}")
+        by_monitor: dict[tuple[str, str], int] = {}
+        by_province: dict[str, int] = {}
+        for event in alerts:
+            fields = event["fields"]
+            key = (str(fields["monitor"]), str(fields["severity"]))
+            by_monitor[key] = by_monitor.get(key, 0) + 1
+            if fields.get("province") is not None:
+                province = str(fields["province"])
+                by_province[province] = by_province.get(province, 0) + 1
+        for (monitor, severity), count in sorted(by_monitor.items()):
+            worst = max(
+                float(e["fields"]["value"]) for e in alerts
+                if e["fields"]["monitor"] == monitor
+                and e["fields"]["severity"] == severity
+            )
+            lines.append(f"  {monitor:14s} {severity:8s} x{count}  "
+                         f"worst value {worst:.4f}")
+        if by_province:
+            rendered = "  ".join(
+                f"{name}={count}"
+                for name, count in sorted(by_province.items(),
+                                          key=lambda kv: -kv[1])
+            )
+            lines.append(f"  provinces: {rendered}")
+    if transitions:
+        path = [str(transitions[0]["fields"]["from_state"])]
+        path += [str(e["fields"]["to_state"]) for e in transitions]
+        lines.append(f"  states: {' -> '.join(path)}")
+    return lines
+
+
 def format_report(run: RunLog, max_curve_rows: int = 20) -> str:
     """Full rendering: manifest, Table III timings, convergence curves."""
     sections = ["\n".join(_manifest_lines(run))]
@@ -256,6 +319,9 @@ def format_report(run: RunLog, max_curve_rows: int = 20) -> str:
         if counters:
             rendered = "  ".join(f"{k}={v}" for k, v in counters.items())
             sections.append(f"counters: {rendered}")
+    health = health_lines(run)
+    if health:
+        sections.append("\n".join(health))
     return "\n\n".join(sections)
 
 
@@ -286,6 +352,7 @@ def format_summary(run: RunLog) -> str:
                 f"objective {objective[0]:.4f} -> {objective[-1]:.4f}"
             )
         lines.append("  ".join(parts))
+    lines.extend(health_lines(run))
     return "\n".join(lines)
 
 

@@ -41,6 +41,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "LIFECYCLE_SPAN",
     "LIFECYCLE_STAGE_EVENT",
+    "ALERT_EVENT",
+    "HEALTH_TRANSITION_EVENT",
     "TUNE_SPAN",
     "TUNE_TRIAL_EVENT",
     "TUNE_RUNG_EVENT",
@@ -55,7 +57,10 @@ __all__ = [
 ]
 
 #: Version of the run-log record schema written by this module.
-SCHEMA_VERSION = 1
+#: v2 (additive over v1): well-known ``alert`` / ``health_transition``
+#: event names gain required-field validation (see
+#: :data:`_REQUIRED_EVENT_FIELDS`); every v1 log remains valid under v2.
+SCHEMA_VERSION = 2
 
 #: Well-known serving-lifecycle names: a drift recovery runs inside one
 #: ``LIFECYCLE_SPAN`` span and emits one ``LIFECYCLE_STAGE_EVENT`` per
@@ -74,6 +79,17 @@ TUNE_SPAN = "tune_search"
 TUNE_TRIAL_EVENT = "tune_trial"
 TUNE_RUNG_EVENT = "tune_rung"
 
+#: Well-known live-health names (schema v2): the serving
+#: :class:`~repro.obs.live.health.HealthMonitor` emits one
+#: ``ALERT_EVENT`` per threshold breach (``monitor``, ``severity``,
+#: ``value``, ``threshold``, ``unix`` + free detail such as
+#: ``province``) and one ``HEALTH_TRANSITION_EVENT`` per state change
+#: (``from_state``, ``to_state``, ``reasons``, ``unix``) — so an
+#: operator can replay drift → alert → critical → recovery from the
+#: log alone.
+ALERT_EVENT = "alert"
+HEALTH_TRANSITION_EVENT = "health_transition"
+
 #: Required keys per record kind (beyond the ``kind`` discriminator).
 _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "manifest": ("schema", "run_id", "created_unix", "fields"),
@@ -81,6 +97,17 @@ _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "event": ("name", "t_s", "span", "fields"),
     "metrics": ("t_s", "fields"),
 }
+
+#: Schema v2: required ``fields`` keys for well-known event names.
+#: Additive — events with other names carry free-form fields as in v1.
+_REQUIRED_EVENT_FIELDS: dict[str, tuple[str, ...]] = {
+    ALERT_EVENT: ("monitor", "severity", "value", "threshold", "unix"),
+    HEALTH_TRANSITION_EVENT: ("from_state", "to_state", "reasons", "unix"),
+}
+
+#: Legal values for the constrained alert/health fields.
+_ALERT_SEVERITIES = ("warning", "critical")
+_HEALTH_STATES = ("healthy", "degraded", "critical")
 
 
 class SchemaError(ValueError):
@@ -111,6 +138,28 @@ def validate_record(record: object, line: int | None = None) -> dict:
         raise SchemaError(f"{where}{kind} record is missing keys {missing}")
     if not isinstance(record["fields"], dict):
         raise SchemaError(f"{where}{kind} record 'fields' is not an object")
+    if kind == "event" and record["name"] in _REQUIRED_EVENT_FIELDS:
+        fields = record["fields"]
+        name = record["name"]
+        missing = [k for k in _REQUIRED_EVENT_FIELDS[name]
+                   if k not in fields]
+        if missing:
+            raise SchemaError(
+                f"{where}{name} event fields are missing keys {missing}"
+            )
+        if (name == ALERT_EVENT
+                and fields["severity"] not in _ALERT_SEVERITIES):
+            raise SchemaError(
+                f"{where}alert severity {fields['severity']!r} not in "
+                f"{_ALERT_SEVERITIES}"
+            )
+        if name == HEALTH_TRANSITION_EVENT:
+            for key in ("from_state", "to_state"):
+                if fields[key] not in _HEALTH_STATES:
+                    raise SchemaError(
+                        f"{where}health_transition {key} "
+                        f"{fields[key]!r} not in {_HEALTH_STATES}"
+                    )
     return record
 
 

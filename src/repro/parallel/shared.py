@@ -97,10 +97,11 @@ class SharedArrayPack:
     """
 
     def __init__(self, shm: shared_memory.SharedMemory, spec: PackSpec,
-                 owner: bool):
+                 owner: bool, writable: bool = False):
         self._shm = shm
         self.spec = spec
         self._owner = owner
+        self._writable = owner or writable
 
     # -------------------------------------------------------- construction
 
@@ -166,7 +167,7 @@ class SharedArrayPack:
         return cls(shm, spec, owner=True)
 
     @classmethod
-    def attach(cls, spec: PackSpec) -> "SharedArrayPack":
+    def attach(cls, spec: PackSpec, writable: bool = False) -> "SharedArrayPack":
         """Attach to an existing block by its spec (no data copied).
 
         Attaching re-registers the segment with the resource tracker
@@ -176,9 +177,16 @@ class SharedArrayPack:
         :meth:`dispose` remains the single unlink.  Do *not* "fix" this
         with ``resource_tracker.unregister``: that removes the owner's
         own entry and the tracker then complains at unlink time.
+
+        Args:
+            writable: Opt in to :meth:`writable_arrays` from the attached
+                side.  Dataset handoff must stay read-only (siblings map
+                the same pages); the live metrics slabs are the exception
+                — each worker writes only its own disjoint slab row, and
+                the seqlock generation word makes parent reads torn-free.
         """
         return cls(shared_memory.SharedMemory(name=spec.shm_name), spec,
-                   owner=False)
+                   owner=False, writable=writable)
 
     # -------------------------------------------------------------- access
 
@@ -193,14 +201,17 @@ class SharedArrayPack:
         return views
 
     def writable_arrays(self) -> dict[str, np.ndarray]:
-        """Writable views for incremental fills (owner-side only).
+        """Writable views for incremental fills.
 
-        Only the process that :meth:`allocate`-d the block should write;
-        attached workers must keep using the read-only :meth:`arrays`.
+        Available to the process that :meth:`allocate`-d the block and to
+        workers that attached with ``writable=True`` (the metrics-slab
+        path); plain dataset attaches must keep using the read-only
+        :meth:`arrays`.
         """
-        if not self._owner:
+        if not self._writable:
             raise RuntimeError(
-                "writable views are owner-only; workers attach read-only"
+                "writable views are owner-only; workers attach read-only "
+                "(or pass attach(spec, writable=True) for slab writers)"
             )
         views: dict[str, np.ndarray] = {}
         for entry in self.spec.entries:

@@ -26,8 +26,14 @@ artifacts :mod:`repro.persist` writes into an operated service:
 * :mod:`~repro.serve.lifecycle` — :class:`LifecycleController`, the
   closed drift → retrain → gated eval → promote/rollback loop.
 
+The live telemetry plane (shared-memory metric slabs, online quality
+monitors, health alerts, Prometheus/JSON exposition) lives in
+:mod:`repro.obs.live`; the front-end wires it in when
+``FrontendConfig.live_metrics`` is on.
+
 See ``docs/serving.md`` for the registry layout, worker architecture,
-backpressure semantics, degradation policy and telemetry schema.
+backpressure semantics, degradation policy, telemetry schema and the
+monitoring runbook.
 """
 
 from repro.serve.batching import MicroBatcher, Ticket

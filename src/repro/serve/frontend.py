@@ -28,6 +28,14 @@ Operating contract:
 * **Bit-identity.**  Scores are exactly single-process
   ``ScoringService.predict_proba`` for every worker count: batching and
   fan-out change when/where a score is computed, never its value.
+* **Observable live.**  With ``FrontendConfig.live_metrics`` on, every
+  worker publishes its :class:`~repro.serve.telemetry.ServingTelemetry`
+  into a per-worker shared-memory slab row
+  (:class:`~repro.obs.live.MetricsSlab`, seqlock torn-free reads) and
+  the parent aggregates, monitors and exposes the merged state — see
+  :meth:`ScoringFrontend.live_snapshot` and ``docs/serving.md``.  The
+  plane never touches a score: scoring is bit-identical with it on or
+  off (asserted in tests), and the disabled path adds nothing.
 """
 
 from __future__ import annotations
@@ -44,12 +52,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.live.slab import (
+    SERVING_SLAB_LAYOUT,
+    MetricsAggregator,
+    MetricsSlab,
+)
 from repro.parallel.engine import default_start_method
 from repro.parallel.shared import PackSpec
 from repro.persist.artifacts import ScoringModel
 from repro.serve.degradation import DriftGuard
 from repro.serve.shm_publish import ModelPublisher, attach_model
-from repro.serve.telemetry import FrontendTelemetry
+from repro.serve.telemetry import FrontendTelemetry, ServingTelemetry
 
 __all__ = [
     "FrontendConfig",
@@ -81,6 +94,17 @@ class FrontendConfig:
         start_method: Worker start method; ``None`` picks the platform
             default (``fork`` where available).
         ready_timeout_s: Parent-side wait for worker startup handshakes.
+        live_metrics: Allocate the shared-memory metrics slab and have
+            each worker publish its service telemetry after every batch
+            (plus heartbeats while idle).  Off by default — the disabled
+            path is byte-for-byte the PR 7 behaviour.
+        live_poll_interval_s: Parent collector cadence for aggregating
+            slabs, feeding the SLO tracker and evaluating health.
+        slo_latency_bound_s: Request latency above this bound counts
+            against the latency SLO (from histogram bucket deltas, so
+            the bound is effectively rounded up to a bucket edge).
+        liveness_timeout_s: Slab heartbeat age beyond which a worker is
+            reported stale.
     """
 
     n_workers: int = 2
@@ -89,6 +113,10 @@ class FrontendConfig:
     poll_timeout_s: float = 0.02
     start_method: str | None = None
     ready_timeout_s: float = 30.0
+    live_metrics: bool = False
+    live_poll_interval_s: float = 0.25
+    slo_latency_bound_s: float = 0.3
+    liveness_timeout_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -97,6 +125,8 @@ class FrontendConfig:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.live_poll_interval_s <= 0:
+            raise ValueError("live_poll_interval_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -191,15 +221,27 @@ def _resolve_batch(services: dict, batch: list) -> list[tuple]:
 
 def _worker_main(worker_id: int, request_q, response_q, control_q,
                  initial: list[tuple[int, PackSpec]],
-                 max_batch_size: int, poll_timeout_s: float) -> None:
+                 max_batch_size: int, poll_timeout_s: float,
+                 slab_spec: PackSpec | None = None) -> None:
     """One scoring worker: attach shared models, batch, score, respond.
 
     Module-level (picklable) so it runs under ``fork`` and ``spawn``.
+
+    With ``slab_spec``, the worker shares one
+    :class:`~repro.serve.telemetry.ServingTelemetry` across all its
+    per-generation services (one slab row per *worker*, not per model)
+    and publishes absolute totals into its row after every scored batch;
+    idle polls refresh only the heartbeat word.
     """
     from repro.serve.service import ScoringService, ServiceConfig
 
     packs: dict[int, object] = {}
     services: dict[int, ScoringService] = {}
+    slab = slab_writer = telemetry = None
+    if slab_spec is not None:
+        slab = MetricsSlab.attach(slab_spec)
+        slab_writer = slab.writer(worker_id)
+        telemetry = ServingTelemetry()
 
     def load(generation: int, spec: PackSpec) -> None:
         if generation in services:
@@ -207,12 +249,15 @@ def _worker_main(worker_id: int, request_q, response_q, control_q,
         model, pack = attach_model(spec)
         packs[generation] = pack
         services[generation] = ScoringService(
-            model, config=ServiceConfig(max_batch_size=max_batch_size)
+            model, config=ServiceConfig(max_batch_size=max_batch_size),
+            telemetry=telemetry,
         )
 
     for generation, spec in initial:
         load(generation, spec)
     response_q.put(("ready", worker_id, os.getpid()))
+    if slab_writer is not None:
+        slab_writer.publish_telemetry(telemetry)  # row live before traffic
 
     paused = False
     running = True
@@ -239,6 +284,8 @@ def _worker_main(worker_id: int, request_q, response_q, control_q,
         try:
             first = request_q.get(timeout=poll_timeout_s)
         except queue_mod.Empty:
+            if slab_writer is not None:
+                slab_writer.heartbeat()
             continue
         batch = [first]
         while len(batch) < max_batch_size:
@@ -262,9 +309,14 @@ def _worker_main(worker_id: int, request_q, response_q, control_q,
                 running = False
                 break
         response_q.put(("results", worker_id, _resolve_batch(services, batch)))
+        if slab_writer is not None:
+            slab_writer.publish_telemetry(telemetry)
 
     for pack in packs.values():
         pack.close()
+    if slab is not None:
+        slab_writer.publish_telemetry(telemetry)  # final absolute totals
+        slab.close()
 
 
 # --------------------------------------------------------------- parent side
@@ -308,6 +360,19 @@ class ScoringFrontend:
         drift_guard: Optional :class:`DriftGuard` observed over admitted
             rows (the closed-loop controller watches its trip).
         version: Optional registry version id of ``model`` (telemetry).
+        score_drift: Optional :class:`~repro.obs.live.ScoreDriftMonitor`
+            fed every resolved OK score (with its admission province).
+        calibration: Optional :class:`~repro.obs.live.CalibrationMonitor`
+            fed every resolved OK score.
+        slo_tracker: Optional :class:`~repro.obs.live.SLOTracker`; the
+            collector feeds objectives named ``"admission"`` (bad =
+            sheds) and ``"latency"`` (bad = resolutions slower than
+            ``config.slo_latency_bound_s``) from telemetry deltas each
+            live tick, when those objectives are configured.
+        health_monitor: Optional :class:`~repro.obs.live.HealthMonitor`
+            evaluated each live tick with the signals described in
+            ``docs/serving.md`` (score_psi, feature_psi, mean_shift,
+            slo_burn, stale_workers).
     """
 
     def __init__(
@@ -317,10 +382,23 @@ class ScoringFrontend:
         telemetry: FrontendTelemetry | None = None,
         drift_guard: DriftGuard | None = None,
         version: str | None = None,
+        score_drift=None,
+        calibration=None,
+        slo_tracker=None,
+        health_monitor=None,
     ):
         self.config = config or FrontendConfig()
         self.telemetry = telemetry or FrontendTelemetry()
         self.drift_guard = drift_guard
+        self.score_drift = score_drift
+        self.calibration = calibration
+        self.slo_tracker = slo_tracker
+        self.health_monitor = health_monitor
+        self._slab: MetricsSlab | None = None
+        self._aggregator: MetricsAggregator | None = None
+        self._final_workers: dict | None = None
+        self._last_tick = 0.0
+        self._last_frontend_sample: dict | None = None
         self._publisher = ModelPublisher()
         self._initial_model = model
         self._initial_version = version
@@ -357,6 +435,14 @@ class ScoringFrontend:
         self._started = True
         self._publisher.publish(self._initial_model,
                                 version=self._initial_version)
+        if self.config.live_metrics:
+            self._slab = MetricsSlab.allocate(
+                SERVING_SLAB_LAYOUT, n_workers=self.config.n_workers
+            )
+            self._aggregator = MetricsAggregator(
+                self._slab,
+                liveness_timeout_s=self.config.liveness_timeout_s,
+            )
         self._response_q = self._context.Queue()
         for worker_id in range(self.config.n_workers):
             self._workers.append(self._spawn(worker_id))
@@ -378,7 +464,8 @@ class ScoringFrontend:
             target=_worker_main,
             args=(worker_id, request_q, self._response_q, control_q,
                   initial, self.config.max_batch_size,
-                  self.config.poll_timeout_s),
+                  self.config.poll_timeout_s,
+                  self._slab.spec if self._slab is not None else None),
             daemon=True,
         )
         process.start()
@@ -432,6 +519,12 @@ class ScoringFrontend:
             )
         for worker in self._workers:
             self._discard_queues(worker)
+        if self._slab is not None:
+            # Keep the final merged view readable after the slab is gone.
+            self._final_workers = self._aggregator.aggregate()
+            self._slab.dispose()
+            self._slab = None
+            self._aggregator = None
         self._publisher.close()
 
     @staticmethod
@@ -458,8 +551,15 @@ class ScoringFrontend:
 
     # ------------------------------------------------------------ admission
 
-    def submit(self, row: np.ndarray) -> FrontendTicket:
+    def submit(self, row: np.ndarray,
+               province: str | None = None) -> FrontendTicket:
         """Admit one request (or refuse it *now*); never blocks on scoring.
+
+        Args:
+            row: One feature row.
+            province: Optional environment tag for the per-province
+                quality monitors; stays parent-side (never shipped to
+                workers) and has no effect on the score.
 
         Returns:
             A ticket.  Refusals — queue overflow (:data:`OVERLOADED`) and
@@ -507,6 +607,7 @@ class ScoringFrontend:
                 "generation": generation,
                 "worker_id": -1,
                 "t_submit": time.perf_counter(),
+                "province": province,
             }
             self._pending[request_id] = entry
             self.telemetry.record_admitted()
@@ -548,9 +649,21 @@ class ScoringFrontend:
         return list(await asyncio.gather(*(t.wait() for t in tickets)))
 
     def score_stream(self, rows: np.ndarray,
-                     timeout: float | None = 60.0) -> list[FrontendResult]:
-        """Synchronous convenience: submit all rows, wait for all results."""
-        tickets = [self.submit(row) for row in rows]
+                     timeout: float | None = 60.0,
+                     provinces=None) -> list[FrontendResult]:
+        """Synchronous convenience: submit all rows, wait for all results.
+
+        Args:
+            rows: ``(n, d)`` feature matrix.
+            timeout: Per-result wait bound.
+            provinces: Optional per-row environment tags (len n) for the
+                quality monitors.
+        """
+        if provinces is None:
+            tickets = [self.submit(row) for row in rows]
+        else:
+            tickets = [self.submit(row, province=str(p))
+                       for row, p in zip(rows, provinces)]
         return [t.result(timeout) for t in tickets]
 
     # ---------------------------------------------------------- model swap
@@ -602,6 +715,7 @@ class ScoringFrontend:
                 message = self._response_q.get(timeout=0.05)
             except queue_mod.Empty:
                 self._reap_dead_workers()
+                self._live_tick()
                 continue
             except (EOFError, OSError):
                 return
@@ -612,6 +726,7 @@ class ScoringFrontend:
                 for worker in self._workers:
                     if worker.worker_id == message[1]:
                         worker.ready = True
+            self._live_tick()
 
     def _resolve(self, request_id: int, status: str, value,
                  generation: int) -> None:
@@ -622,7 +737,13 @@ class ScoringFrontend:
         latency = time.perf_counter() - entry["t_submit"]
         self.telemetry.record_request(latency)
         if status == OK:
-            result = FrontendResult(status=OK, score=float(value),
+            score = float(value)
+            if self.score_drift is not None:
+                self.score_drift.observe(score,
+                                         province=entry.get("province"))
+            if self.calibration is not None:
+                self.calibration.observe(score)
+            result = FrontendResult(status=OK, score=score,
                                     generation=generation)
         else:
             self.telemetry.record_request_error()
@@ -647,6 +768,11 @@ class ScoringFrontend:
                     for req_id, entry in self._pending.items()
                     if entry["worker_id"] == worker.worker_id
                 ]
+            # Fold the dead worker's final slab row into the aggregate
+            # before the replacement (fresh telemetry, restarts at zero)
+            # reuses the row — its history must survive the respawn.
+            if self._aggregator is not None:
+                self._aggregator.absorb_retired(worker.worker_id)
             # Respawn first so capacity survives and orphans can land on
             # the replacement; the old request queue is abandoned (its
             # unconsumed items are exactly the orphans being re-sent).
@@ -663,10 +789,104 @@ class ScoringFrontend:
                 )
                 self._dispatch(req_id, entry, requeue=True)
 
+    # ------------------------------------------------------------ live plane
+
+    def _live_tick(self) -> None:
+        """Feed SLO deltas and evaluate health, throttled to the interval.
+
+        Runs on the collector thread only.  Monitor/health failures are
+        contained — the live plane must never take scoring down with it.
+        """
+        if self.slo_tracker is None and self.health_monitor is None:
+            return
+        now = time.monotonic()
+        if now - self._last_tick < self.config.live_poll_interval_s:
+            return
+        self._last_tick = now
+        try:
+            self._feed_slo(now)
+            self._evaluate_health()
+        except Exception:  # noqa: BLE001 - observability is best-effort
+            pass
+
+    @staticmethod
+    def _slow_resolutions(latency_snapshot: dict, bound_s: float) -> int:
+        """Resolutions slower than the bound, from histogram buckets."""
+        slow = 0
+        for key, count in latency_snapshot["buckets"].items():
+            if key == "overflow" or float(key.removeprefix("le_")) > bound_s:
+                slow += int(count)
+        return slow
+
+    def _feed_slo(self, now: float) -> None:
+        if self.slo_tracker is None:
+            return
+        sample = self.telemetry.snapshot()
+        previous = self._last_frontend_sample
+        self._last_frontend_sample = sample
+        if previous is None:
+            return
+        configured = self.slo_tracker.configs
+        if "admission" in configured:
+            shed = sample["shed"] - previous["shed"]
+            admitted = sample["admitted"] - previous["admitted"]
+            self.slo_tracker.observe("admission", good=admitted, bad=shed,
+                                     now=now)
+        if "latency" in configured:
+            bound = self.config.slo_latency_bound_s
+            slow = (self._slow_resolutions(sample["request_latency"], bound)
+                    - self._slow_resolutions(previous["request_latency"],
+                                             bound))
+            resolved = (sample["request_latency"]["count"]
+                        - previous["request_latency"]["count"])
+            self.slo_tracker.observe("latency", good=resolved - slow,
+                                     bad=slow, now=now)
+
+    def _evaluate_health(self) -> None:
+        if self.health_monitor is None:
+            return
+        signals: dict = {}
+        detail: dict = {}
+        if self.score_drift is not None:
+            province, psi = self.score_drift.worst()
+            signals["score_psi"] = psi
+            if province is not None:
+                detail["score_psi"] = {"province": province}
+        if (self.drift_guard is not None
+                and self.drift_guard.stream.n_rows_seen
+                >= self.drift_guard.min_rows):
+            # Same warm-up gate the guard itself applies: quantile-bin
+            # PSI over a near-empty stream is noise, not a signal.
+            signals["feature_psi"] = self.drift_guard.stream.max_psi()
+        if self.calibration is not None and self.calibration.n_seen:
+            signals["mean_shift"] = self.calibration.mean_shift()
+        if self.slo_tracker is not None:
+            objective, burn = self.slo_tracker.worst_burn(
+                now=time.monotonic()
+            )
+            signals["slo_burn"] = burn
+            if objective is not None:
+                detail["slo_burn"] = {"objective": objective}
+        if self._aggregator is not None:
+            liveness = self._aggregator.liveness()
+            signals["stale_workers"] = sum(
+                1 for entry in liveness.values()
+                if entry["reporting"] and entry["stale"]
+            )
+        self.health_monitor.evaluate(signals, detail=detail)
+
     # ------------------------------------------------------------ reporting
 
     def snapshot(self) -> dict:
-        """JSON-compatible frontend state (telemetry + workers + guard)."""
+        """JSON-compatible frontend state (telemetry + workers + guard).
+
+        With ``live_metrics`` on, the payload additionally carries
+        ``workers`` — the cross-process merge of every worker's service
+        telemetry (counters summed, histograms rebuilt with
+        :class:`~repro.obs.metrics.Histogram` snapshot semantics, plus
+        derived ``cache_hit_rate``) — and per-worker ``liveness``.  The
+        merged schema is documented in ``docs/serving.md``.
+        """
         payload = {
             "n_workers": self.config.n_workers,
             "max_queue": self.config.max_queue,
@@ -678,4 +898,62 @@ class ScoringFrontend:
         }
         if self.drift_guard is not None:
             payload["drift_guard"] = self.drift_guard.snapshot()
+        workers = self._workers_aggregate()
+        if workers is not None:
+            payload["workers"] = workers
+            if self._aggregator is not None:
+                payload["liveness"] = self._aggregator.liveness()
+        return payload
+
+    def _workers_aggregate(self) -> dict | None:
+        """The merged per-worker service stats (None with the plane off)."""
+        if self._aggregator is not None:
+            workers = self._aggregator.aggregate()
+        elif self._final_workers is not None:
+            workers = dict(self._final_workers)
+        else:
+            return None
+        counters = workers["counters"]
+        lookups = counters["cache_hits"] + counters["cache_misses"]
+        workers["cache_hit_rate"] = (
+            counters["cache_hits"] / lookups if lookups else None
+        )
+        return workers
+
+    def live_snapshot(self) -> dict:
+        """The full live-plane payload (exposition + ``repro obs top``).
+
+        One JSON-compatible dict per call: merged worker stats,
+        front-end telemetry, per-worker liveness, monitor snapshots and
+        health — the shape ``docs/observability.md`` documents and
+        :class:`~repro.obs.live.MetricsExporter` serves.  Cheap and
+        thread-safe (slab reads are seqlock-guarded, telemetry is
+        locked), so it is called once per scrape.
+        """
+        payload: dict = {
+            "unix": time.time(),
+            "generation": (self._publisher.latest.generation
+                           if self._publisher.generations else -1),
+            "pending": len(self._pending),
+            "workers_alive": sum(1 for w in self._workers if w.alive),
+            "frontend": self.telemetry.snapshot(),
+            "monitors": {},
+        }
+        workers = self._workers_aggregate()
+        if workers is not None:
+            payload["workers"] = workers
+        if self._aggregator is not None:
+            payload["liveness"] = self._aggregator.liveness()
+        if self.drift_guard is not None:
+            payload["drift_guard"] = self.drift_guard.snapshot()
+        if self.score_drift is not None:
+            payload["monitors"]["score_drift"] = self.score_drift.snapshot()
+        if self.calibration is not None:
+            payload["monitors"]["calibration"] = self.calibration.snapshot()
+        if self.slo_tracker is not None:
+            payload["monitors"]["slo"] = self.slo_tracker.snapshot(
+                now=time.monotonic()
+            )
+        if self.health_monitor is not None:
+            payload["health"] = self.health_monitor.snapshot()
         return payload

@@ -184,6 +184,13 @@ class LifecycleController:
         drift_guard: Optional guard to reset once recovery promotes.
         workdir: Scratch directory for the dataset/artifact handoff files
             (a temp directory is created per run when omitted).
+        health_monitor: Optional :class:`~repro.obs.live.HealthMonitor`.
+            The controller subscribes to its transitions (see
+            :meth:`attach_health_monitor`), so a ``→ critical`` flip
+            arms a recovery request readable via
+            :meth:`consume_recovery_request` — and each recovery's
+            stages land in the same run log as the alerts that caused
+            it, making drift → alert → retrain observable end-to-end.
     """
 
     def __init__(
@@ -199,6 +206,7 @@ class LifecycleController:
         frontend=None,
         drift_guard=None,
         workdir: str | pathlib.Path | None = None,
+        health_monitor=None,
     ):
         self.registry = registry
         self.holdout = holdout
@@ -210,15 +218,49 @@ class LifecycleController:
         self.frontend = frontend
         self.drift_guard = drift_guard
         self.workdir = workdir
+        self._recovery_requested: dict | None = None
+        if health_monitor is not None:
+            self.attach_health_monitor(health_monitor)
+
+    # ------------------------------------------------------- health wiring
+
+    def attach_health_monitor(self, health_monitor) -> None:
+        """Subscribe to a health monitor's state transitions.
+
+        A transition *into* ``critical`` records a pending recovery
+        request (with the driving reasons); the serving loop polls
+        :meth:`consume_recovery_request` and, when armed, calls
+        :meth:`run_recovery` with fresh data.  The hook never triggers
+        retraining inline — it runs on the front-end collector thread,
+        which must never block on training.
+        """
+        def _on_transition(from_state: str, to_state: str,
+                           reasons: list) -> None:
+            if to_state == "critical":
+                self._recovery_requested = {
+                    "from_state": from_state,
+                    "reasons": list(reasons),
+                }
+
+        health_monitor.on_transition(_on_transition)
+
+    def consume_recovery_request(self) -> dict | None:
+        """Pop the pending health-triggered recovery request, if any."""
+        request, self._recovery_requested = self._recovery_requested, None
+        return request
 
     # ------------------------------------------------------------ the loop
 
-    def run_recovery(self, retrain_dataset: LoanDataset) -> dict:
+    def run_recovery(self, retrain_dataset: LoanDataset,
+                     trigger: dict | None = None) -> dict:
         """Walk drift_detected → retrain → eval → promote once.
 
         Args:
             retrain_dataset: Rows representing the drifted regime the
                 candidate should be trained on.
+            trigger: Optional provenance of what armed this recovery
+                (e.g. the dict from :meth:`consume_recovery_request`);
+                recorded on the ``drift_detected`` stage event.
 
         Returns:
             A JSON-compatible recovery report: ``outcome`` (``"promoted"``,
@@ -229,10 +271,13 @@ class LifecycleController:
         """
         report: dict = {"stages": [], "outcome": None}
         with self.tracer.span(LIFECYCLE_SPAN):
-            self._stage(report, "drift_detected", **(
-                {"guard": self.drift_guard.snapshot()}
-                if self.drift_guard is not None else {}
-            ))
+            detected_fields: dict = {}
+            if self.drift_guard is not None:
+                detected_fields["guard"] = self.drift_guard.snapshot()
+            if trigger is not None:
+                detected_fields["trigger"] = trigger
+                report["trigger"] = trigger
+            self._stage(report, "drift_detected", **detected_fields)
             champion_before = self.registry.slots().get("champion")
             report["champion_before"] = champion_before
 

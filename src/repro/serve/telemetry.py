@@ -15,6 +15,8 @@ shared implementation behind the whole observability layer);
 
 from __future__ import annotations
 
+import threading
+
 from repro.obs.metrics import Histogram
 
 __all__ = ["FrontendTelemetry", "LatencyHistogram", "ServingTelemetry"]
@@ -108,6 +110,11 @@ class ServingTelemetry:
         self.cache_misses += misses
 
     @property
+    def busy_seconds(self) -> float:
+        """Cumulative scoring wall time (the denominator of throughput)."""
+        return self._busy_seconds
+
+    @property
     def throughput_rows_per_s(self) -> float:
         """Rows scored per second of scoring busy time."""
         if self._busy_seconds == 0:
@@ -161,11 +168,20 @@ class FrontendTelemetry:
     distribution (which, unlike :class:`ServingTelemetry`'s per-batch
     clocks, includes queueing delay — the number backpressure trades off).
 
+    Unlike :class:`ServingTelemetry` (one writer, the worker loop), this
+    object is written from two threads at once — the caller thread
+    (admissions, sheds, refusals) and the collector thread (resolutions,
+    requeues, deaths) — so every mutation takes an internal mutex.
+    ``x += 1`` is *not* atomic in CPython (LOAD/ADD/STORE interleave and
+    drop increments under contention), and the acceptance criterion here
+    is exact counter aggregation, not "close enough".
+
     Attributes:
         request_latency: Histogram over admission→resolution wall times.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.request_latency = LatencyHistogram()
         self.admitted = 0
         self.shed = 0
@@ -177,45 +193,54 @@ class FrontendTelemetry:
 
     def record_admitted(self) -> None:
         """Count one request accepted past admission control."""
-        self.admitted += 1
+        with self._lock:
+            self.admitted += 1
 
     def record_shed(self) -> None:
         """Count one request refused by backpressure (queue full)."""
-        self.shed += 1
+        with self._lock:
+            self.shed += 1
 
     def record_refused(self) -> None:
         """Count one request refused at the door (malformed)."""
-        self.refused += 1
+        with self._lock:
+            self.refused += 1
 
     def record_request(self, seconds: float) -> None:
         """Account one resolved (scored or errored) request."""
-        self.request_latency.observe(seconds)
+        with self._lock:
+            self.request_latency.observe(seconds)
 
     def record_request_error(self) -> None:
         """Count one admitted request that resolved to an error."""
-        self.errors += 1
+        with self._lock:
+            self.errors += 1
 
     def record_requeued(self, n: int) -> None:
         """Count requests re-dispatched after their worker died."""
-        self.requeued += n
+        with self._lock:
+            self.requeued += n
 
     def record_worker_death(self) -> None:
         """Count one worker process found dead and respawned."""
-        self.worker_deaths += 1
+        with self._lock:
+            self.worker_deaths += 1
 
     def record_swap(self) -> None:
         """Count one atomic model-generation swap."""
-        self.swaps += 1
+        with self._lock:
+            self.swaps += 1
 
     def snapshot(self) -> dict:
         """JSON-compatible front-end telemetry (docs/serving.md schema)."""
-        return {
-            "admitted": self.admitted,
-            "shed": self.shed,
-            "refused": self.refused,
-            "errors": self.errors,
-            "requeued": self.requeued,
-            "worker_deaths": self.worker_deaths,
-            "swaps": self.swaps,
-            "request_latency": self.request_latency.snapshot(),
-        }
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "refused": self.refused,
+                "errors": self.errors,
+                "requeued": self.requeued,
+                "worker_deaths": self.worker_deaths,
+                "swaps": self.swaps,
+                "request_latency": self.request_latency.snapshot(),
+            }

@@ -1,0 +1,205 @@
+"""Tests for the health state machine (repro.obs.live.health).
+
+Covers rule classification, edge-triggered alert emission, hysteresis on
+recovery, transition hooks, and — crucially — that every emitted event
+passes the run-log schema v2 validation (alerts are validated at write
+time by the tracer, so a malformed event would raise here, not in
+production).
+"""
+
+import pytest
+
+from repro.obs.live.health import (
+    CRITICAL,
+    DEFAULT_SERVING_RULES,
+    DEGRADED,
+    HEALTHY,
+    HealthMonitor,
+    HealthRule,
+)
+from repro.obs.runlog import ALERT_EVENT, HEALTH_TRANSITION_EVENT
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class RecordingTracer:
+    """Validating in-memory tracer: events go through the real schema."""
+
+    def __init__(self):
+        self.events = []
+
+    def event(self, name, **fields):
+        from repro.obs.runlog import validate_record
+
+        record = {"kind": "event", "name": name, "t_s": 0.0,
+                  "span": None, "fields": fields}
+        validate_record(record)
+        self.events.append((name, fields))
+
+    def named(self, name):
+        return [fields for n, fields in self.events if n == name]
+
+
+RULE = HealthRule("psi", warning=0.1, critical=0.25)
+
+
+def make(rules=(RULE,), **kwargs):
+    tracer = RecordingTracer()
+    monitor = HealthMonitor(rules=rules, tracer=tracer, clock=FakeClock(),
+                            **kwargs)
+    return monitor, tracer
+
+
+class TestHealthRule:
+    def test_classify_bands(self):
+        assert RULE.classify(0.05) == HEALTHY
+        assert RULE.classify(0.1) == DEGRADED
+        assert RULE.classify(0.2) == DEGRADED
+        assert RULE.classify(0.25) == CRITICAL
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="critical threshold"):
+            HealthRule("x", warning=0.5, critical=0.1)
+
+    def test_default_rules_cover_the_serving_signals(self):
+        signals = {rule.signal for rule in DEFAULT_SERVING_RULES}
+        assert signals == {"score_psi", "feature_psi", "mean_shift",
+                           "slo_burn", "stale_workers"}
+
+
+class TestStateMachine:
+    def test_starts_healthy_and_stays_on_clean_polls(self):
+        monitor, tracer = make()
+        assert monitor.evaluate({"psi": 0.01}) == HEALTHY
+        assert tracer.events == []
+
+    def test_escalates_to_worst_rule(self):
+        monitor, _ = make(rules=(RULE, HealthRule("burn", 1.0, 10.0)))
+        state = monitor.evaluate({"psi": 0.15, "burn": 20.0})
+        assert state == CRITICAL
+
+    def test_missing_signal_does_not_vote(self):
+        monitor, tracer = make()
+        assert monitor.evaluate({}) == HEALTHY
+        assert monitor.evaluate({"psi": None}) == HEALTHY
+        assert tracer.events == []
+
+    def test_recovery_requires_streak(self):
+        monitor, _ = make(recovery_polls=3)
+        monitor.evaluate({"psi": 0.3})
+        assert monitor.state == CRITICAL
+        monitor.evaluate({"psi": 0.01})
+        monitor.evaluate({"psi": 0.01})
+        assert monitor.state == CRITICAL        # 2 clean polls: not yet
+        monitor.evaluate({"psi": 0.01})
+        assert monitor.state == HEALTHY         # 3rd completes the streak
+
+    def test_dirty_poll_resets_recovery_streak(self):
+        monitor, _ = make(recovery_polls=2)
+        monitor.evaluate({"psi": 0.3})
+        monitor.evaluate({"psi": 0.01})
+        monitor.evaluate({"psi": 0.3})          # breach again
+        monitor.evaluate({"psi": 0.01})
+        assert monitor.state == CRITICAL        # streak restarted
+        monitor.evaluate({"psi": 0.01})
+        assert monitor.state == HEALTHY
+
+    def test_step_down_lands_on_evaluated_severity(self):
+        monitor, _ = make(recovery_polls=1)
+        monitor.evaluate({"psi": 0.3})
+        monitor.evaluate({"psi": 0.15})         # still degraded, not clean
+        assert monitor.state == DEGRADED
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError, match="one rule per"):
+            HealthMonitor(rules=(RULE, RULE))
+        with pytest.raises(ValueError, match="recovery_polls"):
+            HealthMonitor(recovery_polls=0)
+
+
+class TestAlerts:
+    def test_alert_on_breach_onset_only(self):
+        monitor, tracer = make()
+        for _ in range(5):
+            monitor.evaluate({"psi": 0.15})
+        assert len(tracer.named(ALERT_EVENT)) == 1   # edge-triggered
+
+    def test_alert_reemitted_on_escalation(self):
+        monitor, tracer = make()
+        monitor.evaluate({"psi": 0.15})
+        monitor.evaluate({"psi": 0.30})
+        alerts = tracer.named(ALERT_EVENT)
+        assert [a["severity"] for a in alerts] == ["warning", "critical"]
+        assert alerts[1]["threshold"] == 0.25
+
+    def test_alert_refires_after_clear(self):
+        monitor, tracer = make(recovery_polls=1)
+        monitor.evaluate({"psi": 0.15})
+        monitor.evaluate({"psi": 0.01})
+        monitor.evaluate({"psi": 0.15})
+        assert len(tracer.named(ALERT_EVENT)) == 2
+
+    def test_alert_fields_are_schema_valid_and_complete(self):
+        monitor, tracer = make()
+        monitor.evaluate({"psi": 0.4},
+                         detail={"psi": {"province": "Gansu"}})
+        (alert,) = tracer.named(ALERT_EVENT)
+        assert alert["monitor"] == "psi"
+        assert alert["severity"] == "critical"
+        assert alert["value"] == 0.4
+        assert alert["threshold"] == 0.25
+        assert alert["unix"] > 1000.0
+        assert alert["province"] == "Gansu"     # detail merged in
+
+    def test_counts_in_snapshot(self):
+        monitor, tracer = make()
+        monitor.evaluate({"psi": 0.15})
+        snap = monitor.snapshot()
+        assert snap["state"] == DEGRADED
+        assert snap["active_breaches"] == {"psi": DEGRADED}
+        assert snap["n_alerts"] == 1
+        assert snap["n_transitions"] == 1
+
+
+class TestTransitions:
+    def test_transition_events_carry_reasons(self):
+        monitor, tracer = make(recovery_polls=1)
+        monitor.evaluate({"psi": 0.3})
+        monitor.evaluate({"psi": 0.01})
+        transitions = tracer.named(HEALTH_TRANSITION_EVENT)
+        assert [(t["from_state"], t["to_state"]) for t in transitions] == [
+            (HEALTHY, CRITICAL), (CRITICAL, HEALTHY)
+        ]
+        assert transitions[0]["reasons"] == ["psi"]
+        assert transitions[1]["reasons"] == ["recovered"]
+
+    def test_hooks_fire_after_event(self):
+        monitor, _ = make()
+        seen = []
+        monitor.on_transition(
+            lambda a, b, reasons: seen.append((a, b, reasons))
+        )
+        monitor.evaluate({"psi": 0.3})
+        assert seen == [(HEALTHY, CRITICAL, ["psi"])]
+
+    def test_events_round_trip_through_a_real_tracer(self, tmp_path):
+        """End-to-end: emit through Tracer, read back via RunLogReader."""
+        from repro.obs.runlog import RunLogReader
+
+        path = tmp_path / "health.jsonl"
+        tracer = Tracer(path=path)
+        monitor = HealthMonitor(rules=(RULE,), tracer=tracer,
+                                clock=FakeClock())
+        monitor.evaluate({"psi": 0.4})
+        tracer.close()
+        run = RunLogReader.read(path)
+        assert len(run.events(ALERT_EVENT)) == 1
+        assert len(run.events(HEALTH_TRANSITION_EVENT)) == 1

@@ -1,0 +1,173 @@
+"""Tests for online quality monitors (repro.obs.live.monitors)."""
+
+import numpy as np
+import pytest
+
+from repro.obs.live.monitors import (
+    CalibrationMonitor,
+    ScoreDriftMonitor,
+    SLOConfig,
+    SLOTracker,
+)
+
+
+@pytest.fixture()
+def baseline_scores(rng):
+    return rng.beta(2, 8, size=2000)   # loan-default-shaped score mass
+
+
+class TestScoreDriftMonitor:
+    def test_no_completed_window_reports_zero(self, baseline_scores):
+        monitor = ScoreDriftMonitor(baseline_scores, window_rows=100)
+        monitor.observe(0.2)
+        assert monitor.psi() == 0.0
+        assert monitor.worst() == (None, 0.0)
+
+    def test_in_distribution_window_has_low_psi(self, baseline_scores, rng):
+        monitor = ScoreDriftMonitor(baseline_scores, window_rows=400)
+        for score in rng.beta(2, 8, size=400):
+            monitor.observe(float(score))
+        assert monitor.psi() < 0.1
+
+    def test_shifted_window_has_high_psi(self, baseline_scores, rng):
+        monitor = ScoreDriftMonitor(baseline_scores, window_rows=400)
+        for score in rng.beta(8, 2, size=400):   # mass flipped high
+            monitor.observe(float(score))
+        assert monitor.psi() > 0.25
+
+    def test_per_province_windows_are_independent(self, baseline_scores,
+                                                  rng):
+        monitor = ScoreDriftMonitor(baseline_scores, window_rows=300)
+        drifted = rng.beta(8, 2, size=300)
+        steady = rng.beta(2, 8, size=300)
+        for bad, good in zip(drifted, steady):
+            monitor.observe(float(bad), province="Gansu")
+            monitor.observe(float(good), province="Zhejiang")
+        assert monitor.psi("Gansu") > 0.25
+        assert monitor.psi("Zhejiang") < 0.1
+        province, psi = monitor.worst()
+        assert province == "Gansu"
+        assert psi == monitor.psi("Gansu")
+
+    def test_windows_tumble_and_count(self, baseline_scores, rng):
+        monitor = ScoreDriftMonitor(baseline_scores, window_rows=100)
+        for score in rng.beta(2, 8, size=250):
+            monitor.observe(float(score))
+        snap = monitor.snapshot()
+        assert snap["window_rows"] == 100
+        assert snap["provinces"] == {}          # only the global stream
+        # 250 rows = 2 completed windows + 50 pending.
+        assert monitor._windows_completed[monitor.GLOBAL] == 2
+
+    def test_snapshot_shape(self, baseline_scores, rng):
+        monitor = ScoreDriftMonitor(baseline_scores, window_rows=50)
+        for score in rng.beta(8, 2, size=60):
+            monitor.observe(float(score), province="Fujian")
+        snap = monitor.snapshot()
+        assert set(snap) == {"window_rows", "global_psi", "worst_province",
+                             "worst_psi", "provinces"}
+        assert snap["worst_province"] == "Fujian"
+        entry = snap["provinces"]["Fujian"]
+        assert entry["windows_completed"] == 1
+        assert entry["pending_rows"] == 10
+
+    def test_validates_inputs(self, baseline_scores):
+        with pytest.raises(ValueError, match="n_bins"):
+            ScoreDriftMonitor(np.array([0.1, 0.2]), n_bins=10)
+        with pytest.raises(ValueError, match="window_rows"):
+            ScoreDriftMonitor(baseline_scores, window_rows=0)
+
+
+class TestCalibrationMonitor:
+    def test_reports_reference_before_data(self):
+        monitor = CalibrationMonitor(reference_mean=0.18)
+        assert monitor.score_mean() == pytest.approx(0.18)
+        assert monitor.mean_shift() == 0.0
+        assert monitor.calibration_gap() is None
+
+    def test_windowed_mean_and_shift(self):
+        monitor = CalibrationMonitor(reference_mean=0.2, window_rows=4)
+        for score in (0.1, 0.2, 0.3, 0.4):
+            monitor.observe(score)
+        assert monitor.score_mean() == pytest.approx(0.25)
+        assert monitor.mean_shift() == pytest.approx(0.05)
+        # Window slides: the 0.1 ages out.
+        monitor.observe(0.5)
+        assert monitor.score_mean() == pytest.approx(0.35)
+
+    def test_calibration_gap_with_labels(self):
+        monitor = CalibrationMonitor(reference_mean=0.5, window_rows=10)
+        for score, label in ((0.6, 1.0), (0.6, 0.0)):
+            monitor.observe(score, label=label)
+        assert monitor.calibration_gap() == pytest.approx(0.6 - 0.5)
+        snap = monitor.snapshot()
+        assert snap["n_labelled"] == 2
+        assert snap["n_seen"] == 2
+
+    def test_sliding_sum_stays_exact(self):
+        monitor = CalibrationMonitor(reference_mean=0.0, window_rows=16)
+        values = np.linspace(0, 1, 200)
+        for value in values:
+            monitor.observe(float(value))
+        assert monitor.score_mean() == pytest.approx(values[-16:].mean())
+
+
+class TestSLOTracker:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        tracker = SLOTracker([SLOConfig("avail", error_budget=0.01,
+                                        windows_s=(60.0,))])
+        tracker.observe("avail", good=99, bad=1, now=10.0)
+        # bad fraction 1% == exactly the budget: burn 1.0.
+        assert tracker.burn_rates("avail", now=10.0) == {"60s": 1.0}
+
+    def test_multi_window_fast_slow_pair(self):
+        tracker = SLOTracker([SLOConfig("avail", error_budget=0.1,
+                                        windows_s=(10.0, 100.0))])
+        tracker.observe("avail", good=100, bad=0, now=0.0)
+        tracker.observe("avail", good=0, bad=10, now=95.0)
+        burns = tracker.burn_rates("avail", now=100.0)
+        # Fast window sees only the recent all-bad burst.
+        assert burns["10s"] == pytest.approx(10.0)
+        assert burns["100s"] == pytest.approx((10 / 110) / 0.1)
+
+    def test_samples_age_out(self):
+        tracker = SLOTracker([SLOConfig("avail", error_budget=0.5,
+                                        windows_s=(10.0,))])
+        tracker.observe("avail", good=0, bad=5, now=0.0)
+        assert tracker.burn_rates("avail", now=5.0)["10s"] > 0
+        assert tracker.burn_rates("avail", now=50.0)["10s"] == 0.0
+
+    def test_worst_burn_across_objectives(self):
+        tracker = SLOTracker([
+            SLOConfig("a", error_budget=0.5, windows_s=(10.0,)),
+            SLOConfig("b", error_budget=0.01, windows_s=(10.0,)),
+        ])
+        tracker.observe("a", good=9, bad=1, now=1.0)
+        tracker.observe("b", good=9, bad=1, now=1.0)
+        name, burn = tracker.worst_burn(now=1.0)
+        assert name == "b"                      # tighter budget burns hotter
+        assert burn == pytest.approx((1 / 10) / 0.01)
+
+    def test_empty_window_burns_zero(self):
+        tracker = SLOTracker([SLOConfig("avail", error_budget=0.01)])
+        assert tracker.worst_burn(now=0.0) == (None, 0.0)
+
+    def test_snapshot_shape(self):
+        tracker = SLOTracker([SLOConfig("avail", error_budget=0.01)])
+        tracker.observe("avail", good=5, bad=0, now=1.0)
+        snap = tracker.snapshot(now=1.0)
+        assert set(snap) == {"avail"}
+        assert snap["avail"]["events_tracked"] == 5
+        assert snap["avail"]["bad_tracked"] == 0
+        assert set(snap["avail"]["burn_rates"]) == {"60s", "600s"}
+
+    def test_validates_config(self):
+        with pytest.raises(ValueError, match="error_budget"):
+            SLOConfig("x", error_budget=1.5)
+        with pytest.raises(ValueError, match="window"):
+            SLOConfig("x", error_budget=0.1, windows_s=())
+        with pytest.raises(ValueError, match="unique"):
+            SLOTracker([SLOConfig("x", error_budget=0.1),
+                        SLOConfig("x", error_budget=0.2)])
+        with pytest.raises(ValueError, match="at least one"):
+            SLOTracker([])

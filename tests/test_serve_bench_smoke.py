@@ -23,7 +23,8 @@ def smoke_results():
 class TestServingSuite:
     def test_all_scenarios_present(self, smoke_results):
         assert set(smoke_results) == {"micro_batching", "cache_hot",
-                                      "registry_load", "workers"}
+                                      "registry_load", "workers",
+                                      "metrics_overhead"}
 
     def test_micro_batching_is_bit_identical(self, smoke_results):
         entry = smoke_results["micro_batching"]
@@ -50,6 +51,14 @@ class TestServingSuite:
             assert row["rows_per_s"] > 0
             assert 0 < row["p50_ms"] <= row["p99_ms"]
 
+    def test_metrics_overhead_gates(self, smoke_results):
+        entry = smoke_results["metrics_overhead"]
+        assert entry["bit_identical"] is True
+        assert entry["within_budget"] is True
+        assert entry["budget_pct"] == 2.0
+        assert entry["plane_off_s"] > 0
+        assert entry["plane_on_s"] > 0
+
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError):
             run_serving_suite(ServingBenchConfig.smoke(), only=["nope"])
@@ -66,7 +75,7 @@ class TestServingSuite:
     def test_summary_mentions_each_scenario(self, smoke_results):
         summary = summarize_serving(smoke_results)
         for name in ("micro_batching", "cache_hot", "registry_load",
-                     "workers"):
+                     "workers", "metrics_overhead"):
             assert name in summary
 
 
@@ -87,8 +96,11 @@ class TestPayloadValidation:
         del broken["benchmarks"]["micro_batching"]["bit_identical"]
         first = next(iter(broken["benchmarks"]["workers"]["per_workers"]))
         broken["benchmarks"]["workers"]["per_workers"][first]["p99_ms"] = 1e9
+        broken["benchmarks"]["metrics_overhead"]["within_budget"] = False
         problems = validate_serving_payload(broken)
         assert any("format" in p for p in problems)
         assert any("aggregate bit_identical" in p for p in problems)
         assert any("micro_batching" in p for p in problems)
         assert any("p99_ms" in p and "sanity" in p for p in problems)
+        assert any("metrics_overhead" in p and "budget" in p
+                   for p in problems)

@@ -206,3 +206,63 @@ class TestServingTelemetry:
         assert "rows scored     42" in summary
         assert "drift_guard=1" in summary
         assert "cache hit rate  50.0%" in summary
+
+
+class TestFrontendTelemetryConcurrency:
+    """FrontendTelemetry is written from two threads (caller + collector).
+
+    ``x += 1`` is not atomic in CPython; without the internal mutex these
+    loops visibly lose increments.  The acceptance criterion for the live
+    plane is EXACT aggregation, so the regression test demands equality,
+    not approximation.
+    """
+
+    def test_no_lost_increments_under_contention(self):
+        import threading
+
+        from repro.serve.telemetry import FrontendTelemetry
+
+        telemetry = FrontendTelemetry()
+        per_thread, n_threads = 5000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                telemetry.record_admitted()
+                telemetry.record_shed()
+                telemetry.record_request(0.001)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        expected = per_thread * n_threads
+        assert telemetry.admitted == expected
+        assert telemetry.shed == expected
+        assert telemetry.request_latency.count == expected
+
+    def test_snapshot_consistent_while_writers_run(self):
+        import threading
+
+        from repro.serve.telemetry import FrontendTelemetry
+
+        telemetry = FrontendTelemetry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                telemetry.record_admitted()
+                telemetry.record_request(0.001)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                snap = telemetry.snapshot()
+                # Resolution never outruns admission in a snapshot.
+                assert snap["request_latency"]["count"] <= snap["admitted"]
+        finally:
+            stop.set()
+            thread.join()
