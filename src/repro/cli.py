@@ -313,6 +313,33 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--smoke", action="store_true",
                       help="CI-sized search: 2-rung ASHA over ERM and "
                            "LightMIRM on a small generator")
+    tune.add_argument("--joint", action="store_true",
+                      help="search the GBDT extractor jointly with each "
+                           "head (default extractor space; distinct "
+                           "extractor encodings are fitted once and "
+                           "shared through the shm cache)")
+    tune.add_argument("--extractors", type=int, default=3,
+                      help="distinct extractor configurations shared "
+                           "round-robin across --joint trials")
+    tune.add_argument("--cache-bytes", type=int, metavar="BYTES",
+                      help="LRU budget of the --joint encoding cache "
+                           "(default: unbounded)")
+    tune.add_argument("--no-cache", action="store_true",
+                      help="--joint only: re-encode inline per trial "
+                           "instead of using the cache (bit-identical, "
+                           "slower; for verification)")
+
+    tune_bench = sub.add_parser(
+        "tune-bench",
+        help="benchmark the joint search cached vs uncached "
+             "(BENCH_tune.json)",
+    )
+    tune_bench.add_argument("--out", default="BENCH_tune.json",
+                            help="output path (default: BENCH_tune.json)")
+    tune_bench.add_argument("--smoke", action="store_true",
+                            help="tiny CI-sized comparison")
+    tune_bench.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the trial fan-out")
 
     obs = sub.add_parser(
         "obs",
@@ -800,10 +827,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.train.registry import resolve_trainer_name
     from repro.tune import (
         ASHAConfig,
+        HPSpace,
         build_leaderboard,
+        default_extractor_space,
         default_space,
         load_trial_records,
         run_asha,
+        run_joint_asha,
         write_leaderboard,
     )
 
@@ -833,25 +863,55 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         resume = load_trial_records(args.resume)
         print(f"resuming: {len(resume)} trial records from {args.resume}")
 
+    joint_fields = {}
+    if args.joint:
+        joint_fields = {"joint": True, "n_extractors": args.extractors,
+                       "cached": not args.no_cache,
+                       "cache_bytes": args.cache_bytes}
     tracer = _make_tracer(
         args, "tune",
         config={**dataclasses.asdict(config), "trainers": trainers,
-                "n_samples": n_samples, "jobs": args.jobs},
+                "n_samples": n_samples, "jobs": args.jobs, **joint_fields},
         seed=args.seed,
     )
     context = ExperimentContext(
         ExperimentSettings(n_samples=n_samples, data_seed=args.data_seed)
     )
+    if args.joint:
+        # Joint searches own the encoding: hand them the *raw*
+        # per-province environments, not the GBDT-encoded ones.
+        raw_environments = context.split.train.environments()
     results = []
     for name in trainers:
-        result = run_asha(
-            default_space(name),
-            context.train_environments,
-            config,
-            n_jobs=args.jobs,
-            tracer=tracer,
-            resume=resume,
-        )
+        if args.joint:
+            result, stats = run_joint_asha(
+                HPSpace.joint(default_extractor_space(), default_space(name)),
+                raw_environments,
+                config,
+                n_extractors=args.extractors,
+                n_jobs=args.jobs,
+                tracer=tracer,
+                resume=resume,
+                use_cache=not args.no_cache,
+                cache_bytes=args.cache_bytes,
+            )
+            if stats is not None:
+                print(f"{name}: cache hits={stats.hits} "
+                      f"misses={stats.misses} "
+                      f"hit-rate={stats.hit_rate:.2f} "
+                      f"encode={stats.encode_seconds:.2f}s "
+                      f"saved={stats.encode_seconds_saved:.2f}s "
+                      f"published={stats.published_bytes}B "
+                      f"evictions={stats.evictions}")
+        else:
+            result = run_asha(
+                default_space(name),
+                context.train_environments,
+                config,
+                n_jobs=args.jobs,
+                tracer=tracer,
+                resume=resume,
+            )
         best = result.best
         value = best.objective_value(config.objective, config.blend_weight)
         print(f"{name}: best {best.trial_id} "
@@ -865,7 +925,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         results,
         seed=args.seed,
         search_config={**dataclasses.asdict(config), "trainers": trainers,
-                       "n_samples": n_samples, "data_seed": args.data_seed},
+                       "n_samples": n_samples, "data_seed": args.data_seed,
+                       **joint_fields},
     )
     write_leaderboard(leaderboard, args.out)
     winner = leaderboard["leaderboard"][0]
@@ -875,10 +936,21 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
     if args.registry:
         overrides = dict(winner["params"])
+        # Joint winners carry their extractor half as a sub-dict: refit
+        # the pipeline's GBDT with it instead of handing it to the head.
+        extractor_overrides = overrides.pop("extractor", None)
+        gbdt_params = None
+        if extractor_overrides is not None:
+            from repro.pipeline.extractor import default_gbdt_params
+
+            gbdt_params = default_gbdt_params().replace_flat(
+                extractor_overrides
+            )
         if winner["budget"] is not None:
             overrides["n_epochs"] = winner["budget"]
         pipeline = LoanDefaultPipeline(
-            make_trainer(winner["trainer"], seed=winner["seed"], **overrides)
+            make_trainer(winner["trainer"], seed=winner["seed"], **overrides),
+            gbdt_params=gbdt_params,
         )
         pipeline.fit(context.split.train)
         metadata = {
@@ -897,6 +969,26 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(f"imported winner as challenger version {version} "
               f"(slots: {registry.slots()})")
     return 0
+
+
+def _cmd_tune_bench(args: argparse.Namespace) -> int:
+    from repro.perfbench import (
+        TuneBenchConfig,
+        run_tune_benchmark,
+        summarize_tune,
+        write_tune_bench_json,
+    )
+
+    config = TuneBenchConfig.smoke() if args.smoke else TuneBenchConfig()
+    if args.jobs != 1:
+        import dataclasses
+
+        config = dataclasses.replace(config, n_jobs=args.jobs)
+    results = run_tune_benchmark(config)
+    print(summarize_tune(results))
+    write_tune_bench_json(args.out, results, config)
+    print(f"wrote {args.out}")
+    return 0 if results["joint_search"]["bit_identical"] else 1
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -961,6 +1053,7 @@ _COMMANDS = {
     "scale-bench": _cmd_scale_bench,
     "verify": _cmd_verify,
     "tune": _cmd_tune,
+    "tune-bench": _cmd_tune_bench,
     "obs": _cmd_obs,
     "list": _cmd_list,
 }

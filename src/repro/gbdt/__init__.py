@@ -4,7 +4,12 @@ from repro.gbdt.binning import QuantileBinner, ReservoirSampler
 from repro.gbdt.boosting import GBDTClassifier, GBDTParams
 from repro.gbdt.histogram import HistogramBuilder, NodeHistogram, build_histogram
 from repro.gbdt.leaf_encoder import LeafIndexEncoder, encode_leaf_matrix
-from repro.gbdt.packing import PackedBinnedDataset, pack_generated
+from repro.gbdt.packing import (
+    PackedBinnedDataset,
+    fit_extractor_encode,
+    leaf_encode_environments,
+    pack_generated,
+)
 from repro.gbdt.tree import DecisionTree, FlatTree, SplitInfo, TreeParams
 
 __all__ = [
@@ -12,6 +17,8 @@ __all__ = [
     "ReservoirSampler",
     "PackedBinnedDataset",
     "pack_generated",
+    "fit_extractor_encode",
+    "leaf_encode_environments",
     "GBDTClassifier",
     "GBDTParams",
     "HistogramBuilder",

@@ -15,9 +15,11 @@ reuse it across scores, leaf indices, and staged probabilities.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -74,6 +76,76 @@ class GBDTParams:
             raise ValueError("colsample must be in (0, 1]")
         if self.dtype not in ("float32", "float64"):
             raise ValueError("dtype must be 'float32' or 'float64'")
+
+    # ----------------------------------------------- flat config surface
+
+    @classmethod
+    def flat_fields(cls) -> tuple[str, ...]:
+        """Every overridable knob as one flat namespace.
+
+        The booster's own fields (minus the nested ``tree``) plus the
+        :class:`~repro.gbdt.tree.TreeParams` growth fields — the surface
+        hyper-parameter search spaces validate against and
+        :meth:`replace_flat` routes through.
+        """
+        own = tuple(f.name for f in dataclass_fields(cls) if f.name != "tree")
+        tree = tuple(f.name for f in dataclass_fields(TreeParams))
+        return own + tree
+
+    def replace_flat(self, overrides: Mapping[str, object]) -> "GBDTParams":
+        """A copy with flat overrides routed to their owning dataclass.
+
+        ``max_depth``/``max_leaves``-style growth knobs land on the
+        nested :class:`TreeParams`, everything else on the booster.
+
+        Raises:
+            ValueError: For names on neither dataclass.
+        """
+        tree_names = {f.name for f in dataclass_fields(TreeParams)}
+        own_names = {
+            f.name for f in dataclass_fields(type(self)) if f.name != "tree"
+        }
+        booster: dict[str, object] = {}
+        tree: dict[str, object] = {}
+        for name, value in overrides.items():
+            if name in own_names:
+                booster[name] = value
+            elif name in tree_names:
+                tree[name] = value
+            else:
+                raise ValueError(
+                    f"unknown GBDT parameter {name!r}; "
+                    f"valid: {sorted(own_names | tree_names)}"
+                )
+        params = replace(self, **booster) if booster else self
+        if tree:
+            params = replace(params, tree=replace(params.tree, **tree))
+        return params
+
+    def canonical(self) -> dict:
+        """JSON-compatible canonical form: every field, tree nested,
+        deterministic key order — the fingerprinting input."""
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in dataclass_fields(type(self)) if f.name != "tree"
+        }
+        payload["tree"] = {
+            f.name: getattr(self.tree, f.name)
+            for f in dataclass_fields(TreeParams)
+        }
+        return payload
+
+    def fingerprint(self) -> str:
+        """Stable 16-hex content hash of the full configuration.
+
+        Two :class:`GBDTParams` agree on the fingerprint iff they agree
+        on every field (including nested tree growth params) — the
+        extractor-encoding cache keys on this plus the dataset
+        fingerprint and split seed.
+        """
+        encoded = json.dumps(self.canonical(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:16]
 
 
 class GBDTClassifier:

@@ -20,15 +20,103 @@ shared-memory container the parallel engine ships to workers.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.dataset import EnvironmentData
 from repro.data.generator import LoanDataGenerator
 from repro.gbdt.binning import QuantileBinner
+from repro.gbdt.boosting import GBDTClassifier, GBDTParams
 from repro.parallel.shared import PackSpec, SharedArrayPack
 
-__all__ = ["PackedBinnedDataset", "pack_generated"]
+__all__ = [
+    "PackedBinnedDataset",
+    "pack_generated",
+    "fit_extractor_encode",
+    "leaf_encode_environments",
+]
+
+#: Domain-separation tag of the extractor early-stopping holdout ("xenc").
+_ENCODE_SPLIT_TAG = 0x78656E63
+
+
+def leaf_encode_environments(
+    model: GBDTClassifier, environments: list[EnvironmentData]
+) -> list[EnvironmentData]:
+    """Leaf-encode raw per-province environments with a fitted GBDT.
+
+    Each environment's features are binned once and one-hot leaf-encoded
+    into the CSR design matrix the LR heads train on — the per-extractor
+    half of a joint GBDT×head search.  The CSR arrays come out exactly as
+    :class:`~repro.gbdt.leaf_encoder.LeafIndexEncoder` emits them
+    (float32 data, int32 indices where they fit), so packing them into a
+    :class:`~repro.parallel.shared.SharedArrayPack` and attaching from a
+    worker round-trips byte-identically.
+    """
+    from repro.gbdt.leaf_encoder import LeafIndexEncoder
+
+    encoder = LeafIndexEncoder(model)
+    return [
+        EnvironmentData(
+            env.name,
+            encoder.transform_binned(model.bin_features(env.features)),
+            env.labels,
+        )
+        for env in environments
+    ]
+
+
+def fit_extractor_encode(
+    params: GBDTParams,
+    environments: list[EnvironmentData],
+    *,
+    holdout_fraction: float = 0.2,
+    holdout_seed: int = 0,
+) -> tuple[GBDTClassifier, list[EnvironmentData], float]:
+    """Fit a GBDT extractor on pooled rows and leaf-encode every environment.
+
+    The single encode path of the joint search: the cached scheduler runs
+    it once per distinct extractor configuration, the uncached baseline
+    once per (trial, rung) — bit-identical outputs either way, because
+    everything below is a pure function of ``(params, environments,
+    holdout_fraction, holdout_seed)``.
+
+    Args:
+        params: Full extractor configuration (already flat-override
+            routed; see :meth:`GBDTParams.replace_flat`).
+        environments: Raw per-province environments, in the order they
+            should come back encoded.
+        holdout_fraction: Pooled-row share held out for early stopping
+            (only drawn when ``params.early_stopping_rounds > 0``).
+        holdout_seed: Entropy of the holdout shuffle, fed through a
+            tagged ``SeedSequence`` stream.
+
+    Returns:
+        ``(fitted model, encoded environments, encode_seconds)`` where
+        ``encode_seconds`` covers the fit plus the leaf encoding.
+    """
+    started = time.perf_counter()
+    features = np.vstack([np.asarray(env.features) for env in environments])
+    labels = np.concatenate([env.labels for env in environments])
+    model = GBDTClassifier(params)
+    n = features.shape[0]
+    if params.early_stopping_rounds and 0.0 < holdout_fraction < 1.0 \
+            and n >= 50:
+        rng = np.random.default_rng(
+            np.random.SeedSequence([int(holdout_seed), _ENCODE_SPLIT_TAG])
+        )
+        order = rng.permutation(n)
+        n_valid = max(1, int(round(holdout_fraction * n)))
+        valid_rows, fit_rows = order[:n_valid], order[n_valid:]
+        model.fit(features[fit_rows], labels[fit_rows],
+                  valid_features=features[valid_rows],
+                  valid_labels=labels[valid_rows])
+    else:
+        model.fit(features, labels)
+    encoded = leaf_encode_environments(model, environments)
+    return model, encoded, time.perf_counter() - started
 
 
 @dataclass

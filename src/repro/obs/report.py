@@ -19,6 +19,8 @@ from repro.eval.reports import format_table
 from repro.obs.runlog import (
     ALERT_EVENT,
     HEALTH_TRANSITION_EVENT,
+    TUNE_CACHE_EVENT,
+    TUNE_ENCODE_SPAN,
     RunLog,
     RunLogReader,
 )
@@ -29,6 +31,7 @@ __all__ = [
     "load_run",
     "timing_tables",
     "health_lines",
+    "tune_cache_lines",
     "format_report",
     "format_summary",
     "format_diff",
@@ -286,6 +289,61 @@ def health_lines(run: RunLog) -> list[str]:
     return lines
 
 
+def tune_cache_lines(run: RunLog) -> list[str]:
+    """Summarize a joint search's extractor-encoding cache from its log.
+
+    Empty when the log holds no ``tune_cache`` events (head-only and
+    non-tuning logs stay unchanged); otherwise hit/miss/eviction counts,
+    resident-pack bytes published, and the encode seconds spent vs saved
+    — reconstructed purely from the event stream, mirroring how the
+    cache itself accounts (each hit saves one encode of its
+    fingerprint's measured cost).
+    """
+    events = run.events(TUNE_CACHE_EVENT)
+    if not events:
+        return []
+    counts: dict[str, int] = {}
+    encode_cost: dict[str, float] = {}
+    published_bytes = 0
+    for event in events:
+        fields = event["fields"]
+        action = str(fields["action"])
+        counts[action] = counts.get(action, 0) + 1
+        if action == "publish":
+            published_bytes += int(fields.get("nbytes", 0))
+            encode_cost[str(fields["fingerprint"])] = float(
+                fields.get("encode_seconds", 0.0)
+            )
+    hits = counts.get("hit", 0)
+    misses = counts.get("miss", 0)
+    lookups = hits + misses
+    saved = sum(
+        encode_cost.get(str(e["fields"]["fingerprint"]), 0.0)
+        for e in events
+        if e["fields"]["action"] == "hit"
+    )
+    spent = sum(encode_cost.values())
+    lines = [
+        f"tune cache: {hits} hits, {misses} misses"
+        + (f" (hit rate {hits / lookups:.0%})" if lookups else "")
+    ]
+    lines.append(
+        f"  encodings published {counts.get('publish', 0)} "
+        f"({published_bytes / 1e6:.1f} MB), evicted {counts.get('evict', 0)}"
+    )
+    lines.append(
+        f"  encode seconds spent {spent:.2f}, saved by reuse {saved:.2f}"
+    )
+    encode_spans = run.spans(TUNE_ENCODE_SPAN)
+    if encode_spans:
+        wall = sum(float(s["dur_s"]) for s in encode_spans)
+        lines.append(
+            f"  encode batches {len(encode_spans)} "
+            f"({wall:.2f}s wall over the engine)"
+        )
+    return lines
+
+
 def format_report(run: RunLog, max_curve_rows: int = 20) -> str:
     """Full rendering: manifest, Table III timings, convergence curves."""
     sections = ["\n".join(_manifest_lines(run))]
@@ -319,6 +377,9 @@ def format_report(run: RunLog, max_curve_rows: int = 20) -> str:
         if counters:
             rendered = "  ".join(f"{k}={v}" for k, v in counters.items())
             sections.append(f"counters: {rendered}")
+    cache = tune_cache_lines(run)
+    if cache:
+        sections.append("\n".join(cache))
     health = health_lines(run)
     if health:
         sections.append("\n".join(health))
@@ -352,6 +413,7 @@ def format_summary(run: RunLog) -> str:
                 f"objective {objective[0]:.4f} -> {objective[-1]:.4f}"
             )
         lines.append("  ".join(parts))
+    lines.extend(tune_cache_lines(run))
     lines.extend(health_lines(run))
     return "\n".join(lines)
 

@@ -46,6 +46,8 @@ __all__ = [
     "TUNE_SPAN",
     "TUNE_TRIAL_EVENT",
     "TUNE_RUNG_EVENT",
+    "TUNE_ENCODE_SPAN",
+    "TUNE_CACHE_EVENT",
     "RunLogWriter",
     "RunLog",
     "RunLogReader",
@@ -79,6 +81,19 @@ TUNE_SPAN = "tune_search"
 TUNE_TRIAL_EVENT = "tune_trial"
 TUNE_RUNG_EVENT = "tune_rung"
 
+#: Well-known joint-search names (additive under schema v2): each batch
+#: of distinct-extractor encodes runs inside one ``TUNE_ENCODE_SPAN``
+#: span, and the extractor-encoding cache emits one ``TUNE_CACHE_EVENT``
+#: per lookup or lifecycle step (``action`` field: hit, miss, publish,
+#: evict) keyed by the encoding's content ``fingerprint`` — so the run
+#: log alone reconstructs the cache's hit-rate, byte footprint and the
+#: encode seconds the search saved.
+TUNE_ENCODE_SPAN = "tune_encode"
+TUNE_CACHE_EVENT = "tune_cache"
+
+#: Legal values of a ``tune_cache`` event's ``action`` field.
+_CACHE_ACTIONS = ("hit", "miss", "publish", "evict")
+
 #: Well-known live-health names (schema v2): the serving
 #: :class:`~repro.obs.live.health.HealthMonitor` emits one
 #: ``ALERT_EVENT`` per threshold breach (``monitor``, ``severity``,
@@ -103,6 +118,7 @@ _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
 _REQUIRED_EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     ALERT_EVENT: ("monitor", "severity", "value", "threshold", "unix"),
     HEALTH_TRANSITION_EVENT: ("from_state", "to_state", "reasons", "unix"),
+    TUNE_CACHE_EVENT: ("fingerprint", "action"),
 }
 
 #: Legal values for the constrained alert/health fields.
@@ -152,6 +168,12 @@ def validate_record(record: object, line: int | None = None) -> dict:
             raise SchemaError(
                 f"{where}alert severity {fields['severity']!r} not in "
                 f"{_ALERT_SEVERITIES}"
+            )
+        if (name == TUNE_CACHE_EVENT
+                and fields["action"] not in _CACHE_ACTIONS):
+            raise SchemaError(
+                f"{where}tune_cache action {fields['action']!r} not in "
+                f"{_CACHE_ACTIONS}"
             )
         if name == HEALTH_TRANSITION_EVENT:
             for key in ("from_state", "to_state"):

@@ -19,6 +19,9 @@ This package keeps the repo's perf story honest in two ways:
 * :mod:`repro.perfbench.scale` measures the end-to-end streaming
   pipeline (wall-clock + peak RSS via :mod:`repro.perfbench.rss`) at
   paper-scale row counts and writes ``BENCH_scale.json``.
+* :mod:`repro.perfbench.tune` runs the same joint GBDT×head search with
+  the extractor-encoding cache on and off (bit-identity asserted) and
+  writes ``BENCH_tune.json``.
 
 Run via ``python -m repro bench`` / ``python -m repro serve-bench`` /
 ``python -m repro scale-bench`` (or ``python -m benchmarks.perf`` from
@@ -56,6 +59,13 @@ from repro.perfbench.suites import (
     summarize,
     write_bench_json,
 )
+from repro.perfbench.tune import (
+    TuneBenchConfig,
+    run_tune_benchmark,
+    summarize_tune,
+    validate_tune_payload,
+    write_tune_bench_json,
+)
 
 __all__ = [
     "BenchConfig",
@@ -63,6 +73,7 @@ __all__ = [
     "PeakMemoryProbe",
     "ScaleBenchConfig",
     "ServingBenchConfig",
+    "TuneBenchConfig",
     "dtype_tolerance_check",
     "effective_cpu_count",
     "machine_info",
@@ -72,14 +83,18 @@ __all__ = [
     "run_suite",
     "run_parallel_suite",
     "run_serving_suite",
+    "run_tune_benchmark",
     "summarize",
     "summarize_parallel",
     "summarize_scale",
     "summarize_serving",
+    "summarize_tune",
     "validate_scale_payload",
     "validate_serving_payload",
+    "validate_tune_payload",
     "write_bench_json",
     "write_parallel_bench_json",
     "write_scale_bench_json",
     "write_serving_bench_json",
+    "write_tune_bench_json",
 ]

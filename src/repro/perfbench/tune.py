@@ -1,0 +1,272 @@
+"""Joint-search benchmark: the extractor-encoding cache, on vs off.
+
+Runs the same joint GBDT×head ASHA search twice through
+:func:`~repro.tune.asha.run_joint_asha` — once with the
+content-addressed :class:`~repro.tune.extractor_cache.ExtractorEncodingCache`
+publishing each distinct extractor encoding exactly once, once with every
+trial evaluation re-fitting and re-encoding inline — asserting along the
+way that the two leaderboards are **bit-identical** (the cache is a pure
+perf optimisation or it is a bug).  The payload lands in tracked
+``BENCH_tune.json``.
+
+Wall-clock barely moves on a 1-core CI container (the encodes serialise
+either way), so the headline number is *encode work*: the cache's
+measured ``encode_seconds`` against the per-hit costs it avoided
+(``encode_seconds_saved``).  With T trial evaluations over E distinct
+extractor configurations the expected ratio is ~T/E.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+
+from repro.experiments.runner import ExperimentContext, ExperimentSettings
+from repro.perfbench.suites import machine_info
+
+__all__ = [
+    "TuneBenchConfig",
+    "run_tune_benchmark",
+    "summarize_tune",
+    "validate_tune_payload",
+    "write_tune_bench_json",
+]
+
+#: Format version of BENCH_tune.json.
+TUNE_BENCH_FORMAT = 1
+
+#: Required keys of the ``joint_search`` benchmark entry.
+_REQUIRED_JOINT = (
+    "trainer", "n_trials", "n_extractors", "trial_evaluations",
+    "trials_per_extractor", "cached", "uncached", "encode_seconds_saved",
+    "encode_speedup", "wall_speedup", "bit_identical",
+)
+
+
+@dataclass(frozen=True)
+class TuneBenchConfig:
+    """Sizes of one cached-vs-uncached joint-search comparison.
+
+    The default is the tracked configuration: 8 trials round-robined over
+    2 distinct extractor configurations under an eta=2 two-rung schedule
+    gives 12 trial evaluations — 6 per extractor, so the cache replaces
+    12 fit+leaf-encodes with 2.  :meth:`smoke` shrinks the data for CI
+    rot-protection while keeping trials-per-extractor at 4.
+
+    Attributes:
+        n_samples: Synthetic platform size.
+        data_seed: Platform seed.
+        trainer: Head trainer searched (its registered default space).
+        n_trials: Joint configurations sampled.
+        n_extractors: Distinct extractor configurations shared round-robin
+            across the trials.
+        eta: Halving rate between rungs.
+        min_epochs: Epoch budget of rung 0.
+        max_epochs: Epoch budget cap of the last rung.
+        seed: Search seed (sampling, splits, trial seeds).
+        n_jobs: Worker processes for the trial fan-out.
+    """
+
+    n_samples: int = 6_000
+    data_seed: int = 7
+    trainer: str = "ERM"
+    n_trials: int = 8
+    n_extractors: int = 2
+    eta: int = 2
+    min_epochs: int = 4
+    max_epochs: int = 8
+    seed: int = 0
+    n_jobs: int = 1
+
+    @classmethod
+    def smoke(cls) -> "TuneBenchConfig":
+        """Tiny comparison: every path exercised, nothing timed long."""
+        return cls(n_samples=2_500, n_trials=4, max_epochs=4)
+
+
+def _ranked_projection(result) -> list[dict]:
+    """A search's deterministic ranking: trials minus wall-clock fields.
+
+    Mirrors :func:`repro.tune.leaderboard.ranked_trials` without building
+    a full leaderboard payload (no machine/git stamps to diff around).
+    """
+    return [
+        {k: v for k, v in trial.to_json().items()
+         if k not in ("train_seconds", "search_cost")}
+        for trial in result.ranked()
+    ]
+
+
+def run_tune_benchmark(config: TuneBenchConfig | None = None) -> dict:
+    """Run the cached-vs-uncached comparison; returns its results dict.
+
+    Returns:
+        ``{"joint_search": {...}}`` with wall-clock for both modes, the
+        cache's hit/miss/encode accounting, the encode-work speedup and
+        the ``bit_identical`` flag CI gates on.
+    """
+    from repro.tune import (
+        ASHAConfig,
+        HPSpace,
+        default_extractor_space,
+        default_space,
+        run_joint_asha,
+    )
+
+    config = config or TuneBenchConfig()
+    context = ExperimentContext(
+        ExperimentSettings(n_samples=config.n_samples,
+                           data_seed=config.data_seed)
+    )
+    # Joint searches consume *raw* (un-encoded) environments — the
+    # extractor half of each trial owns the encoding.
+    environments = context.split.train.environments()
+    space = HPSpace.joint(default_extractor_space(),
+                          default_space(config.trainer))
+    asha = ASHAConfig(
+        n_trials=config.n_trials, eta=config.eta,
+        min_epochs=config.min_epochs, max_epochs=config.max_epochs,
+        seed=config.seed,
+    )
+
+    start = time.perf_counter()
+    uncached_result, _ = run_joint_asha(
+        space, environments, asha,
+        n_extractors=config.n_extractors, n_jobs=config.n_jobs,
+        use_cache=False,
+    )
+    uncached_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cached_result, stats = run_joint_asha(
+        space, environments, asha,
+        n_extractors=config.n_extractors, n_jobs=config.n_jobs,
+        use_cache=True,
+    )
+    cached_wall = time.perf_counter() - start
+
+    identical = (_ranked_projection(cached_result)
+                 == _ranked_projection(uncached_result))
+    evaluations = sum(len(r.evaluated) for r in cached_result.rungs)
+    # Total encode work an uncached run performs, estimated from the
+    # cache's own accounting: what it spent encoding each distinct
+    # configuration once, plus the per-hit costs it avoided.
+    encode_work_uncached = stats.encode_seconds + stats.encode_seconds_saved
+    joint = {
+        "trainer": config.trainer,
+        "n_trials": config.n_trials,
+        "n_extractors": config.n_extractors,
+        "trial_evaluations": evaluations,
+        "trials_per_extractor": evaluations / config.n_extractors,
+        "cached": {
+            "wall_s": cached_wall,
+            "encode_s": stats.encode_seconds,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+            "published_bytes": stats.published_bytes,
+            "evictions": stats.evictions,
+        },
+        "uncached": {
+            "wall_s": uncached_wall,
+            "encode_s": encode_work_uncached,
+        },
+        "encode_seconds_saved": stats.encode_seconds_saved,
+        "encode_speedup": (
+            encode_work_uncached / stats.encode_seconds
+            if stats.encode_seconds > 0 else float("inf")
+        ),
+        "wall_speedup": (
+            uncached_wall / cached_wall if cached_wall > 0 else float("inf")
+        ),
+        "bit_identical": identical,
+    }
+    return {"joint_search": joint}
+
+
+def validate_tune_payload(payload: object) -> dict:
+    """Check a ``BENCH_tune.json`` payload; returns it.
+
+    Raises:
+        ValueError: On missing keys, a wrong format, a leaderboard
+            mismatch (``bit_identical`` false) or an inert cache (zero
+            hits despite trials sharing extractors).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("tune bench payload is not a JSON object")
+    missing = [k for k in ("format", "config", "machine", "benchmarks")
+               if k not in payload]
+    if missing:
+        raise ValueError(f"payload is missing keys {missing}")
+    if payload["format"] != TUNE_BENCH_FORMAT:
+        raise ValueError(
+            f"payload format {payload['format']!r} != {TUNE_BENCH_FORMAT}"
+        )
+    joint = payload["benchmarks"].get("joint_search")
+    if not isinstance(joint, dict):
+        raise ValueError("benchmarks must contain a 'joint_search' object")
+    joint_missing = [k for k in _REQUIRED_JOINT if k not in joint]
+    if joint_missing:
+        raise ValueError(f"joint_search is missing keys {joint_missing}")
+    if not joint["bit_identical"]:
+        raise ValueError(
+            "cached and uncached joint searches disagree — the cache "
+            "changed the leaderboard"
+        )
+    if joint["trials_per_extractor"] > 1 and joint["cached"]["hits"] == 0:
+        raise ValueError(
+            "cache recorded zero hits although trials share extractor "
+            "configurations"
+        )
+    return payload
+
+
+def write_tune_bench_json(
+    path: str | pathlib.Path,
+    results: dict,
+    config: TuneBenchConfig,
+) -> dict:
+    """Write the tracked ``BENCH_tune.json`` payload and return it."""
+    payload = {
+        "format": TUNE_BENCH_FORMAT,
+        "config": {
+            "n_samples": config.n_samples,
+            "data_seed": config.data_seed,
+            "trainer": config.trainer,
+            "n_trials": config.n_trials,
+            "n_extractors": config.n_extractors,
+            "eta": config.eta,
+            "min_epochs": config.min_epochs,
+            "max_epochs": config.max_epochs,
+            "seed": config.seed,
+            "n_jobs": config.n_jobs,
+        },
+        "machine": machine_info(),
+        "benchmarks": results,
+    }
+    validate_tune_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def summarize_tune(results: dict) -> str:
+    """Human-readable rendering of one cached-vs-uncached comparison."""
+    joint = results["joint_search"]
+    flag = "bit-identical" if joint["bit_identical"] else "MISMATCH"
+    cached, uncached = joint["cached"], joint["uncached"]
+    return "\n".join([
+        f"joint search: {joint['n_trials']} trials over "
+        f"{joint['n_extractors']} extractors "
+        f"({joint['trial_evaluations']} evaluations, "
+        f"{joint['trials_per_extractor']:.1f} per extractor)",
+        f"  uncached {uncached['wall_s']:8.3f} s wall   "
+        f"{uncached['encode_s']:7.3f} s encode",
+        f"  cached   {cached['wall_s']:8.3f} s wall   "
+        f"{cached['encode_s']:7.3f} s encode   "
+        f"hit-rate {cached['hit_rate']:.2f}",
+        f"  encode speedup {joint['encode_speedup']:5.2f}x   "
+        f"saved {joint['encode_seconds_saved']:.3f} s   "
+        f"wall {joint['wall_speedup']:5.2f}x   {flag}",
+    ])

@@ -27,6 +27,7 @@ Reproducibility rules, inherited from the experiment runner:
 
 from __future__ import annotations
 
+import json
 import time
 import zlib
 from dataclasses import dataclass, replace
@@ -38,7 +39,11 @@ from repro.data.dataset import EnvironmentData
 from repro.obs.runlog import TUNE_RUNG_EVENT, TUNE_SPAN
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.engine import ParallelEngine
-from repro.parallel.shared import pack_train_test
+from repro.parallel.shared import (
+    SharedArrayPack,
+    environments_to_arrays,
+    pack_train_test,
+)
 from repro.parallel.worker import (
     TrialOutcome,
     TrialTask,
@@ -47,6 +52,7 @@ from repro.parallel.worker import (
 )
 from repro.train.registry import TrainerSpec, resolve_trainer_name
 from repro.tune.buffer import ResultBuffer, TrialRecord
+from repro.tune.extractor_cache import CacheStats, ExtractorEncodingCache
 from repro.tune.search import (
     RungSummary,
     SearchResult,
@@ -54,21 +60,27 @@ from repro.tune.search import (
     check_objective,
     split_environments,
 )
-from repro.tune.space import HPSpace, SpaceError
+from repro.tune.space import HPSpace, JointHPSpace, SpaceError
 
 __all__ = [
     "ASHAConfig",
     "Trial",
     "rung_budgets",
     "sample_trials",
+    "sample_joint_trials",
     "select_promotions",
     "run_asha",
+    "run_joint_asha",
     "run_grid",
     "run_builder_grid",
 ]
 
 #: Domain-separation tag of the tuning RNG stream root ("tune").
 _TUNE_TAG = 0x74756E65
+
+#: Extra tag of the extractor-configuration stream ("extr"), so the
+#: joint search's extractor sampling never aliases its head sampling.
+_EXTRACTOR_TAG = 0x65787472
 
 
 @dataclass(frozen=True)
@@ -182,6 +194,46 @@ def sample_trials(space: HPSpace, n_trials: int, seed: int,
     return trials
 
 
+def sample_joint_trials(space: JointHPSpace, n_trials: int,
+                        n_extractors: int, seed: int,
+                        trainer: str) -> list[Trial]:
+    """Sample joint (extractor, head) trials with shared extractor configs.
+
+    Sampling every trial its own continuous extractor configuration
+    would make every fingerprint distinct and the encoding cache inert;
+    instead ``n_extractors`` configurations are drawn from a separately
+    tagged stream and assigned round-robin — trial ``i`` gets
+    configuration ``i % n_extractors`` — so the trials-per-distinct-
+    extractor ratio (the cache's amortisation factor) is an explicit
+    search knob.  Head halves are sampled exactly as
+    :func:`sample_trials` samples them (same root, same per-trial
+    streams), and everything remains a pure function of ``(seed,
+    trainer, index)``.
+    """
+    if n_extractors < 1:
+        raise ValueError("n_extractors must be >= 1")
+    trainer_salt = zlib.crc32(trainer.encode("utf-8"))
+    extractor_root = np.random.SeedSequence(
+        [int(seed), _TUNE_TAG, _EXTRACTOR_TAG, trainer_salt]
+    )
+    configs = [
+        space.extractor.sample(np.random.default_rng(child))
+        for child in extractor_root.spawn(n_extractors)
+    ]
+    head_root = np.random.SeedSequence([int(seed), _TUNE_TAG, trainer_salt])
+    trials = []
+    for index, child in enumerate(head_root.spawn(n_trials)):
+        param_stream, train_stream = child.spawn(2)
+        params = space.head.sample(np.random.default_rng(param_stream))
+        params["extractor"] = dict(configs[index % n_extractors])
+        trials.append(Trial(
+            trial_id=f"t{index:03d}",
+            params=params,
+            seed=int(train_stream.generate_state(1)[0]),
+        ))
+    return trials
+
+
 # ---------------------------------------------------------------- rung core
 
 
@@ -232,14 +284,19 @@ def _evaluate_rung(
         record = _reusable(resume, trainer, trial, rung, budget)
         if record is not None:
             reports[trial.trial_id] = (record.fairness_report(),
-                                       record.train_seconds)
+                                       record.train_seconds,
+                                       record.encode_seconds,
+                                       record.encode_cached)
         else:
             pending.append(trial)
     for trial, outcome in zip(pending, evaluate(pending) if pending else []):
-        reports[trial.trial_id] = (outcome.report, outcome.train_seconds)
+        reports[trial.trial_id] = (outcome.report, outcome.train_seconds,
+                                   outcome.encode_seconds,
+                                   outcome.encode_cached)
     results: dict[str, TrialResult] = {}
     for trial in trials:
-        report, train_seconds = reports[trial.trial_id]
+        report, train_seconds, encode_seconds, encode_cached = \
+            reports[trial.trial_id]
         buffer.add(TrialRecord.from_report(
             trainer=trainer,
             trial_id=trial.trial_id,
@@ -249,6 +306,8 @@ def _evaluate_rung(
             seed=trial.seed,
             train_seconds=train_seconds,
             report=report,
+            encode_seconds=encode_seconds,
+            encode_cached=encode_cached,
         ))
         results[trial.trial_id] = TrialResult(
             params=dict(trial.params),
@@ -258,8 +317,76 @@ def _evaluate_rung(
             seed=trial.seed,
             rung=rung,
             budget=budget,
+            encode_seconds=encode_seconds,
+            encode_cached=encode_cached,
         )
     return results
+
+
+def _drive_rungs(
+    trainer: str,
+    trials: list[Trial],
+    budgets: Sequence[int | None],
+    evaluate_factory: Callable[[int, int | None],
+                               Callable[[list[Trial]], list[TrialOutcome]]],
+    buffer: ResultBuffer,
+    resume: Mapping[tuple[str | None, str, int], TrialRecord] | None,
+    *,
+    objective: str,
+    blend_weight: float,
+    eta: int | None,
+    tracer: Tracer,
+) -> tuple[dict[str, TrialResult], list[RungSummary]]:
+    """The budget-ladder loop: evaluate, summarise, promote, repeat.
+
+    Shared by the head-only and joint schedulers, which differ only in
+    how a rung's pending trials become engine tasks — that part arrives
+    as ``evaluate_factory(rung, budget)``.
+    """
+    best_results: dict[str, TrialResult] = {}
+    rungs: list[RungSummary] = []
+    survivors = list(trials)
+    for rung, budget in enumerate(budgets):
+        results = _evaluate_rung(
+            trainer, survivors, rung, budget,
+            evaluate_factory(rung, budget), buffer, resume,
+        )
+        best_results.update(results)
+        last_rung = rung + 1 == len(budgets)
+        if eta is None or last_rung:
+            promoted: list[str] = []
+        else:
+            scores = {
+                tid: r.objective_value(objective, blend_weight)
+                for tid, r in results.items()
+            }
+            promoted = select_promotions(scores, eta)
+        evaluated = tuple(t.trial_id for t in survivors)
+        rungs.append(RungSummary(
+            rung=rung, budget=budget,
+            evaluated=evaluated, promoted=tuple(promoted),
+        ))
+        tracer.event(
+            TUNE_RUNG_EVENT,
+            trainer=trainer,
+            rung=rung,
+            budget=budget,
+            evaluated=list(evaluated),
+            promoted=list(promoted),
+        )
+        if eta is None or last_rung:
+            break
+        keep = set(promoted)
+        survivors = [t for t in survivors if t.trial_id in keep]
+    return best_results, rungs
+
+
+def _trial_spec(trainer: str, params: Mapping[str, object],
+                budget: int | None) -> TrainerSpec:
+    """The head trainer recipe of one trial at one budget."""
+    if budget is None:
+        return TrainerSpec.of(trainer, **params)
+    return TrainerSpec.of(trainer, n_epochs=budget, **params)
 
 
 def _run_schedule(
@@ -290,8 +417,6 @@ def _run_schedule(
     pack = pack_train_test(fit_envs, valid_envs)
     engine = ParallelEngine(n_jobs=n_jobs)
     buffer = ResultBuffer(tracer)
-    best_results: dict[str, TrialResult] = {}
-    rungs: list[RungSummary] = []
     try:
         with tracer.span(
             TUNE_SPAN,
@@ -304,21 +429,14 @@ def _run_schedule(
             seed=seed,
             n_jobs=n_jobs,
         ):
-            survivors = list(trials)
-            for rung, budget in enumerate(budgets):
-                def evaluate(pending: list[Trial],
-                             budget=budget, rung=rung) -> list[TrialOutcome]:
+            def evaluate_factory(rung: int, budget: int | None):
+                def evaluate(pending: list[Trial]) -> list[TrialOutcome]:
                     tasks = [
                         TrialTask(
                             trial_id=t.trial_id,
                             rung=rung,
                             budget=budget,
-                            spec=(
-                                TrainerSpec.of(trainer, **t.params)
-                                if budget is None
-                                else TrainerSpec.of(trainer, n_epochs=budget,
-                                                    **t.params)
-                            ),
+                            spec=_trial_spec(trainer, t.params, budget),
                             seed=t.seed,
                         )
                         for t in pending
@@ -329,37 +447,13 @@ def _run_schedule(
                         initializer=init_experiment_worker,
                         initargs=(pack.spec,),
                     )
+                return evaluate
 
-                results = _evaluate_rung(
-                    trainer, survivors, rung, budget, evaluate, buffer, resume
-                )
-                best_results.update(results)
-                last_rung = rung + 1 == len(budgets)
-                if eta is None or last_rung:
-                    promoted: list[str] = []
-                else:
-                    scores = {
-                        tid: r.objective_value(objective, blend_weight)
-                        for tid, r in results.items()
-                    }
-                    promoted = select_promotions(scores, eta)
-                evaluated = tuple(t.trial_id for t in survivors)
-                rungs.append(RungSummary(
-                    rung=rung, budget=budget,
-                    evaluated=evaluated, promoted=tuple(promoted),
-                ))
-                tracer.event(
-                    TUNE_RUNG_EVENT,
-                    trainer=trainer,
-                    rung=rung,
-                    budget=budget,
-                    evaluated=list(evaluated),
-                    promoted=list(promoted),
-                )
-                if eta is None or last_rung:
-                    break
-                keep = set(promoted)
-                survivors = [t for t in survivors if t.trial_id in keep]
+            best_results, rungs = _drive_rungs(
+                trainer, trials, budgets, evaluate_factory, buffer, resume,
+                objective=objective, blend_weight=blend_weight, eta=eta,
+                tracer=tracer,
+            )
     finally:
         pack.dispose()
     result = SearchResult(
@@ -433,6 +527,177 @@ def run_asha(
     )
 
 
+def run_joint_asha(
+    space: JointHPSpace,
+    environments: Sequence[EnvironmentData],
+    config: ASHAConfig | None = None,
+    *,
+    n_extractors: int = 3,
+    n_jobs: int = 1,
+    tracer: Tracer = NULL_TRACER,
+    resume: Mapping[tuple[str | None, str, int], TrialRecord] | None = None,
+    use_cache: bool = True,
+    cache_bytes: int | None = None,
+) -> tuple[SearchResult, CacheStats | None]:
+    """Joint GBDT×head successive-halving over *raw* environments.
+
+    Extends :func:`run_asha` with an extractor half: each trial carries
+    one of ``n_extractors`` shared GBDT configurations
+    (:func:`sample_joint_trials`), and the expensive fit + leaf-encode
+    runs **once per distinct configuration** through the
+    content-addressed :class:`~repro.tune.extractor_cache
+    .ExtractorEncodingCache` — itself fanned over the engine — with head
+    trials attaching the published shared-memory packs read-only.
+
+    Bit-identity holds along both axes: any ``n_jobs`` (seeds belong to
+    trials), and cached vs ``use_cache=False`` (both paths run the same
+    pure encode pipeline; the uncached baseline simply re-runs it inside
+    every trial, which is what ``BENCH_tune.json`` measures).
+
+    Args:
+        space: A :class:`~repro.tune.space.JointHPSpace`
+            (:meth:`HPSpace.joint`).
+        environments: Raw (un-encoded) per-province environments.
+        config: Search knobs; defaults to :class:`ASHAConfig`.
+        n_extractors: Distinct extractor configurations shared
+            round-robin across trials.
+        n_jobs: Worker processes for both fan-outs.
+        tracer: Run tracer; adds ``tune_encode`` spans and ``tune_cache``
+            events to the usual search stream.
+        resume: As :func:`run_asha`.
+        use_cache: ``False`` runs the per-trial inline-encode baseline.
+        cache_bytes: Optional resident-byte budget of the pack store
+            (LRU eviction; evicted encodings re-encode on demand).
+
+    Returns:
+        ``(search result, cache stats)`` — stats are ``None`` when
+        ``use_cache=False``.
+
+    Raises:
+        TypeError: On a head-only space — use :func:`run_asha` there.
+    """
+    if not isinstance(space, JointHPSpace):
+        raise TypeError(
+            "run_joint_asha needs a JointHPSpace (HPSpace.joint); "
+            "head-only spaces go through run_asha"
+        )
+    config = config or ASHAConfig()
+    trainer = resolve_trainer_name(space.trainer)
+    trials = sample_joint_trials(
+        space, config.n_trials, n_extractors, config.seed, trainer
+    )
+    arrays, meta = environments_to_arrays(list(environments), "raw")
+    raw_pack = SharedArrayPack.pack(arrays, meta)
+    engine = ParallelEngine(n_jobs=n_jobs)
+    buffer = ResultBuffer(tracer)
+    cache = (
+        ExtractorEncodingCache(
+            environments,
+            validation_fraction=config.validation_fraction,
+            split_seed=config.seed,
+            max_bytes=cache_bytes,
+            tracer=tracer,
+        )
+        if use_cache
+        else None
+    )
+    try:
+        with tracer.span(
+            TUNE_SPAN,
+            trainer=trainer,
+            n_trials=len(trials),
+            budgets=rung_budgets(config),
+            eta=config.eta,
+            objective=config.objective,
+            blend_weight=config.blend_weight,
+            seed=config.seed,
+            n_jobs=n_jobs,
+            joint=True,
+            n_extractors=n_extractors,
+            cached=use_cache,
+            cache_bytes=cache_bytes,
+        ):
+            def evaluate_factory(rung: int, budget: int | None):
+                def evaluate(pending: list[Trial]) -> list[TrialOutcome]:
+                    extractor_of = {
+                        t.trial_id: dict(t.params["extractor"])
+                        for t in pending
+                    }
+                    head_of = {
+                        t.trial_id: {k: v for k, v in t.params.items()
+                                     if k != "extractor"}
+                        for t in pending
+                    }
+                    specs_by_fp: dict = {}
+                    fps: dict[str, str] = {}
+                    if cache is not None:
+                        fps = {
+                            tid: cache.fingerprint(params)
+                            for tid, params in extractor_of.items()
+                        }
+                        specs_by_fp = cache.prepare(
+                            [fps[t.trial_id] for t in pending],
+                            {fps[tid]: extractor_of[tid] for tid in fps},
+                            engine,
+                            raw_pack.spec,
+                        )
+                    try:
+                        tasks = []
+                        for t in pending:
+                            spec = _trial_spec(
+                                trainer, head_of[t.trial_id], budget
+                            )
+                            if cache is not None:
+                                task = TrialTask(
+                                    trial_id=t.trial_id, rung=rung,
+                                    budget=budget, spec=spec, seed=t.seed,
+                                    pack=specs_by_fp[fps[t.trial_id]],
+                                )
+                            else:
+                                task = TrialTask(
+                                    trial_id=t.trial_id, rung=rung,
+                                    budget=budget, spec=spec, seed=t.seed,
+                                    extractor_params=extractor_of[t.trial_id],
+                                    validation_fraction=(
+                                        config.validation_fraction
+                                    ),
+                                    split_seed=config.seed,
+                                )
+                            tasks.append(task)
+                        return engine.map(
+                            run_trial_task,
+                            tasks,
+                            initializer=init_experiment_worker,
+                            initargs=(raw_pack.spec,),
+                        )
+                    finally:
+                        if cache is not None:
+                            cache.release(list(specs_by_fp))
+                return evaluate
+
+            best_results, rungs = _drive_rungs(
+                trainer, trials, rung_budgets(config), evaluate_factory,
+                buffer, resume,
+                objective=config.objective,
+                blend_weight=config.blend_weight,
+                eta=config.eta,
+                tracer=tracer,
+            )
+    finally:
+        raw_pack.dispose()
+        if cache is not None:
+            cache.dispose()
+    result = SearchResult(
+        trials=tuple(best_results[t.trial_id] for t in trials),
+        objective=config.objective,
+        blend_weight=config.blend_weight,
+        rungs=tuple(rungs),
+        trainer=trainer,
+    )
+    result = replace(result, best=result.ranked()[0])
+    return result, (cache.stats if cache is not None else None)
+
+
 def run_grid(
     space: HPSpace,
     environments: Sequence[EnvironmentData],
@@ -497,7 +762,7 @@ def run_grid(
 
 def run_builder_grid(
     builder: Callable,
-    space: HPSpace,
+    space: HPSpace | JointHPSpace,
     environments: Sequence[EnvironmentData],
     *,
     objective: str = "blend",
@@ -512,19 +777,52 @@ def run_builder_grid(
     cross a process boundary or be validated against a config dataclass,
     so every grid point is built and fitted in-process.  Results use the
     same :class:`SearchResult` surface as the engine paths.
+
+    Joint spaces work too: ``environments`` are then *raw*, each grid
+    point's ``"extractor"`` sub-dict selects a GBDT configuration that is
+    fitted + leaf-encoded once per distinct configuration (the grid is
+    extractor-major, so the memo hits on consecutive points), and the
+    builder receives only the head fields.
     """
     from repro.experiments.runner import evaluate_result_on
+    from repro.gbdt.packing import fit_extractor_encode
+    from repro.pipeline.extractor import default_gbdt_params
 
     check_objective(objective, blend_weight)
-    fit_envs, valid_envs = split_environments(
-        environments, validation_fraction, seed=seed
-    )
+    joint = isinstance(space, JointHPSpace)
+    if not joint:
+        fit_envs, valid_envs = split_environments(
+            environments, validation_fraction, seed=seed
+        )
+    encoded_memo: dict[str, tuple[list, list]] = {}
+
+    def encoded_split(extractor_params: dict):
+        key = json.dumps(extractor_params, sort_keys=True, default=str)
+        if key in encoded_memo:
+            return (*encoded_memo[key], 0.0, True)
+        params = default_gbdt_params().replace_flat(extractor_params)
+        _, encoded, encode_seconds = fit_extractor_encode(
+            params, list(environments), holdout_seed=seed
+        )
+        split = split_environments(encoded, validation_fraction, seed=seed)
+        encoded_memo[key] = split
+        return (*split, encode_seconds, False)
+
     trials = []
     for index, params in enumerate(space.grid_points()):
+        encode_seconds, encode_cached = 0.0, None
+        if joint:
+            head_params = {k: v for k, v in params.items()
+                           if k != "extractor"}
+            env_fit, env_valid, encode_seconds, encode_cached = \
+                encoded_split(dict(params["extractor"]))
+        else:
+            head_params = params
+            env_fit, env_valid = fit_envs, valid_envs
         started = time.perf_counter()
-        result = builder(**params).fit(fit_envs)
+        result = builder(**head_params).fit(env_fit)
         train_seconds = time.perf_counter() - started
-        report = evaluate_result_on(result, valid_envs)
+        report = evaluate_result_on(result, env_valid)
         trials.append(TrialResult(
             params=dict(params),
             report=report,
@@ -533,6 +831,8 @@ def run_builder_grid(
             seed=None,
             rung=0,
             budget=None,
+            encode_seconds=encode_seconds,
+            encode_cached=encode_cached,
         ))
     rungs = (RungSummary(
         rung=0, budget=None,

@@ -38,6 +38,10 @@ class TrialRecord:
         train_seconds: Wall-clock of the fit.
         per_environment: Province -> {ks, auc, n_samples, n_positive}.
         skipped: Environments the fairness report skipped.
+        encode_seconds: Wall-clock of the trial's inline extractor
+            encode (0.0 for cached and head-only trials).
+        encode_cached: Whether the trial attached a cached encoding
+            (None for head-only trials).
     """
 
     trainer: str | None
@@ -49,6 +53,8 @@ class TrialRecord:
     train_seconds: float
     per_environment: dict
     skipped: tuple[str, ...] = ()
+    encode_seconds: float = 0.0
+    encode_cached: bool | None = None
 
     @classmethod
     def from_report(
@@ -62,6 +68,8 @@ class TrialRecord:
         seed: int | None,
         train_seconds: float,
         report: FairnessReport,
+        encode_seconds: float = 0.0,
+        encode_cached: bool | None = None,
     ) -> "TrialRecord":
         """Record one evaluation from its live fairness report."""
         return cls(
@@ -72,6 +80,8 @@ class TrialRecord:
             params=dict(params),
             seed=seed,
             train_seconds=float(train_seconds),
+            encode_seconds=float(encode_seconds),
+            encode_cached=encode_cached,
             per_environment={
                 name: {
                     "ks": scores.ks,
@@ -110,6 +120,8 @@ class TrialRecord:
             "params": dict(self.params),
             "seed": self.seed,
             "train_seconds": self.train_seconds,
+            "encode_seconds": self.encode_seconds,
+            "encode_cached": self.encode_cached,
             "per_environment": self.per_environment,
             "skipped": list(self.skipped),
         }
@@ -127,6 +139,9 @@ class TrialRecord:
             seed=(None if fields.get("seed") is None
                   else int(fields["seed"])),
             train_seconds=float(fields["train_seconds"]),
+            # .get defaults keep pre-joint-search logs replayable.
+            encode_seconds=float(fields.get("encode_seconds", 0.0)),
+            encode_cached=fields.get("encode_cached"),
             per_environment=dict(fields["per_environment"]),
             skipped=tuple(fields.get("skipped", ())),
         )

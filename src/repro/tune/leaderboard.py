@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import pathlib
 import time
+import warnings
 from typing import Sequence
 
 from repro.obs.runlog import git_describe
@@ -31,6 +32,7 @@ from repro.tune.search import SearchResult
 __all__ = [
     "LEADERBOARD_FORMAT",
     "LeaderboardError",
+    "DirtyTreeWarning",
     "build_leaderboard",
     "validate_leaderboard",
     "ranked_trials",
@@ -38,7 +40,11 @@ __all__ = [
 ]
 
 #: Version of the leaderboard payload schema written by this module.
-LEADERBOARD_FORMAT = 1
+#: v2 (over v1): every entry carries a ``search_cost`` object
+#: (``train_seconds``, ``encode_seconds``, ``encode_cached`` — the joint
+#: search's cost accounting); wall-clock members of it are stripped by
+#: :func:`ranked_trials` exactly as ``train_seconds`` always was.
+LEADERBOARD_FORMAT = 2
 
 #: Required keys of the payload and of each global leaderboard entry.
 _REQUIRED_TOP = (
@@ -47,13 +53,22 @@ _REQUIRED_TOP = (
 )
 _REQUIRED_ENTRY = (
     "rank", "trainer", "trial", "objective_value", "params", "seed",
-    "rung", "budget", "metrics",
+    "rung", "budget", "metrics", "search_cost",
 )
 _REQUIRED_SEARCH = ("trainer", "objective", "blend_weight", "rungs", "trials")
 
 
 class LeaderboardError(ValueError):
     """A leaderboard payload violates the documented schema."""
+
+
+class DirtyTreeWarning(UserWarning):
+    """A tracked artifact is being stamped from a dirty git tree.
+
+    A leaderboard whose ``git`` field ends in ``-dirty`` cannot be
+    reproduced from any commit — the tree that produced it was never
+    recorded.  CI turns this warning into a failure for tracked
+    artifacts (``write_leaderboard(..., forbid_dirty=True)``)."""
 
 
 def build_leaderboard(
@@ -180,18 +195,44 @@ def ranked_trials(payload: dict) -> list[dict]:
 
     This is what "bit-identical" means for a search: two payloads from
     the same (spaces, knobs, seed, data) — whatever ``--jobs`` level,
-    with or without a resume — agree exactly on this list, while
-    ``train_seconds``/``created_unix``/``machine`` may differ.
+    cached or uncached joint encoding, with or without a resume — agree
+    exactly on this list, while ``train_seconds`` / ``search_cost`` /
+    ``created_unix`` / ``machine`` may differ.
     """
     return [
-        {k: v for k, v in entry.items() if k != "train_seconds"}
+        {k: v for k, v in entry.items()
+         if k not in ("train_seconds", "search_cost")}
         for entry in payload["leaderboard"]
     ]
 
 
-def write_leaderboard(payload: dict, path: str | pathlib.Path) -> dict:
-    """Validate and write the tracked leaderboard JSON; returns payload."""
+def write_leaderboard(payload: dict, path: str | pathlib.Path,
+                      *, forbid_dirty: bool = False) -> dict:
+    """Validate and write the tracked leaderboard JSON; returns payload.
+
+    Args:
+        payload: A :func:`build_leaderboard` payload.
+        path: Destination file.
+        forbid_dirty: Escalate the :class:`DirtyTreeWarning` for
+            dirty-tree provenance into a :class:`LeaderboardError` —
+            what CI uses when regenerating tracked artifacts.
+
+    Raises:
+        LeaderboardError: On schema violations, or on a dirty git stamp
+            with ``forbid_dirty=True``.
+    """
     validate_leaderboard(payload)
+    git = payload.get("git")
+    if isinstance(git, str) and git.endswith("-dirty"):
+        message = (
+            f"stamping leaderboard {pathlib.Path(path).name} from a dirty "
+            f"git tree ({git}): the payload cannot be reproduced from any "
+            "commit — commit (or stash) before regenerating tracked "
+            "artifacts"
+        )
+        if forbid_dirty:
+            raise LeaderboardError(message)
+        warnings.warn(message, DirtyTreeWarning, stacklevel=2)
     target = pathlib.Path(path)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                       encoding="utf-8")

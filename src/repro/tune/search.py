@@ -78,6 +78,11 @@ class TrialResult:
         seed: Per-trial training seed (None when the builder owned it).
         rung: Highest completed rung (grid trials are all rung 0).
         budget: Epoch budget of that rung (None = the config's own).
+        encode_seconds: Wall-clock of the trial's inline extractor
+            fit + leaf-encode (0.0 for cached-attach and head-only
+            trials; non-deterministic, excluded from bit-identity).
+        encode_cached: Whether the trial attached a cached encoding
+            (None for head-only trials with no extractor half).
     """
 
     params: Mapping[str, object]
@@ -87,6 +92,8 @@ class TrialResult:
     seed: int | None = None
     rung: int = 0
     budget: int | None = None
+    encode_seconds: float = 0.0
+    encode_cached: bool | None = None
 
     def objective_value(self, objective: str, blend_weight: float) -> float:
         """The trial's score under a ranking objective."""
@@ -106,6 +113,11 @@ class TrialResult:
             "rung": self.rung,
             "budget": self.budget,
             "train_seconds": self.train_seconds,
+            "search_cost": {
+                "train_seconds": self.train_seconds,
+                "encode_seconds": self.encode_seconds,
+                "encode_cached": self.encode_cached,
+            },
             "metrics": self.report.summary(),
             "per_environment": {
                 name: {"ks": scores.ks, "auc": scores.auc}
@@ -247,7 +259,7 @@ def split_environments(
 
 def grid_search(
     builder: TrainerBuilder,
-    grid: Mapping[str, Sequence[object]],
+    grid,
     environments: Sequence[EnvironmentData],
     objective: str = "blend",
     blend_weight: float = 0.5,
@@ -269,10 +281,12 @@ def grid_search(
             must return an unfitted :class:`Trainer`.  Typically a lambda
             around a config dataclass, e.g.
             ``lambda **kw: LightMIRMTrainer(LightMIRMConfig(**kw))``.
-        grid: Axis name -> candidate values.  The Cartesian product is
-            evaluated.
-        environments: Training environments; split per-province into fit
-            and validation parts.
+        grid: Axis name -> candidate values (the Cartesian product is
+            evaluated), or an enumerable :class:`~repro.tune.space.HPSpace`
+            / :class:`~repro.tune.space.JointHPSpace` used as-is.  For a
+            joint space ``environments`` must be *raw* (un-encoded): each
+            distinct extractor point is fitted + leaf-encoded once
+            (memoized) and the builder receives only the head fields.
         objective: Ranking metric: "mKS", "wKS", "mAUC", "wAUC", or
             "blend" ((1-w)·mKS + w·wKS — the paper's dual goal).
         blend_weight: Worst-province weight of the blend objective.
@@ -290,12 +304,15 @@ def grid_search(
         stacklevel=2,
     )
     from repro.tune.asha import run_builder_grid
-    from repro.tune.space import HPSpace
+    from repro.tune.space import HPSpace, JointHPSpace
 
     check_objective(objective, blend_weight)
-    if not grid:
-        raise ValueError("empty grid")
-    space = HPSpace.grid(None, grid)
+    if isinstance(grid, (HPSpace, JointHPSpace)):
+        space = grid
+    else:
+        if not grid:
+            raise ValueError("empty grid")
+        space = HPSpace.grid(None, grid)
     return run_builder_grid(
         builder,
         space,

@@ -24,6 +24,7 @@ how ``repro tune`` knows what to search without any user configuration.
 
 from __future__ import annotations
 
+import difflib
 import itertools
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Mapping, Sequence
@@ -38,14 +39,23 @@ __all__ = [
     "Choice",
     "IntRange",
     "HPSpace",
+    "JointHPSpace",
+    "EXTRACTOR_COMPONENT",
     "default_space",
+    "default_extractor_space",
     "register_space",
     "config_class_for",
+    "component_fields",
 ]
 
 #: Fields a space may never search: ``seed`` belongs to the per-trial
 #: SeedSequence stream, ``n_epochs`` is the ASHA budget axis.
 RESERVED_FIELDS = ("seed", "n_epochs")
+
+#: The component name binding a space to the GBDT feature extractor
+#: instead of a registered head trainer.  Joint searches pair one such
+#: space with a trainer-bound head space (:meth:`HPSpace.joint`).
+EXTRACTOR_COMPONENT = "gbdt"
 
 
 class SpaceError(ValueError):
@@ -225,6 +235,48 @@ def config_class_for(trainer: str) -> type:
     }[canonical]
 
 
+def component_fields(component: str) -> tuple[str, list[str]]:
+    """Searchable fields of the component that *owns* a space's params.
+
+    Validation is routed through the owning component rather than assuming
+    every space targets an LR-head trainer: ``EXTRACTOR_COMPONENT``
+    resolves to the flattened GBDT surface
+    (:meth:`~repro.gbdt.boosting.GBDTParams.flat_fields` — booster plus
+    tree-growth knobs), anything else through the trainer registry to the
+    head's config dataclass.
+
+    Returns:
+        ``(owner description, sorted valid field names)`` with reserved
+        fields already removed.
+    """
+    if component == EXTRACTOR_COMPONENT:
+        from repro.gbdt.boosting import GBDTParams
+
+        valid = [f for f in GBDTParams.flat_fields()
+                 if f not in RESERVED_FIELDS]
+        return "GBDTParams (extractor)", sorted(valid)
+    config_cls = config_class_for(component)
+    valid = [f.name for f in dataclass_fields(config_cls)
+             if f.name not in RESERVED_FIELDS]
+    return config_cls.__name__, sorted(valid)
+
+
+def _unknown_field_error(unknown: Sequence[str], owner: str,
+                         component: str, valid: Sequence[str]) -> SpaceError:
+    """Unknown-field failure with did-you-mean suggestions per field."""
+    suggestions = []
+    for name in unknown:
+        close = difflib.get_close_matches(name, valid, n=1)
+        if close:
+            suggestions.append(f"{name!r} (did you mean {close[0]!r}?)")
+        else:
+            suggestions.append(repr(name))
+    return SpaceError(
+        f"unknown parameter(s) [{', '.join(suggestions)}] for component "
+        f"{component!r} ({owner}); valid fields: {list(valid)}"
+    )
+
+
 @dataclass(frozen=True)
 class HPSpace:
     """A trainer name plus its searchable parameter descriptors.
@@ -263,17 +315,11 @@ class HPSpace:
                     "scheduler's budget axis"
                 )
         if self.trainer is not None:
-            config_cls = config_class_for(self.trainer)
-            valid = sorted(
-                f.name for f in dataclass_fields(config_cls)
-                if f.name not in RESERVED_FIELDS
-            )
+            owner, valid = component_fields(self.trainer)
             unknown = sorted(set(self.params) - set(valid))
             if unknown:
-                raise SpaceError(
-                    f"unknown parameter(s) {unknown} for trainer "
-                    f"{self.trainer!r} ({config_cls.__name__}); "
-                    f"valid fields: {valid}"
+                raise _unknown_field_error(
+                    unknown, owner, self.trainer, valid
                 )
 
     @classmethod
@@ -285,6 +331,27 @@ class HPSpace:
             params={name: Choice(tuple(values))
                     for name, values in axes.items()},
         )
+
+    @classmethod
+    def joint(cls, gbdt_space: "HPSpace",
+              head_space: "HPSpace") -> "JointHPSpace":
+        """Pair an extractor space with a head space for a joint search.
+
+        Args:
+            gbdt_space: A space bound to :data:`EXTRACTOR_COMPONENT`
+                (validated against the flattened GBDT parameter surface).
+            head_space: A space bound to a registered head trainer.
+
+        Returns:
+            A :class:`JointHPSpace` driving
+            :func:`~repro.tune.asha.run_joint_asha`.
+        """
+        return JointHPSpace(extractor=gbdt_space, head=head_space)
+
+    @property
+    def is_extractor(self) -> bool:
+        """Whether this space searches the GBDT extractor's knobs."""
+        return self.trainer == EXTRACTOR_COMPONENT
 
     def names(self) -> list[str]:
         """Parameter names in the canonical (sorted) sampling order."""
@@ -323,6 +390,72 @@ class HPSpace:
         }
 
 
+@dataclass(frozen=True)
+class JointHPSpace:
+    """A GBDT extractor space paired with an LR-head trainer space.
+
+    The two halves are validated by their owning components (see
+    :func:`component_fields`): the ``extractor`` half against the
+    flattened GBDT parameter surface, the ``head`` half against the
+    trainer's config dataclass.  A joint trial's configuration is the
+    head half's fields plus one ``"extractor"`` sub-dict — the scheduler
+    groups trials sharing an extractor configuration so the expensive
+    fit + leaf-encode runs once per distinct configuration
+    (:mod:`repro.tune.extractor_cache`).
+    """
+
+    extractor: HPSpace
+    head: HPSpace
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.extractor, HPSpace) \
+                or not self.extractor.is_extractor:
+            raise SpaceError(
+                "JointHPSpace.extractor must be an HPSpace bound to "
+                f"{EXTRACTOR_COMPONENT!r} "
+                f"(e.g. HPSpace('gbdt', {{'n_trees': IntRange(20, 60)}}))"
+            )
+        if not isinstance(self.head, HPSpace) or self.head.trainer is None \
+                or self.head.is_extractor:
+            raise SpaceError(
+                "JointHPSpace.head must be an HPSpace bound to a "
+                "registered head trainer"
+            )
+
+    @property
+    def trainer(self) -> str:
+        """The head trainer the joint search selects for."""
+        return self.head.trainer
+
+    def sample(self, rng: np.random.Generator) -> dict[str, object]:
+        """One joint configuration: head fields + ``"extractor"`` sub-dict.
+
+        The scheduler samples the halves from *separate* per-trial
+        streams (so extractor sharing is independent of head sampling);
+        this single-stream variant exists for the grid/shim surfaces.
+        """
+        params = self.head.sample(rng)
+        params["extractor"] = self.extractor.sample(rng)
+        return params
+
+    def grid_points(self) -> list[dict[str, object]]:
+        """Cartesian product of both halves; extractor-major order so
+        grid-style consumers can encode once per extractor point."""
+        return [
+            {**head_point, "extractor": dict(extractor_point)}
+            for extractor_point in self.extractor.grid_points()
+            for head_point in self.head.grid_points()
+        ]
+
+    def to_json(self) -> dict:
+        """JSON-compatible description (leaderboard provenance)."""
+        return {
+            "trainer": self.head.trainer,
+            "head": self.head.to_json(),
+            "extractor": self.extractor.to_json(),
+        }
+
+
 # ------------------------------------------------------- default spaces
 #
 # One space per registered trainer, keyed by canonical Table I name.
@@ -354,6 +487,21 @@ def default_space(trainer: str) -> HPSpace:
     if canonical.startswith("meta-IRM("):
         canonical = "meta-IRM"
     return _DEFAULT_SPACES[canonical]
+
+
+def default_extractor_space() -> HPSpace:
+    """The default GBDT extractor space of ``repro tune --joint``.
+
+    Brackets :func:`~repro.pipeline.extractor.default_gbdt_params` on the
+    axes that dominate Table-III quality and wall-clock: ensemble size,
+    shrinkage, histogram resolution and the per-tree leaf budget.
+    """
+    return HPSpace(EXTRACTOR_COMPONENT, {
+        "n_trees": IntRange(20, 60),
+        "learning_rate": LogUniform(0.05, 0.3),
+        "max_bins": Choice((32, 64, 128)),
+        "max_leaves": IntRange(15, 63),
+    })
 
 
 def _register_defaults() -> None:

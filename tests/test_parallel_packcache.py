@@ -1,0 +1,122 @@
+"""Unit tests for the refcounted, LRU-evicting shared-pack cache."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.shared import PackCache, SharedArrayPack
+
+
+def make_pack(n_floats=128):
+    return SharedArrayPack.pack({"x": np.arange(n_floats, dtype=np.float64)})
+
+
+@pytest.fixture
+def cache():
+    store = PackCache(max_bytes=None)
+    yield store
+    store.clear()
+
+
+class TestBasics:
+    def test_put_get_contains(self, cache):
+        pack = make_pack()
+        cache.put("a", pack)
+        assert "a" in cache
+        assert len(cache) == 1
+        assert cache.get("a") is pack
+        assert cache.get("missing") is None
+
+    def test_duplicate_put_rejected(self, cache):
+        cache.put("a", make_pack())
+        rejected = make_pack(8)
+        try:
+            with pytest.raises(KeyError, match="already cached"):
+                cache.put("a", rejected)
+            assert len(cache) == 1
+        finally:
+            # A rejected pack was never handed over; the caller owns it.
+            rejected.dispose()
+
+    def test_total_bytes_tracks_entries(self, cache):
+        cache.put("a", make_pack(), nbytes=100)
+        cache.put("b", make_pack(), nbytes=50)
+        assert cache.total_bytes == 150
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            PackCache(max_bytes=-1)
+
+
+class TestPinning:
+    def test_pin_returns_pack_and_counts(self, cache):
+        pack = make_pack()
+        cache.put("a", pack)
+        assert cache.pin("a") is pack
+        assert cache.pin("a") is pack
+        assert cache.pins("a") == 2
+        cache.unpin("a")
+        assert cache.pins("a") == 1
+
+    def test_pin_missing_key_raises(self, cache):
+        with pytest.raises(KeyError):
+            cache.pin("ghost")
+
+    def test_unpin_without_lease_raises(self, cache):
+        cache.put("a", make_pack())
+        with pytest.raises(ValueError, match="not pinned"):
+            cache.unpin("a")
+
+
+class TestEviction:
+    def test_lru_order_and_get_refresh(self):
+        cache = PackCache(max_bytes=250)
+        cache.put("a", make_pack(), nbytes=100)
+        cache.put("b", make_pack(), nbytes=100)
+        assert cache.keys() == ["a", "b"]
+        cache.get("a")  # refresh: b is now LRU
+        cache.put("c", make_pack(), nbytes=100)
+        assert cache.evict_to_budget() == ["b"]
+        assert cache.keys() == ["a", "c"]
+        assert cache.evictions == 1
+        cache.clear()
+
+    def test_pinned_entries_survive_pressure(self):
+        cache = PackCache(max_bytes=100)
+        cache.put("hot", make_pack(), nbytes=100)
+        cache.pin("hot")
+        cache.put("cold", make_pack(), nbytes=100)
+        # "hot" is LRU but pinned: only "cold" may go, and the budget
+        # transiently overshoots while the lease is held.
+        assert cache.evict_to_budget() == ["cold"]
+        assert "hot" in cache
+        cache.unpin("hot")
+        cache.clear()
+
+    def test_all_pinned_overshoots_without_eviction(self):
+        cache = PackCache(max_bytes=50)
+        for key in ("a", "b"):
+            cache.put(key, make_pack(), nbytes=100)
+            cache.pin(key)
+        assert cache.evict_to_budget() == []
+        assert cache.total_bytes == 200
+        cache.unpin("a")
+        assert cache.evict_to_budget() == ["a"]
+        cache.unpin("b")
+        cache.clear()
+
+    def test_no_budget_never_evicts(self, cache):
+        for index in range(5):
+            cache.put(f"k{index}", make_pack(), nbytes=10**9)
+        assert cache.evict_to_budget() == []
+        assert len(cache) == 5
+
+    def test_evicted_pack_is_disposed(self):
+        cache = PackCache(max_bytes=0)
+        pack = make_pack()
+        name = pack.spec.shm_name
+        cache.put("a", pack)
+        cache.evict_to_budget()
+        # The shared block is unlinked: a fresh attach must fail.
+        with pytest.raises(FileNotFoundError):
+            SharedArrayPack.attach(pack.spec)
+        assert name  # silence unused warnings; name recorded pre-dispose

@@ -1,0 +1,107 @@
+"""Unit tests for the joint-search benchmark payload and validation."""
+
+import json
+
+import pytest
+
+from repro.perfbench.tune import (
+    TUNE_BENCH_FORMAT,
+    TuneBenchConfig,
+    summarize_tune,
+    validate_tune_payload,
+)
+
+
+def make_payload():
+    joint = {
+        "trainer": "ERM",
+        "n_trials": 8,
+        "n_extractors": 2,
+        "trial_evaluations": 12,
+        "trials_per_extractor": 6.0,
+        "cached": {
+            "wall_s": 1.0, "encode_s": 0.4, "hits": 10, "misses": 2,
+            "hit_rate": 10 / 12, "published_bytes": 300_000,
+            "evictions": 0,
+        },
+        "uncached": {"wall_s": 2.5, "encode_s": 2.4},
+        "encode_seconds_saved": 2.0,
+        "encode_speedup": 6.0,
+        "wall_speedup": 2.5,
+        "bit_identical": True,
+    }
+    return {
+        "format": TUNE_BENCH_FORMAT,
+        "config": {"n_trials": 8},
+        "machine": {"python": "3.x"},
+        "benchmarks": {"joint_search": joint},
+    }
+
+
+class TestValidation:
+    def test_valid_payload_passes(self):
+        payload = make_payload()
+        assert validate_tune_payload(payload) is payload
+
+    def test_round_trips_through_json(self):
+        payload = json.loads(json.dumps(make_payload()))
+        validate_tune_payload(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="not a JSON object"):
+            validate_tune_payload([1, 2])
+
+    def test_missing_top_keys_rejected(self):
+        payload = make_payload()
+        payload.pop("machine")
+        with pytest.raises(ValueError, match="missing keys.*machine"):
+            validate_tune_payload(payload)
+
+    def test_wrong_format_rejected(self):
+        payload = make_payload()
+        payload["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            validate_tune_payload(payload)
+
+    def test_missing_joint_fields_rejected(self):
+        payload = make_payload()
+        payload["benchmarks"]["joint_search"].pop("encode_speedup")
+        with pytest.raises(ValueError, match="encode_speedup"):
+            validate_tune_payload(payload)
+
+    def test_mismatched_leaderboards_rejected(self):
+        payload = make_payload()
+        payload["benchmarks"]["joint_search"]["bit_identical"] = False
+        with pytest.raises(ValueError, match="disagree"):
+            validate_tune_payload(payload)
+
+    def test_inert_cache_rejected(self):
+        payload = make_payload()
+        payload["benchmarks"]["joint_search"]["cached"]["hits"] = 0
+        with pytest.raises(ValueError, match="zero hits"):
+            validate_tune_payload(payload)
+
+
+class TestConfig:
+    def test_tracked_config_amortises_enough(self):
+        """The tracked configuration must give the cache >= 4 trials per
+        distinct extractor (the acceptance floor for the 2x claim)."""
+        config = TuneBenchConfig()
+        # eta=2 over budgets [4, 8]: rung 0 evaluates all trials, rung 1
+        # the surviving half.
+        evaluations = config.n_trials + config.n_trials // config.eta
+        assert evaluations / config.n_extractors >= 4
+
+    def test_smoke_shrinks_but_keeps_shape(self):
+        smoke = TuneBenchConfig.smoke()
+        assert smoke.n_samples < TuneBenchConfig().n_samples
+        assert smoke.n_extractors >= 2
+        assert smoke.n_trials / smoke.n_extractors >= 2
+
+
+class TestSummary:
+    def test_summary_renders(self):
+        text = summarize_tune(make_payload()["benchmarks"])
+        assert "bit-identical" in text
+        assert "hit-rate 0.83" in text
+        assert "encode speedup  6.00x" in text

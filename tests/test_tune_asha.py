@@ -31,6 +31,7 @@ def search_payload(result):
     payload = result.to_json()
     for trial in payload["trials"]:
         trial.pop("train_seconds")
+        trial.pop("search_cost")
     return payload
 
 

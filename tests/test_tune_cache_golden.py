@@ -1,0 +1,145 @@
+"""Golden suite: cached-attach encodings vs fresh fit + leaf-encode.
+
+The extractor-encoding cache is only admissible if attaching a published
+pack reproduces, **byte for byte**, what a trial would have computed by
+fitting the GBDT and leaf-encoding inline.  These tests pin that
+contract directly at the array level (CSR data/indices/indptr and
+labels, float64 and float32 inputs) and end-to-end at the leaderboard
+level, including after LRU eviction forces a re-encode.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.data.dataset import EnvironmentData
+from repro.gbdt import fit_extractor_encode
+from repro.parallel.shared import (
+    SharedArrayPack,
+    environments_from_arrays,
+    pack_train_test,
+)
+from repro.pipeline.extractor import default_gbdt_params
+from repro.tune import (
+    ASHAConfig,
+    HPSpace,
+    default_space,
+    run_joint_asha,
+    split_environments,
+)
+from repro.tune.space import EXTRACTOR_COMPONENT, Choice
+
+
+def synthetic_environments(dtype, n_per_env=120, n_features=12, seed=5):
+    rng = np.random.default_rng(seed)
+    environments = []
+    for name in ("zhejiang", "shandong", "gansu"):
+        features = rng.normal(size=(n_per_env, n_features)).astype(dtype)
+        logits = features[:, 0] - 0.5 * features[:, 1]
+        labels = (logits + rng.normal(size=n_per_env) > 0).astype(np.int64)
+        labels[:3] = [0, 1, 1]  # both classes in every environment
+        environments.append(EnvironmentData(name, features, labels))
+    return environments
+
+
+def encode_split(environments, holdout_seed=0):
+    """The pure pipeline both cache modes run: fit + encode, then split."""
+    params = default_gbdt_params().replace_flat({"n_trees": 8})
+    _, encoded, _ = fit_extractor_encode(
+        params, environments, holdout_seed=holdout_seed
+    )
+    return split_environments(encoded, 0.25, seed=holdout_seed)
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+class TestByteIdentity:
+    def test_attached_encoding_is_byte_identical(self, dtype):
+        environments = synthetic_environments(dtype)
+        fit_envs, valid_envs = encode_split(environments)
+        pack = pack_train_test(fit_envs, valid_envs)
+        try:
+            attached = SharedArrayPack.attach(pack.spec)
+            try:
+                meta = pack.spec.metadata()
+                arrays = attached.arrays()
+                for fresh_list, prefix in ((fit_envs, "train"),
+                                           (valid_envs, "test")):
+                    cached_list = environments_from_arrays(
+                        arrays, meta, prefix
+                    )
+                    assert len(cached_list) == len(fresh_list)
+                    for fresh, cached in zip(fresh_list, cached_list):
+                        assert cached.name == fresh.name
+                        fresh_csr = fresh.features.tocsr()
+                        cached_csr = cached.features.tocsr()
+                        for attr in ("data", "indices", "indptr"):
+                            fresh_arr = getattr(fresh_csr, attr)
+                            cached_arr = getattr(cached_csr, attr)
+                            assert cached_arr.dtype == fresh_arr.dtype
+                            assert (cached_arr.tobytes()
+                                    == fresh_arr.tobytes())
+                        assert (cached.labels.tobytes()
+                                == fresh.labels.tobytes())
+            finally:
+                attached.close()
+        finally:
+            pack.dispose()
+
+    def test_fresh_encode_is_deterministic(self, dtype):
+        """Sanity anchor: two inline encodes agree with themselves —
+        otherwise byte-identity of the cache would be untestable."""
+        environments = synthetic_environments(dtype)
+        first_fit, _ = encode_split(environments)
+        second_fit, _ = encode_split(environments)
+        for a, b in zip(first_fit, second_fit):
+            assert (a.features.tocsr().data.tobytes()
+                    == b.features.tocsr().data.tobytes())
+
+
+def joint_space():
+    # A discrete extractor axis so distinct configurations repeat.
+    extractor = HPSpace(EXTRACTOR_COMPONENT, {"n_trees": Choice((6, 10))})
+    return HPSpace.joint(extractor, default_space("ERM"))
+
+
+# Two rungs (budgets 4 and 8): rung 1 must look the encodings up again,
+# which is what makes the eviction test actually re-encode.
+SMALL = ASHAConfig(n_trials=4, eta=2, min_epochs=4, max_epochs=8, seed=3)
+
+
+def projection(result):
+    return [
+        {k: v for k, v in trial.to_json().items()
+         if k not in ("train_seconds", "search_cost")}
+        for trial in result.ranked()
+    ]
+
+
+class TestEvictionUnderPressure:
+    def test_eviction_re_encode_keeps_leaderboard_bit_identical(self):
+        environments = synthetic_environments(np.float64)
+        baseline, baseline_stats = run_joint_asha(
+            joint_space(), environments, SMALL, n_extractors=2,
+        )
+        assert baseline_stats.evictions == 0
+        # A 1-byte budget evicts every pack the moment its rung's leases
+        # are released, so any later rung must re-encode from scratch.
+        squeezed, squeezed_stats = run_joint_asha(
+            joint_space(), environments, SMALL, n_extractors=2,
+            cache_bytes=1,
+        )
+        assert squeezed_stats.evictions > 0
+        assert projection(squeezed) == projection(baseline)
+
+    def test_uncached_matches_cached(self):
+        environments = synthetic_environments(np.float64)
+        cached, stats = run_joint_asha(
+            joint_space(), environments, SMALL, n_extractors=2,
+        )
+        uncached, no_stats = run_joint_asha(
+            joint_space(), environments, SMALL, n_extractors=2,
+            use_cache=False,
+        )
+        assert no_stats is None
+        assert stats.hits > 0
+        assert projection(cached) == projection(uncached)

@@ -8,6 +8,7 @@ from repro.obs.runlog import TUNE_TRIAL_EVENT, RunLogReader
 from repro.obs.tracer import Tracer
 from repro.tune import (
     ASHAConfig,
+    DirtyTreeWarning,
     LeaderboardError,
     ResultBuffer,
     TrialRecord,
@@ -161,7 +162,17 @@ class TestLeaderboard:
         assert len(projected) == len(payload["leaderboard"])
         for entry in projected:
             assert "train_seconds" not in entry
+            assert "search_cost" not in entry
             assert "objective_value" in entry
+
+    def test_entries_carry_search_cost(self, payload):
+        for entry in payload["leaderboard"]:
+            cost = entry["search_cost"]
+            assert set(cost) == {"train_seconds", "encode_seconds",
+                                 "encode_cached"}
+            # Head-only searches never encode inline.
+            assert cost["encode_seconds"] == 0.0
+            assert cost["encode_cached"] is None
 
     def test_empty_results_rejected(self):
         with pytest.raises(ValueError, match="at least one"):
@@ -174,6 +185,7 @@ class TestLeaderboard:
         (lambda p: p.update(searches=[]), "non-empty"),
         (lambda p: p["searches"][0].pop("rungs"), "missing keys"),
         (lambda p: p["leaderboard"][0].pop("metrics"), "missing keys"),
+        (lambda p: p["leaderboard"][0].pop("search_cost"), "missing keys"),
         (lambda p: p["leaderboard"][0].update(rank=5), "ranks must be"),
     ])
     def test_validation_errors(self, payload, mutate, match):
@@ -184,6 +196,7 @@ class TestLeaderboard:
 
     def test_write_round_trip(self, payload, tmp_path):
         path = tmp_path / "TUNE_leaderboard.json"
+        payload = {**payload, "git": "abc1234"}
         write_leaderboard(payload, path)
         restored = json.loads(path.read_text())
         assert validate_leaderboard(restored)
@@ -194,3 +207,24 @@ class TestLeaderboard:
         broken.pop("git")
         with pytest.raises(LeaderboardError):
             write_leaderboard(broken, tmp_path / "nope.json")
+
+    def test_dirty_stamp_warns(self, payload, tmp_path):
+        dirty = {**payload, "git": "abc1234-dirty"}
+        path = tmp_path / "dirty.json"
+        with pytest.warns(DirtyTreeWarning, match="dirty git tree"):
+            write_leaderboard(dirty, path)
+        # Warned but still written — interactive runs keep their output.
+        assert json.loads(path.read_text())["git"] == "abc1234-dirty"
+
+    def test_forbid_dirty_raises(self, payload, tmp_path):
+        dirty = {**payload, "git": "abc1234-dirty"}
+        path = tmp_path / "dirty.json"
+        with pytest.raises(LeaderboardError, match="dirty git tree"):
+            write_leaderboard(dirty, path, forbid_dirty=True)
+        assert not path.exists()
+
+    def test_clean_stamp_does_not_warn(self, payload, tmp_path, recwarn):
+        clean = {**payload, "git": "abc1234"}
+        write_leaderboard(clean, tmp_path / "clean.json", forbid_dirty=True)
+        assert not [w for w in recwarn
+                    if isinstance(w.message, DirtyTreeWarning)]
